@@ -1,0 +1,238 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, runs the ablation studies called out in DESIGN.md,
+   and finishes with Bechamel micro-benchmarks of the kernels.
+
+     dune exec bench/main.exe
+
+   Environment knobs (all optional):
+     CFPM_VECTORS        vectors per evaluation run   (default 1500)
+     CFPM_CHAR_VECTORS   characterization run length  (default 2500)
+     CFPM_SKIP_TABLE1    set to skip the (slow) full Table 1
+     CFPM_ONLY           comma-separated Table 1 circuit subset *)
+
+let vectors =
+  match Sys.getenv_opt "CFPM_VECTORS" with
+  | Some v -> int_of_string v
+  | None -> 1500
+
+let char_vectors =
+  match Sys.getenv_opt "CFPM_CHAR_VECTORS" with
+  | Some v -> int_of_string v
+  | None -> 2500
+
+let heading title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s: %.1fs]\n" label (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproductions (one per paper table/figure).              *)
+
+let run_fig7a () =
+  heading "Experiment E1: Fig. 7a — RE vs transition probability (cm85)";
+  let r = timed "fig7a" (fun () -> Experiments.Fig7a.run ~vectors ~char_vectors ()) in
+  print_string (Experiments.Report.fig7a r)
+
+let run_fig7b () =
+  heading "Experiment E2: Fig. 7b — accuracy/size trade-off (cm85)";
+  let r = timed "fig7b" (fun () -> Experiments.Fig7b.run ~vectors ~char_vectors ()) in
+  print_string (Experiments.Report.fig7b r)
+
+let run_table1 () =
+  heading "Experiment E3/E4: Table 1 — all benchmarks";
+  let names =
+    match Sys.getenv_opt "CFPM_ONLY" with
+    | Some s -> Some (String.split_on_char ',' s)
+    | None -> None
+  in
+  let config =
+    { Experiments.Table1.default_config with vectors; char_vectors }
+  in
+  let rows = timed "table1" (fun () -> Experiments.Table1.run ~config ?names ()) in
+  print_string (Experiments.Report.table1 rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+
+let ablation_weighting () =
+  heading "Ablation A1: collapse weighting (cm85, MAX = 500)";
+  let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
+  let sim = Gatesim.Simulator.create circuit in
+  let estimators =
+    List.map
+      (fun (label, weighting) ->
+        (label, Experiments.Estimator.Add_model
+                  (Powermodel.Model.build ~weighting ~max_size:500 circuit)))
+      [
+        ("unweighted", Dd.Approx.Unweighted);
+        ("uniform-mass", Dd.Approx.Uniform_mass);
+        ("robust", Dd.Approx.Robust []);
+      ]
+  in
+  let results = Experiments.Sweep.run_grid ~vectors ~seed:31 sim estimators in
+  Printf.printf
+    "ARE over the default grid (paper-literal ranking vs mass weighting vs \
+     the statistics-robust default):\n";
+  List.iter
+    (fun (label, _) ->
+      Printf.printf "  %-14s %7s%%\n" label
+        (Experiments.Report.pct (Experiments.Sweep.are_average results label)))
+    estimators
+
+let ablation_accumulation () =
+  heading
+    "Ablation A2: approximation during construction vs one final collapse \
+     (cm85, MAX = 500)";
+  let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
+  let sim = Gatesim.Simulator.create circuit in
+  let incremental =
+    timed "incremental build" (fun () ->
+        Powermodel.Model.build ~max_size:500 circuit)
+  in
+  let exact = timed "exact build" (fun () -> Powermodel.Model.build circuit) in
+  let oneshot_cap =
+    timed "one-shot compress" (fun () ->
+        Dd.Approx.compress exact.Powermodel.Model.add_manager
+          ~strategy:Dd.Approx.Average ~max_size:500 exact.Powermodel.Model.cap)
+  in
+  let oneshot = { exact with Powermodel.Model.cap = oneshot_cap } in
+  let estimators =
+    [
+      ("incremental", Experiments.Estimator.Add_model incremental);
+      ("one-shot", Experiments.Estimator.Add_model oneshot);
+    ]
+  in
+  let results = Experiments.Sweep.run_grid ~vectors ~seed:32 sim estimators in
+  Printf.printf "exact model: %d nodes; both compressed to <= 500\n"
+    (Dd.Add.size exact.Powermodel.Model.cap);
+  List.iter
+    (fun (label, _) ->
+      Printf.printf "  %-12s ARE %7s%%\n" label
+        (Experiments.Report.pct (Experiments.Sweep.are_average results label)))
+    estimators
+
+let ablation_variable_pairing () =
+  heading "Ablation A3: operand interleaving vs block input order (comparators)";
+  let block_comparator bits =
+    (* same function as Comparator.circuit but inputs declared a*, then b* *)
+    let open Netlist in
+    let b = Builder.create ~name:"cmp-block" in
+    let a = Builder.inputs b "a" bits in
+    let bb = Builder.inputs b "b" bits in
+    let gt, eq, lt = Circuits.Comparator.ripple b ~a ~b:bb in
+    Builder.output b "gt" gt;
+    Builder.output b "eq" eq;
+    Builder.output b "lt" lt;
+    Builder.finish b
+  in
+  List.iter
+    (fun bits ->
+      let inter =
+        Circuits.Comparator.circuit ~bits ~name:"cmp-inter" ()
+      in
+      let block = block_comparator bits in
+      let size c = Powermodel.Model.size (Powermodel.Model.build c) in
+      Printf.printf
+        "  %2d-bit comparator: exact ADD %6d nodes interleaved vs %6d block\n"
+        bits (size inter) (size block))
+    [ 4; 5; 6 ]
+
+let ablation_implementation_sensitivity () =
+  heading
+    "Ablation A4: white-box models track the implementation, not the \
+     function (16-bit parity)";
+  let xor_tree = Circuits.Parity.parity () in
+  let nand_mapped = Circuits.Parity.parity_nand () in
+  let report label circuit =
+    let model = Powermodel.Model.build ~max_size:3000 circuit in
+    Printf.printf
+      "  %-10s %4d gates, uniform-average switching %.1f fF, worst case %.1f fF\n"
+      label
+      (Netlist.Circuit.gate_count circuit)
+      (Powermodel.Model.average_capacitance model)
+      (Powermodel.Model.max_capacitance model)
+  in
+  report "xor-cells" xor_tree;
+  report "nand-only" nand_mapped;
+  Printf.printf
+    "  (same Boolean function, different netlists -> different power models)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks.                                          *)
+
+let bechamel_suite () =
+  heading "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
+  let sim = Gatesim.Simulator.create circuit in
+  let model = Powermodel.Model.build ~max_size:500 circuit in
+  let exact = Powermodel.Model.build circuit in
+  let prng = Stimulus.Prng.create 77 in
+  let x_i = Array.init 11 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
+  let x_f = Array.init 11 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
+  let bdd_mgr = Dd.Bdd.manager () in
+  let big_a =
+    Dd.Bdd.band_list bdd_mgr
+      (List.init 24 (fun i ->
+           Dd.Bdd.bor bdd_mgr (Dd.Bdd.var bdd_mgr i) (Dd.Bdd.var bdd_mgr (i + 1))))
+  in
+  let tests =
+    [
+      (* E1-E4 kernels: one Test.make per reproduced table/figure *)
+      Test.make ~name:"fig7a:model-eval" (Staged.stage (fun () ->
+           Powermodel.Model.switched_capacitance model ~x_i ~x_f));
+      Test.make ~name:"fig7b:model-build-500" (Staged.stage (fun () ->
+           Powermodel.Model.build ~max_size:500 circuit));
+      Test.make ~name:"table1-avg:gate-sim-step" (Staged.stage (fun () ->
+           Gatesim.Simulator.switched_capacitance sim x_i x_f));
+      Test.make ~name:"table1-bounds:compress" (Staged.stage (fun () ->
+           Dd.Approx.compress exact.Powermodel.Model.add_manager
+             ~strategy:Dd.Approx.Upper_bound ~max_size:500
+             exact.Powermodel.Model.cap));
+      Test.make ~name:"bdd:band-24vars" (Staged.stage (fun () ->
+           Dd.Bdd.sat_fraction big_a));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] ->
+            if ns > 1e6 then Printf.printf "  %-28s %10.2f ms/run\n" name (ns /. 1e6)
+            else if ns > 1e3 then Printf.printf "  %-28s %10.2f us/run\n" name (ns /. 1e3)
+            else Printf.printf "  %-28s %10.1f ns/run\n" name ns
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  Printf.printf
+    "cfpm benchmark harness — Characterization-Free Behavioral Power \
+     Modeling (DATE 1998)\n";
+  Printf.printf "vectors per run: %d, characterization: %d\n" vectors
+    char_vectors;
+  run_fig7a ();
+  run_fig7b ();
+  (match Sys.getenv_opt "CFPM_SKIP_TABLE1" with
+  | Some _ -> Printf.printf "\n[table 1 skipped by CFPM_SKIP_TABLE1]\n"
+  | None -> run_table1 ());
+  ablation_weighting ();
+  ablation_accumulation ();
+  ablation_variable_pairing ();
+  ablation_implementation_sensitivity ();
+  bechamel_suite ();
+  Printf.printf "\nDone.\n"

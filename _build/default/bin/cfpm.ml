@@ -1,0 +1,249 @@
+(* cfpm — characterization-free power modeling, command-line driver.
+
+   Subcommands:
+     list                    available benchmark circuits
+     info <circuit>          netlist statistics
+     build <circuit>         build a model, report size/accuracy stats
+     fig7a / fig7b / table1  reproduce the paper's experiments
+     dot <circuit>           dump the model ADD as Graphviz
+     blif <circuit>          dump the netlist as BLIF *)
+
+let find_circuit name =
+  match Circuits.Suite.find name with
+  | Some entry -> entry.Circuits.Suite.build ()
+  | None ->
+    (match name with
+    | "parity_nand" -> Circuits.Parity.parity_nand ()
+    | "adder8" -> Circuits.Adder.circuit ~bits:8
+    | _ ->
+      Printf.eprintf "unknown circuit %s; try `cfpm list'\n" name;
+      exit 2)
+
+open Cmdliner
+
+let circuit_arg =
+  let doc = "Benchmark circuit name (see `cfpm list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let max_size_arg =
+  let doc = "ADD size bound (the paper's MAX); 0 means unbounded." in
+  Arg.(value & opt int 0 & info [ "max-size"; "m" ] ~docv:"N" ~doc)
+
+let vectors_arg =
+  let doc = "Vectors per evaluation run." in
+  Arg.(value & opt int 2000 & info [ "vectors" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for all random streams." in
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let strategy_arg =
+  let doc = "Approximation strategy: average, upper or lower." in
+  let strategies =
+    Arg.enum
+      [
+        ("average", Dd.Approx.Average);
+        ("upper", Dd.Approx.Upper_bound);
+        ("lower", Dd.Approx.Lower_bound);
+      ]
+  in
+  Arg.(value & opt strategies Dd.Approx.Average & info [ "strategy" ] ~doc)
+
+let weighting_arg =
+  let doc =
+    "Collapse weighting: robust (default), uniform-mass or unweighted \
+     (paper-literal)."
+  in
+  let weightings =
+    Arg.enum
+      [
+        ("robust", Dd.Approx.Robust []);
+        ("uniform-mass", Dd.Approx.Uniform_mass);
+        ("unweighted", Dd.Approx.Unweighted);
+      ]
+  in
+  Arg.(value & opt weightings (Dd.Approx.Robust []) & info [ "weighting" ] ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        let c = e.Circuits.Suite.build () in
+        Printf.printf "%-8s %2d inputs %4d gates  MAX %d/%d  %s\n"
+          e.Circuits.Suite.name
+          (Netlist.Circuit.input_count c)
+          (Netlist.Circuit.gate_count c)
+          e.Circuits.Suite.max_avg e.Circuits.Suite.max_ub
+          e.Circuits.Suite.description)
+      Circuits.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark circuits (Table 1 rows).")
+    Term.(const run $ const ())
+
+let info_cmd =
+  let run name =
+    let c = find_circuit name in
+    Format.printf "%a@." Netlist.Circuit.pp c;
+    let loads = Netlist.Circuit.loads c in
+    let total = Array.fold_left ( +. ) 0.0 loads in
+    Printf.printf "total load %.1f fF, area %.1f, max fanout %d\n" total
+      (Netlist.Circuit.total_area c)
+      (Array.fold_left max 0 (Netlist.Circuit.fanout c))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show netlist statistics.")
+    Term.(const run $ circuit_arg)
+
+let build_cmd =
+  let run name max_size strategy weighting vectors seed =
+    let c = find_circuit name in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    let model = Powermodel.Model.build ~strategy ~weighting ?max_size c in
+    let s = model.Powermodel.Model.stats in
+    Printf.printf
+      "model for %s: %d nodes (peak %d), %d approximations, %d BDD nodes, \
+       %.2fs\n"
+      name s.final_size s.peak_size s.approx_calls s.bdd_nodes s.cpu_seconds;
+    Printf.printf "  exact: %b  avg capacitance %.2f fF  max %.2f fF\n"
+      (Powermodel.Model.is_exact model)
+      (Powermodel.Model.average_capacitance model)
+      (Powermodel.Model.max_capacitance model);
+    let sim = Gatesim.Simulator.create c in
+    let estimators = [ ("model", Experiments.Estimator.Add_model model) ] in
+    let results = Experiments.Sweep.run_grid ~vectors ~seed sim estimators in
+    Printf.printf "  ARE over the default (sp, st) grid: %s%%\n"
+      (Experiments.Report.pct (Experiments.Sweep.are_average results "model"))
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Build a power model and evaluate it against the simulator.")
+    Term.(
+      const run $ circuit_arg $ max_size_arg $ strategy_arg $ weighting_arg
+      $ vectors_arg $ seed_arg)
+
+let fig7a_cmd =
+  let run vectors seed =
+    let r = Experiments.Fig7a.run ~vectors ~seed () in
+    print_string (Experiments.Report.fig7a r)
+  in
+  Cmd.v
+    (Cmd.info "fig7a" ~doc:"Reproduce Fig. 7a (RE vs st for cm85).")
+    Term.(const run $ vectors_arg $ seed_arg)
+
+let fig7b_cmd =
+  let run vectors seed =
+    let r = Experiments.Fig7b.run ~vectors ~seed () in
+    print_string (Experiments.Report.fig7b r)
+  in
+  Cmd.v
+    (Cmd.info "fig7b" ~doc:"Reproduce Fig. 7b (ARE vs model size for cm85).")
+    Term.(const run $ vectors_arg $ seed_arg)
+
+let table1_cmd =
+  let names_arg =
+    let doc = "Circuits to include (default: all 13 rows)." in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME" ~doc)
+  in
+  let scale_arg =
+    let doc = "Scale factor applied to the Table 1 MAX bounds." in
+    Arg.(value & opt float 1.0 & info [ "max-scale" ] ~docv:"S" ~doc)
+  in
+  let run vectors seed names max_scale =
+    let config =
+      {
+        Experiments.Table1.default_config with
+        vectors;
+        seed;
+        max_scale;
+      }
+    in
+    let names = match names with [] -> None | l -> Some l in
+    let rows = Experiments.Table1.run ~config ?names () in
+    print_string (Experiments.Report.table1 rows)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (all benchmarks).")
+    Term.(const run $ vectors_arg $ seed_arg $ names_arg $ scale_arg)
+
+let dot_cmd =
+  let run name max_size strategy weighting =
+    let c = find_circuit name in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    let model = Powermodel.Model.build ~strategy ~weighting ?max_size c in
+    print_string (Powermodel.Model.to_dot model)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Dump the model ADD as Graphviz DOT.")
+    Term.(const run $ circuit_arg $ max_size_arg $ strategy_arg $ weighting_arg)
+
+let import_cmd =
+  let file_arg =
+    let doc = "BLIF file describing the combinational macro." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file max_size strategy weighting =
+    match Netlist.Blif.parse_file file with
+    | Error msg ->
+      Printf.eprintf "BLIF error: %s\n" msg;
+      exit 1
+    | Ok c ->
+      Format.printf "%a@." Netlist.Circuit.pp c;
+      let max_size = if max_size <= 0 then None else Some max_size in
+      let model = Powermodel.Model.build ~strategy ~weighting ?max_size c in
+      Printf.printf
+        "model: %d nodes (exact: %b), avg %.2f fF, worst case %.2f fF\n"
+        (Powermodel.Model.size model)
+        (Powermodel.Model.is_exact model)
+        (Powermodel.Model.average_capacitance model)
+        (Powermodel.Model.max_capacitance model)
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Parse a BLIF netlist, map it onto the cell library and model it.")
+    Term.(const run $ file_arg $ max_size_arg $ strategy_arg $ weighting_arg)
+
+let worst_cmd =
+  let run name max_size =
+    let c = find_circuit name in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    let bound = Powermodel.Bounds.build ?max_size c in
+    let x_i, x_f, value = Powermodel.Analysis.worst_case_transition bound in
+    let show v =
+      String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+    in
+    Printf.printf
+      "%s worst-case transition %s: %s -> %s, bound %.1f fF (exact: %b)\n"
+      name
+      (if Powermodel.Model.is_exact bound then "(exact witness)" else "(conservative)")
+      (show x_i) (show x_f) value
+      (Powermodel.Model.is_exact bound);
+    let sens = Powermodel.Analysis.toggle_sensitivities bound in
+    Printf.printf "per-input toggle sensitivities (fF):\n";
+    Array.iteri
+      (fun j s ->
+        Printf.printf "  %-6s %8.2f\n" c.Netlist.Circuit.input_names.(j) s)
+      sens
+  in
+  Cmd.v
+    (Cmd.info "worst"
+       ~doc:"Worst-case transition witness and per-input sensitivities.")
+    Term.(const run $ circuit_arg $ max_size_arg)
+
+let blif_cmd =
+  let run name =
+    let c = find_circuit name in
+    print_string (Netlist.Blif.to_string c)
+  in
+  Cmd.v
+    (Cmd.info "blif" ~doc:"Dump the netlist as BLIF.")
+    Term.(const run $ circuit_arg)
+
+let () =
+  let doc = "characterization-free behavioral power modeling (DATE 1998)" in
+  let info = Cmd.info "cfpm" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; info_cmd; build_cmd; fig7a_cmd; fig7b_cmd; table1_cmd;
+            worst_cmd; import_cmd; dot_cmd; blif_cmd;
+          ]))

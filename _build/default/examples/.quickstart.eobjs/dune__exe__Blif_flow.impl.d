@@ -1,0 +1,1 @@
+examples/blif_flow.ml: Array Circuits Format Gatesim Netlist Powermodel Printf Stimulus String Sys

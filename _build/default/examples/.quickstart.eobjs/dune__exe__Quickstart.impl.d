@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuits Float Format Gatesim Netlist Powermodel Printf Stimulus

@@ -1,0 +1,1 @@
+examples/rtl_composition.ml: Array Circuits List Powermodel Printf Stimulus

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Array Circuits Experiments Format Gatesim List Netlist Powermodel Printf Stimulus Sys

@@ -1,0 +1,1 @@
+examples/upper_bounds.ml: Array Circuits Format Gatesim Netlist Powermodel Printf Stimulus String

@@ -1,0 +1,72 @@
+(* RT-level composition of per-macro bounds (the Section 1.2 argument):
+
+     dune exec examples/rtl_composition.exe
+
+   A toy RTL datapath instantiates four library macros sharing a system
+   input bus.  Summing each macro's *pattern-dependent* bound under its own
+   input slice gives a much tighter system bound than summing the macros'
+   constant worst cases, because no real pattern drives every macro to its
+   personal worst case simultaneously. *)
+
+let () =
+  (* The system has 21 inputs: a[8], b[8], sel[4], en. *)
+  let a = Array.init 8 (fun i -> i) in
+  let b = Array.init 8 (fun i -> 8 + i) in
+  let sel = Array.init 4 (fun i -> 16 + i) in
+  let en = 20 in
+  let system_inputs = 21 in
+
+  (* Four macros from the library, each with an upper-bound model. *)
+  let adder = Circuits.Adder.circuit ~bits:4 in
+  let comparator = Circuits.Comparator.circuit ~bits:4 ~name:"cmp4" () in
+  let mux = Circuits.Muxes.cm150 () in
+  let parity = Circuits.Parity.tree ~bits:8 ~name:"par8" () in
+  let bound c = Powermodel.Bounds.build ~max_size:3000 c in
+
+  (* Wiring: the adder adds a[0..3] + b[0..3]; the comparator compares
+     a[4..7] with b[4..7]; the mux selects among all 16 data bits; the
+     parity checker watches the b bus. *)
+  let interleave xs ys =
+    Array.concat
+      (Array.to_list (Array.mapi (fun i x -> [| x; ys.(i) |]) xs))
+  in
+  let instances =
+    [
+      Powermodel.Compose.instance ~label:"add4"
+        ~model:(bound adder)
+        ~input_map:
+          (Array.concat [ Array.sub a 0 4; Array.sub b 0 4; [| en |] ]);
+      Powermodel.Compose.instance ~label:"cmp4"
+        ~model:(bound comparator)
+        ~input_map:(interleave (Array.sub a 4 4) (Array.sub b 4 4));
+      Powermodel.Compose.instance ~label:"mux16"
+        ~model:(bound mux)
+        ~input_map:(Array.concat [ sel; [| en |]; a; b ]);
+      Powermodel.Compose.instance ~label:"par8"
+        ~model:(bound parity)
+        ~input_map:b;
+    ]
+  in
+  let design = Powermodel.Compose.create ~system_inputs instances in
+
+  (* Drive the system with a random trace and compare bounds. *)
+  let prng = Stimulus.Prng.create 5 in
+  let vectors =
+    Stimulus.Generator.sequence prng ~bits:system_inputs ~length:3000 ~sp:0.5
+      ~st:0.3
+  in
+  let average, maximum = Powermodel.Compose.run design vectors in
+  Printf.printf "pattern-dependent system bound: avg %.1f fF, max %.1f fF\n"
+    average maximum;
+  Printf.printf "sum of constant worst cases:    %.1f fF\n"
+    (Powermodel.Compose.constant_bound design);
+  Printf.printf
+    "the pattern-dependent composition is %.1fx tighter on this trace\n"
+    (Powermodel.Compose.constant_bound design /. maximum);
+
+  (* Per-macro attribution for one transition. *)
+  let x_i = vectors.(0) and x_f = vectors.(1) in
+  Printf.printf "\nfirst transition, per-macro bounds:\n";
+  List.iter
+    (fun (label, c) -> Printf.printf "  %-6s %.1f fF\n" label c)
+    (Powermodel.Compose.per_instance design ~x_i ~x_f)

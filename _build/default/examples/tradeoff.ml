@@ -1,0 +1,59 @@
+(* Accuracy/size trade-off exploration (the Fig. 7b story) on any suite
+   circuit:
+
+     dune exec examples/tradeoff.exe            # defaults to cm85
+     dune exec examples/tradeoff.exe -- mux
+
+   One model per size bound, all evaluated against the golden simulator on
+   the standard input-statistics grid, next to the characterized Con and
+   Lin baselines. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "cm85" in
+  let entry =
+    match Circuits.Suite.find name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown circuit %s\n" name;
+      exit 2
+  in
+  let circuit = entry.Circuits.Suite.build () in
+  Format.printf "%a@." Netlist.Circuit.pp circuit;
+  let sim = Gatesim.Simulator.create circuit in
+  let bits = Netlist.Circuit.input_count circuit in
+  let prng = Stimulus.Prng.create 13 in
+  let char_seq =
+    Stimulus.Generator.sequence prng ~bits ~length:3000 ~sp:0.5 ~st:0.5
+  in
+  let con = Powermodel.Baselines.characterize_con sim char_seq in
+  let lin = Powermodel.Baselines.characterize_lin sim char_seq in
+  let sizes = [ 5; 20; 100; 500; 2000 ] in
+  let models =
+    List.map
+      (fun m -> (m, Powermodel.Model.build ~max_size:m circuit))
+      sizes
+  in
+  let estimators =
+    ("Con", Experiments.Estimator.Characterized con)
+    :: ("Lin", Experiments.Estimator.Characterized lin)
+    :: List.map
+         (fun (m, model) ->
+           (Printf.sprintf "ADD-%d" m, Experiments.Estimator.Add_model model))
+         models
+  in
+  let results = Experiments.Sweep.run_grid ~vectors:2000 sim estimators in
+  Printf.printf "\nARE over the (sp, st) grid (%d runs):\n"
+    (List.length results);
+  Printf.printf "  %-8s %8s\n" "model" "ARE";
+  List.iter
+    (fun (label, _) ->
+      Printf.printf "  %-8s %7s%%\n" label
+        (Experiments.Report.pct (Experiments.Sweep.are_average results label)))
+    estimators;
+  Printf.printf "\nmodel sizes actually built:\n";
+  List.iter
+    (fun (m, model) ->
+      Printf.printf "  MAX %-5d -> %d nodes%s\n" m
+        (Powermodel.Model.size model)
+        (if Powermodel.Model.is_exact model then " (exact)" else ""))
+    models

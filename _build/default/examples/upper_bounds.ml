@@ -1,0 +1,61 @@
+(* Conservative pattern-dependent upper bounds (Section 1.2 of the paper):
+
+     dune exec examples/upper_bounds.exe
+
+   Characterization-based models cannot give worst-case guarantees; a
+   max-strategy white-box model can.  This example builds one for the alu2
+   benchmark, validates conservativeness against the golden simulator on a
+   random run, compares its tightness with the constant worst-case
+   estimator, and — because alu2 is small enough — against the exact worst
+   case found by exhaustive pair enumeration. *)
+
+let () =
+  let circuit = Circuits.Alu.alu2 () in
+  Format.printf "%a@." Netlist.Circuit.pp circuit;
+  let sim = Gatesim.Simulator.create circuit in
+  let bound = Powermodel.Bounds.build ~max_size:2000 circuit in
+  Printf.printf "upper-bound model: %d nodes (exact: %b)\n"
+    (Powermodel.Model.size bound)
+    (Powermodel.Model.is_exact bound);
+
+  let prng = Stimulus.Prng.create 77 in
+  let bits = Netlist.Circuit.input_count circuit in
+  let vectors =
+    Stimulus.Generator.sequence prng ~bits ~length:5000 ~sp:0.5 ~st:0.4
+  in
+  (match Powermodel.Bounds.validate bound sim vectors with
+  | Ok () ->
+    Printf.printf "conservative on all %d random transitions\n"
+      (Array.length vectors - 1)
+  | Error (k, b, t) ->
+    Printf.printf "VIOLATION at transition %d: bound %.2f < truth %.2f\n" k b
+      t);
+  Printf.printf "average slack over the run: %.2f fF\n"
+    (Powermodel.Bounds.average_slack bound sim vectors);
+
+  let srun = Gatesim.Simulator.run sim vectors in
+  let brun = Powermodel.Model.run bound vectors in
+  Printf.printf
+    "run maxima: simulated %.1f fF, pattern-dependent bound %.1f fF, \
+     constant bound %.1f fF\n"
+    srun.Gatesim.Simulator.maximum brun.Powermodel.Model.maximum
+    (Powermodel.Bounds.constant_bound bound);
+
+  (* the model also names a transition attaining its bound — for free *)
+  let wx_i, wx_f, wvalue = Powermodel.Analysis.worst_case_transition bound in
+  let show v =
+    String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+  in
+  Printf.printf "bound attained by transition %s -> %s (%.1f fF)\n"
+    (show wx_i) (show wx_f) wvalue;
+
+  (* alu2 has 10 inputs: the exact worst case is still enumerable. *)
+  let exact_worst = Gatesim.Simulator.worst_case_capacitance_exhaustive sim in
+  Printf.printf
+    "exact worst case (exhaustive over all %d transition pairs): %.1f fF\n"
+    (1 lsl (2 * bits))
+    exact_worst;
+  Printf.printf "constant bound overestimates the true worst case by %.1f%%\n"
+    (100.0
+    *. (Powermodel.Bounds.constant_bound bound -. exact_worst)
+    /. exact_worst)

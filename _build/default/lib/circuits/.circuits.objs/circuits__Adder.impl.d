@@ -1,0 +1,1 @@
+lib/circuits/adder.ml: Array Builder Netlist Printf

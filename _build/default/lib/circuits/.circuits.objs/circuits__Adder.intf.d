@@ -1,0 +1,1 @@
+lib/circuits/adder.mli: Netlist

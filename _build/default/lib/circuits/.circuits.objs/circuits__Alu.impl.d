@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Adder Array Builder List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuits/comparator.ml: Array Builder Netlist Printf

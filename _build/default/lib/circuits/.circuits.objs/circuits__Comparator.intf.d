@@ -1,0 +1,1 @@
+lib/circuits/comparator.mli: Netlist

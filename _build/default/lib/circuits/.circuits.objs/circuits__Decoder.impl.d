@@ -1,0 +1,1 @@
+lib/circuits/decoder.ml: Array Builder List Netlist Printf

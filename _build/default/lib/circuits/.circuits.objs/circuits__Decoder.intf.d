@@ -1,0 +1,1 @@
+lib/circuits/decoder.mli: Netlist

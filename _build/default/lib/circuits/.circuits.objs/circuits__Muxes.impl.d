@@ -1,0 +1,1 @@
+lib/circuits/muxes.ml: Array Builder List Netlist

@@ -1,0 +1,1 @@
+lib/circuits/muxes.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuits/parity.ml: Array Builder List Netlist

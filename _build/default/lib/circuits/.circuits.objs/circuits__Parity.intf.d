@@ -1,0 +1,1 @@
+lib/circuits/parity.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuits/random_logic.ml: Array Builder Circuit Hashtbl Int List Netlist Printf Set Stimulus

@@ -1,0 +1,1 @@
+lib/circuits/structured.ml: Array Builder List Netlist

@@ -1,0 +1,1 @@
+lib/circuits/structured.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Alu Comparator Decoder List Muxes Netlist Parity Random_logic String Structured

@@ -1,0 +1,48 @@
+let full_adder b ~a ~b:bb ~cin =
+  let open Netlist in
+  let axb = Builder.xor2 b a bb in
+  let sum = Builder.xor2 b axb cin in
+  let carry1 = Builder.and2 b a bb in
+  let carry2 = Builder.and2 b axb cin in
+  let cout = Builder.or2 b carry1 carry2 in
+  (sum, cout)
+
+let half_adder b ~a ~b:bb =
+  let open Netlist in
+  let sum = Builder.xor2 b a bb in
+  let cout = Builder.and2 b a bb in
+  (sum, cout)
+
+let ripple b ~a ~b:bb ~cin =
+  let width = Array.length a in
+  if Array.length bb <> width then invalid_arg "Adder.ripple: width mismatch";
+  let sums = Array.make width cin in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let s, c = full_adder b ~a:a.(i) ~b:bb.(i) ~cin:!carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let incrementer b ~a ~cin =
+  let width = Array.length a in
+  let sums = Array.make width cin in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let s, c = half_adder b ~a:a.(i) ~b:!carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let circuit ~bits =
+  let open Netlist in
+  let b = Builder.create ~name:(Printf.sprintf "add%d" bits) in
+  let a = Builder.inputs b "a" bits in
+  let bb = Builder.inputs b "b" bits in
+  let cin = Builder.input b "cin" in
+  let sums, cout = ripple b ~a ~b:bb ~cin in
+  Array.iteri (fun i s -> Builder.output b (Printf.sprintf "s%d" i) s) sums;
+  Builder.output b "cout" cout;
+  Builder.finish b

@@ -1,0 +1,28 @@
+(** Ripple-carry addition primitives, shared by the ALU generators and
+    usable directly as a benchmark circuit. *)
+
+val full_adder :
+  Netlist.Builder.t ->
+  a:Netlist.Circuit.net -> b:Netlist.Circuit.net -> cin:Netlist.Circuit.net ->
+  Netlist.Circuit.net * Netlist.Circuit.net
+(** [(sum, carry_out)]. *)
+
+val half_adder :
+  Netlist.Builder.t ->
+  a:Netlist.Circuit.net -> b:Netlist.Circuit.net ->
+  Netlist.Circuit.net * Netlist.Circuit.net
+
+val ripple :
+  Netlist.Builder.t ->
+  a:Netlist.Circuit.net array -> b:Netlist.Circuit.net array ->
+  cin:Netlist.Circuit.net ->
+  Netlist.Circuit.net array * Netlist.Circuit.net
+(** LSB-first ripple-carry adder; returns the sum bits and the carry out. *)
+
+val incrementer :
+  Netlist.Builder.t ->
+  a:Netlist.Circuit.net array -> cin:Netlist.Circuit.net ->
+  Netlist.Circuit.net array * Netlist.Circuit.net
+
+val circuit : bits:int -> Netlist.Circuit.t
+(** Standalone [2*bits + 1]-input adder circuit. *)

@@ -1,0 +1,101 @@
+(* Small arithmetic-logic units — substitutes for the MCNC [alu2]
+   (10 inputs) and [alu4] (14 inputs) benchmarks. *)
+
+let mux_tree b ~sel ~choices =
+  (* choices.(k) selected by the binary value of sel (LSB first). *)
+  let open Netlist in
+  let level nets s =
+    match nets with
+    | [] -> invalid_arg "Alu.mux_tree: no choices"
+    | [ n ] -> [ n ]
+    | _ ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ n ] -> List.rev (n :: acc)
+        | if0 :: if1 :: rest ->
+          pair (Builder.mux2 b ~sel:s ~if0 ~if1 :: acc) rest
+      in
+      pair [] nets
+  in
+  let rec go nets = function
+    | [] -> (
+      match nets with
+      | [ n ] -> n
+      | _ -> invalid_arg "Alu.mux_tree: not enough select bits")
+    | s :: rest -> go (level nets s) rest
+  in
+  go (Array.to_list choices) (Array.to_list sel)
+
+(* alu2 substitute: a[4] b[4] op[2]; op selects ADD / AND / OR / XOR.
+   Result bits plus the adder's carry-out. *)
+let alu2 () =
+  let open Netlist in
+  let b = Builder.create ~name:"alu2" in
+  let a = Builder.inputs b "a" 4 in
+  let bb = Builder.inputs b "b" 4 in
+  let op = Builder.inputs b "op" 2 in
+  let zero = Builder.const b false in
+  let sums, cout = Adder.ripple b ~a ~b:bb ~cin:zero in
+  let result =
+    Array.init 4 (fun i ->
+        let add_r = sums.(i) in
+        let and_r = Builder.and2 b a.(i) bb.(i) in
+        let or_r = Builder.or2 b a.(i) bb.(i) in
+        let xor_r = Builder.xor2 b a.(i) bb.(i) in
+        mux_tree b ~sel:op ~choices:[| add_r; and_r; or_r; xor_r |])
+  in
+  Array.iteri (fun i r -> Builder.output b (Printf.sprintf "r%d" i) r) result;
+  Builder.output b "cout" cout;
+  Builder.finish b
+
+(* alu4 substitute: a[5] b[5] op[4]; 16 operations through a full mux tree
+   per result bit, with both an adder and a subtractor, plus carry and zero
+   flags — several hundred gates, like the MCNC original. *)
+let alu4 () =
+  let open Netlist in
+  let b = Builder.create ~name:"alu4" in
+  let a = Builder.inputs b "a" 5 in
+  let bb = Builder.inputs b "b" 5 in
+  let op = Builder.inputs b "op" 4 in
+  let zero = Builder.const b false in
+  let one = Builder.const b true in
+  let nb = Array.map (fun x -> Builder.not_ b x) bb in
+  let na = Array.map (fun x -> Builder.not_ b x) a in
+  let add_s, add_c = Adder.ripple b ~a ~b:bb ~cin:zero in
+  let sub_s, sub_c = Adder.ripple b ~a ~b:nb ~cin:one in
+  let inc_s, inc_c = Adder.incrementer b ~a ~cin:one in
+  let result =
+    Array.init 5 (fun i ->
+        let choices =
+          [|
+            add_s.(i);                          (* 0: a + b *)
+            sub_s.(i);                          (* 1: a - b *)
+            inc_s.(i);                          (* 2: a + 1 *)
+            Builder.and2 b a.(i) bb.(i);        (* 3: and *)
+            Builder.or2 b a.(i) bb.(i);         (* 4: or *)
+            Builder.xor2 b a.(i) bb.(i);        (* 5: xor *)
+            Builder.nand2 b a.(i) bb.(i);       (* 6: nand *)
+            Builder.nor2 b a.(i) bb.(i);        (* 7: nor *)
+            Builder.xnor2 b a.(i) bb.(i);       (* 8: xnor *)
+            a.(i);                              (* 9: pass a *)
+            na.(i);                             (* 10: not a *)
+            bb.(i);                             (* 11: pass b *)
+            nb.(i);                             (* 12: not b *)
+            Builder.and2 b a.(i) nb.(i);        (* 13: a and not b *)
+            Builder.or2 b a.(i) nb.(i);         (* 14: a or not b *)
+            (if i = 0 then one else zero);      (* 15: constant 1 *)
+          |]
+        in
+        mux_tree b ~sel:op ~choices)
+  in
+  Array.iteri (fun i r -> Builder.output b (Printf.sprintf "r%d" i) r) result;
+  let carry =
+    mux_tree b ~sel:[| op.(0); op.(1) |]
+      ~choices:[| add_c; sub_c; inc_c; zero |]
+  in
+  Builder.output b "carry" carry;
+  let zero_flag =
+    Builder.not_ b (Builder.or_n b (Array.to_list result))
+  in
+  Builder.output b "zero" zero_flag;
+  Builder.finish b

@@ -1,0 +1,18 @@
+(** Small ALUs — substitutes for the MCNC [alu2] and [alu4] benchmarks. *)
+
+val mux_tree :
+  Netlist.Builder.t ->
+  sel:Netlist.Circuit.net array -> choices:Netlist.Circuit.net array ->
+  Netlist.Circuit.net
+(** Binary mux-cell tree: [choices.(k)] is selected when the select bits
+    (LSB first) encode [k].  The number of choices should be a power of
+    two. *)
+
+val alu2 : unit -> Netlist.Circuit.t
+(** 10 inputs: two 4-bit operands + 2-bit opcode (ADD/AND/OR/XOR); 4 result
+    bits and carry-out. *)
+
+val alu4 : unit -> Netlist.Circuit.t
+(** 14 inputs: two 5-bit operands + 4-bit opcode (16 operations including
+    add, subtract, increment and the two-operand logic family); 5 result
+    bits plus carry and zero flags. *)

@@ -1,0 +1,53 @@
+(* MSB-first ripple magnitude comparator: at each bit the running
+   greater/less signals latch once a difference is seen under an
+   all-equal-so-far prefix. *)
+let ripple b ~a ~b:bb =
+  let open Netlist in
+  let width = Array.length a in
+  if Array.length bb <> width then
+    invalid_arg "Comparator.ripple: width mismatch";
+  if width = 0 then invalid_arg "Comparator.ripple: empty operands";
+  let gt = ref (Builder.const b false) in
+  let lt = ref (Builder.const b false) in
+  let eq = ref (Builder.const b true) in
+  for i = width - 1 downto 0 do
+    let ai = a.(i) and bi = bb.(i) in
+    let nbi = Builder.not_ b bi in
+    let nai = Builder.not_ b ai in
+    let a_gt = Builder.and2 b ai nbi in
+    let a_lt = Builder.and2 b bi nai in
+    gt := Builder.or2 b !gt (Builder.and2 b !eq a_gt);
+    lt := Builder.or2 b !lt (Builder.and2 b !eq a_lt);
+    eq := Builder.and2 b !eq (Builder.xnor2 b ai bi)
+  done;
+  (!gt, !eq, !lt)
+
+let circuit ?(enable = false) ~bits ~name () =
+  let open Netlist in
+  let builder = Builder.create ~name in
+  (* Operand bits are declared interleaved (a0 b0 a1 b1 ...): the model
+     inherits the circuit's input order, and pairing the compared bits
+     keeps the transition ADD compact (~4x smaller than block order). *)
+  let pairs =
+    Array.init bits (fun j ->
+        let aj = Builder.input builder (Printf.sprintf "a%d" j) in
+        let bj = Builder.input builder (Printf.sprintf "b%d" j) in
+        (aj, bj))
+  in
+  let a = Array.map fst pairs in
+  let bb = Array.map snd pairs in
+  let en = if enable then Some (Builder.input builder "en") else None in
+  let gt, eq, lt = ripple builder ~a ~b:bb in
+  let gate net =
+    match en with None -> net | Some e -> Builder.and2 builder net e
+  in
+  Builder.output builder "a_gt_b" (gate gt);
+  Builder.output builder "a_eq_b" (gate eq);
+  Builder.output builder "a_lt_b" (gate lt);
+  Builder.finish builder
+
+(* cm85 substitute: 11 inputs = two 5-bit operands plus an enable. *)
+let cm85 () = circuit ~enable:true ~bits:5 ~name:"cm85" ()
+
+(* comp substitute: 32 inputs = two 16-bit operands. *)
+let comp () = circuit ~bits:16 ~name:"comp" ()

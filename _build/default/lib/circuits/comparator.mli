@@ -1,0 +1,18 @@
+(** Magnitude comparators — substitutes for the MCNC [cm85] and [comp]
+    benchmarks (same input counts, same function family). *)
+
+val ripple :
+  Netlist.Builder.t ->
+  a:Netlist.Circuit.net array -> b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net * Netlist.Circuit.net * Netlist.Circuit.net
+(** [(a_gt_b, a_eq_b, a_lt_b)] of two equal-width operands. *)
+
+val circuit : ?enable:bool -> bits:int -> name:string -> unit -> Netlist.Circuit.t
+(** A standalone comparator; with [~enable:true] an extra input gates the
+    three outputs. *)
+
+val cm85 : unit -> Netlist.Circuit.t
+(** 11 inputs: two 5-bit operands + enable. *)
+
+val comp : unit -> Netlist.Circuit.t
+(** 32 inputs: two 16-bit operands. *)

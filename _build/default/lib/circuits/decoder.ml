@@ -1,0 +1,21 @@
+(* Address decoders — substitute for the MCNC [decod] benchmark
+   (5 inputs: a 4-bit address plus an enable, 16 one-hot outputs). *)
+
+let circuit ?(address_bits = 4) ?(enable = true) ?(name = "decod") () =
+  let open Netlist in
+  let b = Builder.create ~name in
+  let addr = Builder.inputs b "a" address_bits in
+  let en = if enable then Some (Builder.input b "en") else None in
+  let naddr = Array.map (fun a -> Builder.not_ b a) addr in
+  let lines = 1 lsl address_bits in
+  for k = 0 to lines - 1 do
+    let lits =
+      List.init address_bits (fun j ->
+          if (k lsr j) land 1 = 1 then addr.(j) else naddr.(j))
+    in
+    let lits = match en with None -> lits | Some e -> e :: lits in
+    Builder.output b (Printf.sprintf "y%d" k) (Builder.and_n b lits)
+  done;
+  Builder.finish b
+
+let decod () = circuit ()

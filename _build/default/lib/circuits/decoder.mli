@@ -1,0 +1,9 @@
+(** One-hot address decoders — substitute for the MCNC [decod] benchmark. *)
+
+val circuit :
+  ?address_bits:int -> ?enable:bool -> ?name:string -> unit ->
+  Netlist.Circuit.t
+(** [2^address_bits] one-hot outputs, optionally gated by an enable input. *)
+
+val decod : unit -> Netlist.Circuit.t
+(** The Table 1 instance: 4 address bits + enable = 5 inputs, 16 outputs. *)

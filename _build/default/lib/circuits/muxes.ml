@@ -1,0 +1,57 @@
+(* One-hot select decode + AND-OR collection: the classic two-level
+   16:1 multiplexer structure (cm150 substitute, 21 inputs with enable).
+
+   Select lines (and the enable) are declared BEFORE the data inputs: the
+   model's diagram order follows the circuit's input order, and a 16:1 mux
+   whose selects sit below the data has an exponentially larger BDD (it
+   must remember all 16 data bits), while selects-on-top is linear. *)
+let cm150 () =
+  let open Netlist in
+  let b = Builder.create ~name:"cm150" in
+  let sel = Builder.inputs b "s" 4 in
+  let en = Builder.input b "en" in
+  let data = Builder.inputs b "d" 16 in
+  let nsel = Array.map (fun s -> Builder.not_ b s) sel in
+  let terms =
+    List.init 16 (fun k ->
+        let lits =
+          List.init 4 (fun j ->
+              if (k lsr j) land 1 = 1 then sel.(j) else nsel.(j))
+        in
+        let hot = Builder.and_n b lits in
+        Builder.and2 b hot data.(k))
+  in
+  let y = Builder.or_n b terms in
+  Builder.output b "y" (Builder.and2 b y en);
+  Builder.finish b
+
+(* Tree of 2:1 mux cells with buffered selects and a programmable output
+   polarity (mux substitute, 21 inputs). *)
+let mux () =
+  let open Netlist in
+  let b = Builder.create ~name:"mux" in
+  let sel = Builder.inputs b "s" 4 in
+  let pol = Builder.input b "pol" in
+  let data = Builder.inputs b "d" 16 in
+  let level nets s =
+    let rec pair acc = function
+      | [] -> List.rev acc
+      | [ _ ] -> invalid_arg "Muxes.mux: odd level"
+      | if0 :: if1 :: rest -> pair (Builder.mux2 b ~sel:s ~if0 ~if1 :: acc) rest
+    in
+    pair [] nets
+  in
+  let sel_buf = Array.map (fun s -> Builder.buf b s) sel in
+  let l0 = level (Array.to_list data) sel_buf.(0) in
+  let l1 = level l0 sel_buf.(1) in
+  let l2 = level l1 sel_buf.(2) in
+  let y =
+    match level l2 sel_buf.(3) with
+    | [ y ] -> y
+    | _ -> assert false
+  in
+  (* Both polarities are produced so the cell count is closer to the MCNC
+     original and the outputs exercise inverting logic. *)
+  Builder.output b "y" (Builder.xor2 b y pol);
+  Builder.output b "yn" (Builder.xnor2 b y pol);
+  Builder.finish b

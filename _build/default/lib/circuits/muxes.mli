@@ -1,0 +1,11 @@
+(** 16:1 multiplexers — substitutes for the MCNC [cm150] and [mux]
+    benchmarks (21 inputs each, two different gate-level structures). *)
+
+val cm150 : unit -> Netlist.Circuit.t
+(** Two-level AND-OR realization with one-hot select decode and an enable:
+    4 select + enable + 16 data = 21 inputs (selects first — see the
+    implementation note on diagram variable order). *)
+
+val mux : unit -> Netlist.Circuit.t
+(** Tree of 2:1 mux cells with a programmable output polarity: 4 select +
+    polarity + 16 data = 21 inputs, true and complemented outputs. *)

@@ -1,0 +1,43 @@
+(* Parity trees — substitute for the MCNC [parity] benchmark (16 inputs).
+   XOR trees are the classic worst case for transition-count models: every
+   input toggle propagates, so pattern dependence is strong. *)
+
+let tree ?(bits = 16) ?(name = "parity") () =
+  let open Netlist in
+  let b = Builder.create ~name in
+  let d = Builder.inputs b "d" bits in
+  let odd = Builder.xor_n b (Array.to_list d) in
+  Builder.output b "odd" odd;
+  Builder.output b "even" (Builder.not_ b odd);
+  Builder.finish b
+
+let parity () = tree ()
+
+(* The same function mapped on NAND gates only (each XOR expanded into the
+   4-NAND pattern) — used by ablation benchmarks to show the model tracks
+   the implementation, not just the function. *)
+let parity_nand ?(bits = 16) () =
+  let open Netlist in
+  let b = Builder.create ~name:"parity_nand" in
+  let d = Builder.inputs b "d" bits in
+  let xor_nand x y =
+    let n1 = Builder.nand2 b x y in
+    let n2 = Builder.nand2 b x n1 in
+    let n3 = Builder.nand2 b y n1 in
+    Builder.nand2 b n2 n3
+  in
+  let rec reduce = function
+    | [] -> Builder.const b false
+    | [ n ] -> n
+    | nets ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ n ] -> List.rev (n :: acc)
+        | x :: y :: rest -> pair (xor_nand x y :: acc) rest
+      in
+      reduce (pair [] nets)
+  in
+  let odd = reduce (Array.to_list d) in
+  Builder.output b "odd" odd;
+  Builder.output b "even" (Builder.not_ b odd);
+  Builder.finish b

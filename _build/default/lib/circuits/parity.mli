@@ -1,0 +1,13 @@
+(** Parity trees — substitute for the MCNC [parity] benchmark. *)
+
+val tree : ?bits:int -> ?name:string -> unit -> Netlist.Circuit.t
+(** Balanced XOR-cell tree with true and complemented outputs (default 16
+    inputs). *)
+
+val parity : unit -> Netlist.Circuit.t
+(** The Table 1 instance: 16 inputs. *)
+
+val parity_nand : ?bits:int -> unit -> Netlist.Circuit.t
+(** Same function with every XOR expanded into four NAND2 gates — a second
+    implementation of the same behaviour, used by the ablation benches to
+    demonstrate that the white-box model follows the implementation. *)

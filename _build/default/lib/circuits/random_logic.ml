@@ -1,0 +1,259 @@
+(* Seeded random multi-level logic — substitutes for the unstructured MCNC
+   benchmarks ([x1], [x2], [k2]).
+
+   Two properties matter for the reproduction:
+   - the netlist must be a genuine multi-level DAG over the cell library
+     with realistic fan-in/fan-out, and
+   - node functions must stay BDD-tractable, because the model construction
+     builds the BDD of every internal node.  We enforce the latter with a
+     {e support cap}: a gate is only accepted if the union of its operand
+     supports (the primary inputs it transitively depends on) stays under
+     the cap.  Operands are drawn from a sliding window of recent nets plus
+     the primary inputs, giving the locality real logic has. *)
+
+module Int_set = Set.Make (Int)
+
+type spec = {
+  name : string;
+  inputs : int;
+  gates : int;
+  seed : int;
+  window : int;      (* how many recent nets operands are drawn from *)
+  support_cap : int; (* max primary-input support of any net *)
+  max_outputs : int; (* dangling nets kept as individual outputs *)
+}
+
+let kind_menu =
+  (* (weight, arity, constructor) *)
+  [
+    (3, 1, fun _ -> Netlist.Cell.Inv);
+    (4, 2, fun n -> Netlist.Cell.And n);
+    (4, 2, fun n -> Netlist.Cell.Or n);
+    (3, 2, fun n -> Netlist.Cell.Nand n);
+    (3, 2, fun n -> Netlist.Cell.Nor n);
+    (2, 2, fun _ -> Netlist.Cell.Xor);
+    (1, 2, fun _ -> Netlist.Cell.Xnor);
+    (2, 3, fun _ -> Netlist.Cell.Mux);
+    (2, 3, fun n -> Netlist.Cell.And n);
+    (2, 3, fun n -> Netlist.Cell.Or n);
+    (1, 4, fun n -> Netlist.Cell.Nand n);
+    (1, 4, fun n -> Netlist.Cell.Nor n);
+  ]
+
+let total_weight = List.fold_left (fun acc (w, _, _) -> acc + w) 0 kind_menu
+
+let pick_kind prng =
+  let roll = Stimulus.Prng.int prng ~bound:total_weight in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, arity, mk) :: rest ->
+      if roll < acc + w then (mk arity, arity) else go (acc + w) rest
+  in
+  go 0 kind_menu
+
+let generate spec =
+  let open Netlist in
+  if spec.inputs < 2 then invalid_arg "Random_logic.generate: need >= 2 inputs";
+  if spec.gates < 1 then invalid_arg "Random_logic.generate: need >= 1 gate";
+  let b = Builder.create ~name:spec.name in
+  let ins = Builder.inputs b "x" spec.inputs in
+  let prng = Stimulus.Prng.create spec.seed in
+  let support : (Circuit.net, Int_set.t) Hashtbl.t = Hashtbl.create 512 in
+  let reads : (Circuit.net, int) Hashtbl.t = Hashtbl.create 512 in
+  Array.iteri
+    (fun i n ->
+      Hashtbl.replace support n (Int_set.singleton i);
+      Hashtbl.replace reads n 0)
+    ins;
+  (* recent-first list of candidate operand nets *)
+  let pool = ref (Array.to_list ins) in
+  let pool_array = ref (Array.of_list !pool) in
+  let refresh_pool () = pool_array := Array.of_list !pool in
+  let record out sup =
+    Hashtbl.replace support out sup;
+    Hashtbl.replace reads out 0;
+    pool := out :: !pool;
+    refresh_pool ()
+  in
+  let mark_read n = Hashtbl.replace reads n (Hashtbl.find reads n + 1) in
+  let created = ref 0 in
+  while !created < spec.gates do
+    let arr = !pool_array in
+    let window = min (Array.length arr) (spec.window + spec.inputs) in
+    let pick () = arr.(Stimulus.Prng.int prng ~bound:window) in
+    let kind, arity = pick_kind prng in
+    let rec attempt tries =
+      if tries = 0 then None
+      else begin
+        let operands = Array.init arity (fun _ -> pick ()) in
+        let sup =
+          Array.fold_left
+            (fun acc n -> Int_set.union acc (Hashtbl.find support n))
+            Int_set.empty operands
+        in
+        if Int_set.cardinal sup <= spec.support_cap then Some (operands, sup)
+        else attempt (tries - 1)
+      end
+    in
+    (match attempt 60 with
+    | Some (operands, sup) ->
+      Array.iter mark_read operands;
+      let out = Builder.gate b kind operands in
+      record out sup
+    | None ->
+      (* Support pressure too high for a wide gate: fall back to an
+         inverter of a recent net, which never grows any support. *)
+      let n = pick () in
+      mark_read n;
+      record (Builder.not_ b n) (Hashtbl.find support n));
+    incr created
+  done;
+  (* Every net nobody reads becomes an output, so no logic is dead; beyond
+     [max_outputs] the rest (plus any never-used primary input) is folded
+     into a final parity collector to keep the interface narrow. *)
+  let dangling =
+    List.filter
+      (fun n -> Hashtbl.find reads n = 0 && n >= spec.inputs)
+      !pool
+  in
+  let unused_inputs =
+    List.filter (fun n -> Hashtbl.find reads n = 0) (Array.to_list ins)
+  in
+  let rec take k = function
+    | [] -> ([], [])
+    | x :: rest ->
+      if k = 0 then ([], x :: rest)
+      else begin
+        let kept, spilled = take (k - 1) rest in
+        (x :: kept, spilled)
+      end
+  in
+  let kept, spilled = take spec.max_outputs dangling in
+  List.iteri (fun i n -> Builder.output b (Printf.sprintf "o%d" i) n) kept;
+  (match spilled @ unused_inputs with
+  | [] -> ()
+  | extras -> Builder.output b "ox" (Builder.xor_n b extras));
+  Builder.finish b
+
+(* PLA-style random logic: each output is an OR of random cubes (ANDs of
+   literals).  This matches the two-level character of the larger MCNC
+   benchmarks ([k2], [x1] come from PLA-based synthesis) and keeps every
+   node function's BDD small even for wide supports — a cube is linear in
+   its literal count, an OR of k cubes is at most about k times wider.
+   Dense random functions, by contrast, have exponentially large BDDs and
+   would make the white-box construction intractable for no fidelity
+   gain. *)
+
+type pla_spec = {
+  pla_name : string;
+  pla_inputs : int;
+  pla_outputs : int;
+  cubes_per_output : int;
+  min_literals : int;
+  max_literals : int;
+  input_window : int;
+      (* each output's cubes draw literals from a contiguous (wrapping)
+         window of this many inputs: bounded per-output support, like the
+         cone decomposition multilevel synthesis produces.  Without it an
+         output function over ~40 inputs makes the transition product
+         g'(x_i) * g(x_f) explode. *)
+  pla_seed : int;
+}
+
+let generate_pla spec =
+  let open Netlist in
+  if spec.pla_inputs < 2 then invalid_arg "Random_logic.generate_pla: inputs";
+  if spec.min_literals < 1 || spec.max_literals < spec.min_literals then
+    invalid_arg "Random_logic.generate_pla: literal bounds";
+  let b = Builder.create ~name:spec.pla_name in
+  let ins = Builder.inputs b "x" spec.pla_inputs in
+  let prng = Stimulus.Prng.create spec.pla_seed in
+  let inverted = Array.make spec.pla_inputs None in
+  let inv i =
+    match inverted.(i) with
+    | Some n -> n
+    | None ->
+      let n = Builder.not_ b ins.(i) in
+      inverted.(i) <- Some n;
+      n
+  in
+  let window = min spec.input_window spec.pla_inputs in
+  let random_cube window_start =
+    let width =
+      min window
+        (spec.min_literals
+        + Stimulus.Prng.int prng
+            ~bound:(spec.max_literals - spec.min_literals + 1))
+    in
+    (* choose distinct inputs for the literals, within the window *)
+    let chosen = Hashtbl.create 8 in
+    let rec pick k acc =
+      if k = 0 then acc
+      else begin
+        let i =
+          (window_start + Stimulus.Prng.int prng ~bound:window)
+          mod spec.pla_inputs
+        in
+        if Hashtbl.mem chosen i then pick k acc
+        else begin
+          Hashtbl.replace chosen i ();
+          let lit =
+            if Stimulus.Prng.bool prng ~p:0.5 then ins.(i) else inv i
+          in
+          pick (k - 1) (lit :: acc)
+        end
+      end
+    in
+    Builder.and_n b (pick width [])
+  in
+  for o = 0 to spec.pla_outputs - 1 do
+    let window_start = Stimulus.Prng.int prng ~bound:spec.pla_inputs in
+    let cubes =
+      List.init spec.cubes_per_output (fun _ -> random_cube window_start)
+    in
+    Builder.output b (Printf.sprintf "y%d" o) (Builder.or_n b cubes)
+  done;
+  Builder.finish b
+
+(* Table 1 instances.  Gate counts match the MCNC originals; the generated
+   logic is not the same function (the originals are not redistributable)
+   but has the same size, interface and unstructured character. *)
+
+let x2 () =
+  generate
+    {
+      name = "x2";
+      inputs = 10;
+      gates = 40;
+      seed = 0xC0FFEE;
+      window = 24;
+      support_cap = 10;
+      max_outputs = 7;
+    }
+
+let x1 () =
+  generate_pla
+    {
+      pla_name = "x1";
+      pla_inputs = 49;
+      pla_outputs = 32;
+      cubes_per_output = 4;
+      min_literals = 3;
+      max_literals = 6;
+      input_window = 10;
+      pla_seed = 0xBEEF01;
+    }
+
+let k2 () =
+  generate_pla
+    {
+      pla_name = "k2";
+      pla_inputs = 45;
+      pla_outputs = 45;
+      cubes_per_output = 9;
+      min_literals = 5;
+      max_literals = 10;
+      input_window = 13;
+      pla_seed = 0x5EED42;
+    }
+

@@ -1,0 +1,52 @@
+(** Seeded random multi-level logic — substitutes for the unstructured MCNC
+    benchmarks ([x1], [x2], [k2]).
+
+    The generator produces deterministic (seeded) gate-level DAGs with
+    realistic locality and a {e support cap} that keeps every node function
+    BDD-tractable, which the white-box model construction requires.  See
+    DESIGN.md for why this substitution preserves the paper's claims. *)
+
+type spec = {
+  name : string;
+  inputs : int;
+  gates : int;
+  seed : int;
+  window : int;       (** operands are drawn from this many recent nets *)
+  support_cap : int;  (** max primary-input support of any generated net *)
+  max_outputs : int;  (** dangling nets kept as individual outputs *)
+}
+
+val generate : spec -> Netlist.Circuit.t
+(** Deterministic in [spec].  Every generated net is live: unread nets
+    become outputs (spilling into a parity collector past [max_outputs]),
+    and unused primary inputs are folded into that collector too. *)
+
+val x2 : unit -> Netlist.Circuit.t
+(** 10 inputs, ~40 gates, windowed random DAG. *)
+
+val x1 : unit -> Netlist.Circuit.t
+(** 49 inputs, ~300 gates, PLA-style. *)
+
+val k2 : unit -> Netlist.Circuit.t
+(** 45 inputs, ~1400 gates, PLA-style. *)
+
+(** {1 PLA-style generation}
+
+    Two-level AND-OR logic with random sparse cubes — the character of the
+    larger MCNC benchmarks ([k2], [x1] are PLA-derived), and the reason
+    their node-function BDDs stay small despite wide supports. *)
+
+type pla_spec = {
+  pla_name : string;
+  pla_inputs : int;
+  pla_outputs : int;
+  cubes_per_output : int;
+  min_literals : int;
+  max_literals : int;
+  input_window : int;
+      (** per-output support bound: cubes draw literals from a contiguous
+          (wrapping) window of this many inputs *)
+  pla_seed : int;
+}
+
+val generate_pla : pla_spec -> Netlist.Circuit.t

@@ -1,0 +1,53 @@
+(* Structured control logic — substitutes for the MCNC [cmb] and [pcle]
+   benchmarks (same input counts, comparable size and role: address-match
+   and parity-checked-enable control blocks). *)
+
+(* cmb substitute: 16 inputs = 12-bit address + 4 control bits.  The block
+   matches the address against two hard-wired patterns and combines the
+   hits with the control signals. *)
+let cmb () =
+  let open Netlist in
+  let b = Builder.create ~name:"cmb" in
+  let addr = Builder.inputs b "a" 12 in
+  let ctl = Builder.inputs b "c" 4 in
+  let match_pattern pattern =
+    let lits =
+      List.init 12 (fun i ->
+          if (pattern lsr i) land 1 = 1 then addr.(i)
+          else Builder.not_ b addr.(i))
+    in
+    Builder.and_n b lits
+  in
+  let hit0 = match_pattern 0xA5F in
+  let hit1 = match_pattern 0x3C9 in
+  let any = Builder.or2 b hit0 hit1 in
+  let armed = Builder.and2 b ctl.(0) (Builder.not_ b ctl.(1)) in
+  Builder.output b "sel0" (Builder.and2 b hit0 armed);
+  Builder.output b "sel1" (Builder.and2 b hit1 armed);
+  Builder.output b "any" (Builder.and2 b any (Builder.or2 b ctl.(2) ctl.(3)));
+  Builder.finish b
+
+(* pcle substitute: 19 inputs = 16 data bits + 3 control bits.  Byte
+   parities are computed and compared; enables fire on parity agreement
+   under the control mode bits. *)
+let pcle () =
+  let open Netlist in
+  let b = Builder.create ~name:"pcle" in
+  let d = Builder.inputs b "d" 16 in
+  let ctl = Builder.inputs b "c" 3 in
+  let byte lo = List.init 8 (fun i -> d.(lo + i)) in
+  let p0 = Builder.xor_n b (byte 0) in
+  let p1 = Builder.xor_n b (byte 8) in
+  let agree = Builder.xnor2 b p0 p1 in
+  let differ = Builder.not_ b agree in
+  let word_parity = Builder.xor2 b p0 p1 in
+  let mode_check = Builder.and2 b ctl.(0) ctl.(1) in
+  let mode_pass = Builder.and2 b ctl.(0) (Builder.not_ b ctl.(1)) in
+  Builder.output b "en_ok" (Builder.and2 b agree mode_check);
+  Builder.output b "en_err"
+    (Builder.and2 b differ (Builder.or2 b mode_check ctl.(2)));
+  Builder.output b "par"
+    (Builder.mux2 b ~sel:mode_pass ~if0:word_parity ~if1:p0);
+  Builder.output b "strobe"
+    (Builder.and_n b [ ctl.(0); ctl.(2); agree ]);
+  Builder.finish b

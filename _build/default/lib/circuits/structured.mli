@@ -1,0 +1,10 @@
+(** Structured control blocks — substitutes for the MCNC [cmb] and [pcle]
+    benchmarks. *)
+
+val cmb : unit -> Netlist.Circuit.t
+(** 16 inputs: 12-bit address matched against two hard-wired patterns,
+    gated by 4 control bits. *)
+
+val pcle : unit -> Netlist.Circuit.t
+(** 19 inputs: byte parities of a 16-bit word compared and combined with 3
+    mode bits into enable/error/parity/strobe outputs. *)

@@ -1,0 +1,24 @@
+(** The benchmark suite of Table 1.
+
+    One entry per row of the paper's Table 1, built from the substitute
+    generators of this library (see DESIGN.md for the substitution
+    rationale).  [max_avg] and [max_ub] are the Table 1 ADD-size bounds
+    ([MAX]) used when constructing the average and upper-bound models. *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Netlist.Circuit.t;
+  max_avg : int;  (** Table 1 [MAX], average-estimator model *)
+  max_ub : int;   (** Table 1 [MAX], upper-bound model *)
+}
+
+val all : entry list
+(** The 13 Table 1 rows, in the paper's order. *)
+
+val names : string list
+
+val find : string -> entry option
+
+val case_study : entry
+(** [cm85], the circuit of the Fig. 7 case study. *)

@@ -1,0 +1,1 @@
+lib/dd/add.ml: Array Bdd Float Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/dd/add.mli: Bdd

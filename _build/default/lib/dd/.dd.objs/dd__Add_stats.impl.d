@@ -1,0 +1,1 @@
+lib/dd/add_stats.ml: Add Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/dd/add_stats.mli: Add Hashtbl

@@ -1,0 +1,1 @@
+lib/dd/approx.ml: Add Add_stats Array Float Hashtbl List Markov

@@ -1,0 +1,1 @@
+lib/dd/approx.mli: Add Add_stats Markov

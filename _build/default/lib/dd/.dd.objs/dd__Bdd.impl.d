@@ -1,0 +1,1 @@
+lib/dd/bdd.ml: Array Hashtbl List

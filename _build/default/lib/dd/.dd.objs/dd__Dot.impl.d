@@ -1,0 +1,1 @@
+lib/dd/dot.ml: Add Bdd Buffer Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/dd/markov.ml: Add Array Float Hashtbl List

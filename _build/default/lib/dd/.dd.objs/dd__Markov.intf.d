@@ -1,0 +1,1 @@
+lib/dd/markov.mli: Add

@@ -1,0 +1,254 @@
+type t =
+  | Leaf of { id : int; value : float }
+  | Node of { id : int; var : int; low : t; high : t }
+
+type binop = Plus | Minus | Times | Min | Max
+
+type manager = {
+  mutable next_id : int;
+  leaves : (int64, t) Hashtbl.t; (* keyed by IEEE bits for exact sharing *)
+  unique : (int * int * int, t) Hashtbl.t;
+  apply_cache : (int, t) Hashtbl.t;
+      (* keyed by op tag and both operand ids packed into one int *)
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  of_bdd_cache : (int * int64 * int64, t) Hashtbl.t;
+}
+
+let manager () =
+  {
+    next_id = 0;
+    leaves = Hashtbl.create 256;
+    unique = Hashtbl.create 4096;
+    apply_cache = Hashtbl.create 4096;
+    ite_cache = Hashtbl.create 1024;
+    of_bdd_cache = Hashtbl.create 1024;
+  }
+
+let clear_caches m =
+  Hashtbl.reset m.apply_cache;
+  Hashtbl.reset m.ite_cache;
+  Hashtbl.reset m.of_bdd_cache
+
+let node_id = function Leaf l -> l.id | Node n -> n.id
+
+let const m value =
+  let bits = Int64.bits_of_float value in
+  match Hashtbl.find_opt m.leaves bits with
+  | Some l -> l
+  | None ->
+    let l = Leaf { id = m.next_id; value } in
+    m.next_id <- m.next_id + 1;
+    Hashtbl.add m.leaves bits l;
+    l
+
+let mk m v low high =
+  if low == high then low
+  else begin
+    let key = (v, node_id low, node_id high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; var = v; low; high } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let of_bdd m ?(one_value = 1.0) ?(zero_value = 0.0) b =
+  let ov = Int64.bits_of_float one_value
+  and zv = Int64.bits_of_float zero_value in
+  let rec go b =
+    match b with
+    | Bdd.False -> const m zero_value
+    | Bdd.True -> const m one_value
+    | Bdd.Node n -> (
+      let key = (n.id, ov, zv) in
+      match Hashtbl.find_opt m.of_bdd_cache key with
+      | Some r -> r
+      | None ->
+        let r = mk m n.var (go n.low) (go n.high) in
+        Hashtbl.add m.of_bdd_cache key r;
+        r)
+  in
+  go b
+
+let op_tag = function Plus -> 0 | Minus -> 1 | Times -> 2 | Min -> 3 | Max -> 4
+
+(* pack (op, id1, id2) into a single int key: ids stay well below 2^30 in
+   any realistic session, and collisions would only cause wrong reuse, so
+   the packing asserts the bound *)
+let pack_key op ia ib =
+  assert (ia < 0x4000_0000 && ib < 0x4000_0000);
+  (op_tag op lsl 60) lxor (ia lsl 30) lxor ib
+
+let eval_op op a b =
+  match op with
+  | Plus -> a +. b
+  | Minus -> a -. b
+  | Times -> a *. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let is_commutative = function
+  | Plus | Times | Min | Max -> true
+  | Minus -> false
+
+let top_var a b =
+  match a, b with
+  | Node na, Node nb -> min na.var nb.var
+  | Node na, Leaf _ -> na.var
+  | Leaf _, Node nb -> nb.var
+  | Leaf _, Leaf _ -> invalid_arg "Add.top_var: two leaves"
+
+let cofactors f v =
+  match f with
+  | Node n when n.var = v -> (n.low, n.high)
+  | Leaf _ | Node _ -> (f, f)
+
+let rec apply2 m op a b =
+  match a, b with
+  | Leaf la, Leaf lb -> const m (eval_op op la.value lb.value)
+  | _ ->
+    let ia = node_id a and ib = node_id b in
+    (* Normalize commutative operand order for better cache hits. *)
+    let a, b, ia, ib =
+      if is_commutative op && ia > ib then (b, a, ib, ia) else (a, b, ia, ib)
+    in
+    let key = pack_key op ia ib in
+    (match Hashtbl.find_opt m.apply_cache key with
+    | Some r -> r
+    | None ->
+      let v = top_var a b in
+      let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
+      let r = mk m v (apply2 m op a0 b0) (apply2 m op a1 b1) in
+      Hashtbl.add m.apply_cache key r;
+      r)
+
+let add m a b = apply2 m Plus a b
+let sub m a b = apply2 m Minus a b
+let mul m a b = apply2 m Times a b
+let pointwise_min m a b = apply2 m Min a b
+let pointwise_max m a b = apply2 m Max a b
+
+let map_leaves m f t =
+  let memo = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo (node_id t) with
+    | Some r -> r
+    | None ->
+      let r =
+        match t with
+        | Leaf l -> const m (f l.value)
+        | Node n -> mk m n.var (go n.low) (go n.high)
+      in
+      Hashtbl.add memo (node_id t) r;
+      r
+  in
+  go t
+
+let scale m c t = if c = 1.0 then t else map_leaves m (fun v -> c *. v) t
+let offset m c t = if c = 0.0 then t else map_leaves m (fun v -> c +. v) t
+
+let rec ite m guard g h =
+  match guard with
+  | Bdd.True -> g
+  | Bdd.False -> h
+  | Bdd.Node _ ->
+    if g == h then g
+    else begin
+      let key = (Bdd.node_id guard, node_id g, node_id h) in
+      match Hashtbl.find_opt m.ite_cache key with
+      | Some r -> r
+      | None ->
+        let vg = Bdd.(match guard with Node n -> n.var | False | True -> max_int) in
+        let v =
+          List.fold_left
+            (fun acc x ->
+              match x with Node n -> min acc n.var | Leaf _ -> acc)
+            vg [ g; h ]
+        in
+        let f0, f1 =
+          match guard with
+          | Bdd.Node n when n.var = v -> (n.low, n.high)
+          | Bdd.False | Bdd.True | Bdd.Node _ -> (guard, guard)
+        in
+        let g0, g1 = cofactors g v in
+        let h0, h1 = cofactors h v in
+        let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
+        Hashtbl.add m.ite_cache key r;
+        r
+    end
+
+let equal a b = a == b
+
+let rec eval t env =
+  match t with
+  | Leaf l -> l.value
+  | Node n ->
+    if n.var >= Array.length env then
+      invalid_arg "Add.eval: environment too short";
+    if env.(n.var) then eval n.high env else eval n.low env
+
+let fold_nodes t ~init ~f =
+  let seen = Hashtbl.create 64 in
+  let acc = ref init in
+  let rec go t =
+    let id = node_id t in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      (match t with
+      | Leaf _ -> ()
+      | Node n ->
+        go n.low;
+        go n.high);
+      acc := f !acc t
+    end
+  in
+  go t;
+  !acc
+
+let size t = fold_nodes t ~init:0 ~f:(fun n _ -> n + 1)
+
+let internal_count t =
+  fold_nodes t ~init:0 ~f:(fun n t ->
+      match t with Leaf _ -> n | Node _ -> n + 1)
+
+let terminal_values t =
+  fold_nodes t ~init:[] ~f:(fun acc t ->
+      match t with Leaf l -> l.value :: acc | Node _ -> acc)
+  |> List.sort_uniq compare
+
+let support t =
+  fold_nodes t ~init:[] ~f:(fun acc t ->
+      match t with Leaf _ -> acc | Node n -> n.var :: acc)
+  |> List.sort_uniq compare
+
+let min_value t =
+  match terminal_values t with
+  | [] -> invalid_arg "Add.min_value: empty diagram"
+  | v :: _ -> v
+
+let max_value t =
+  match List.rev (terminal_values t) with
+  | [] -> invalid_arg "Add.max_value: empty diagram"
+  | v :: _ -> v
+
+let make_node = mk
+
+let allocated m = m.next_id
+
+let migrate target t =
+  let memo = Hashtbl.create 1024 in
+  let rec go t =
+    match Hashtbl.find_opt memo (node_id t) with
+    | Some r -> r
+    | None ->
+      let r =
+        match t with
+        | Leaf l -> const target l.value
+        | Node n -> mk target n.var (go n.low) (go n.high)
+      in
+      Hashtbl.add memo (node_id t) r;
+      r
+  in
+  go t

@@ -1,0 +1,109 @@
+(** Algebraic decision diagrams (ADDs): reduced ordered decision diagrams
+    with real-valued terminals.
+
+    The paper represents the switching-capacitance function
+    [C(x_i, x_f)] as an ADD built from the BDDs of the netlist's node
+    functions (Eq. 4 / Fig. 6).  This module provides the symbolic operators
+    the pseudo-code of Fig. 6 relies on ([of_bdd], [scale] = [add_times],
+    [add] = [add_sum], [size] = [add_size]) plus the generic apply machinery
+    and evaluation.
+
+    Like {!Bdd}, nodes are hash-consed per {!manager}; leaves are shared by
+    exact floating-point value. *)
+
+type t = private
+  | Leaf of { id : int; value : float }
+  | Node of { id : int; var : int; low : t; high : t }
+
+type manager
+
+val manager : unit -> manager
+val clear_caches : manager -> unit
+
+(** {1 Construction} *)
+
+val const : manager -> float -> t
+
+val of_bdd : manager -> ?one_value:float -> ?zero_value:float -> Bdd.t -> t
+(** Convert a BDD to an ADD mapping [true] to [one_value] (default 1.0) and
+    [false] to [zero_value] (default 0.0).  Variable indices are preserved,
+    so the BDD and ADD managers must use the same variable numbering. *)
+
+val ite : manager -> Bdd.t -> t -> t -> t
+(** [ite m guard g h] selects [g] where [guard] holds and [h] elsewhere. *)
+
+(** {1 Arithmetic} *)
+
+type binop = Plus | Minus | Times | Min | Max
+
+val apply2 : manager -> binop -> t -> t -> t
+
+val add : manager -> t -> t -> t
+(** Pointwise sum — the paper's [add_sum]. *)
+
+val sub : manager -> t -> t -> t
+val mul : manager -> t -> t -> t
+val pointwise_min : manager -> t -> t -> t
+val pointwise_max : manager -> t -> t -> t
+
+val scale : manager -> float -> t -> t
+(** Multiply every terminal by a constant — the paper's [add_times]. *)
+
+val offset : manager -> float -> t -> t
+(** Add a constant to every terminal. *)
+
+val map_leaves : manager -> (float -> float) -> t -> t
+(** Apply an arbitrary function to every terminal value (memoized within the
+    call).  The function must be well-defined on every terminal. *)
+
+(** {1 Queries} *)
+
+val node_id : t -> int
+val equal : t -> t -> bool
+
+val eval : t -> bool array -> float
+(** Evaluate under an assignment indexed by variable — linear in the number
+    of variables, the model-evaluation cost the paper advertises. *)
+
+val size : t -> int
+(** Number of distinct nodes reachable from the root, leaves included — the
+    paper's [add_size], and the quantity bounded by [MAX] in Fig. 6. *)
+
+val internal_count : t -> int
+(** Number of non-leaf nodes. *)
+
+val terminal_values : t -> float list
+(** Sorted list of distinct terminal values. *)
+
+val support : t -> int list
+
+val min_value : t -> float
+(** Smallest terminal value reachable from the root. *)
+
+val max_value : t -> float
+(** Largest terminal value reachable from the root — for a max-strategy
+    model this is the circuit's (conservative) worst-case switching
+    capacitance, used as the paper's constant upper-bound estimator. *)
+
+val fold_nodes : t -> init:'a -> f:('a -> t -> 'a) -> 'a
+(** Fold over every distinct reachable node (each visited once, children
+    before parents). *)
+
+(** {1 Low-level} *)
+
+val make_node : manager -> int -> t -> t -> t
+(** [make_node m v low high] is the raw hash-consing constructor
+    ([if v then high else low]); it enforces reduction ([low == high]
+    collapses) and sharing.  [low] and [high] must only mention variables
+    greater than [v] — used by {!Approx} to rebuild diagrams bottom-up. *)
+
+val allocated : manager -> int
+(** Total nodes ever hash-consed in this manager (they are never freed:
+    the unique table retains every intermediate result).  Long-running
+    constructions watch this and {!migrate} to a fresh manager when it
+    grows too large. *)
+
+val migrate : manager -> t -> t
+(** Structurally copy a diagram into another manager (e.g. a fresh one, to
+    shed a bloated unique table).  The result lives in [target]; the source
+    manager can then be dropped. *)

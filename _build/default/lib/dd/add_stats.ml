@@ -1,0 +1,80 @@
+type t = {
+  avg : float;
+  variance : float;
+  min : float;
+  max : float;
+}
+
+(* Eq. 7 of the paper: for an internal node n,
+     avg(n) = (avg(low) + avg(high)) / 2
+     var(n) = (var(low) + (avg(low) - avg(n))^2
+             + var(high) + (avg(high) - avg(n))^2) / 2
+   and for a leaf avg = value, var = 0.  Reduction (skipped levels) does not
+   affect these: the uniform average of a function is invariant under adding
+   variables it does not depend on. *)
+let combine lo hi =
+  let avg = 0.5 *. (lo.avg +. hi.avg) in
+  let variance =
+    0.5
+    *. (lo.variance
+       +. ((lo.avg -. avg) ** 2.0)
+       +. hi.variance
+       +. ((hi.avg -. avg) ** 2.0))
+  in
+  {
+    avg;
+    variance;
+    min = Float.min lo.min hi.min;
+    max = Float.max lo.max hi.max;
+  }
+
+let of_leaf value = { avg = value; variance = 0.0; min = value; max = value }
+
+let all nodes_root =
+  let table : (int, t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go (node : Add.t) =
+    let id = Add.node_id node in
+    match Hashtbl.find_opt table id with
+    | Some s -> s
+    | None ->
+      let s =
+        match node with
+        | Add.Leaf l -> of_leaf l.value
+        | Add.Node n -> combine (go n.low) (go n.high)
+      in
+      Hashtbl.add table id s;
+      s
+  in
+  let _root_stats = go nodes_root in
+  table
+
+let of_node node = Hashtbl.find (all node) (Add.node_id node)
+
+let mse_upper s = s.variance +. ((s.max -. s.avg) ** 2.0)
+(* Eq. 8: mean square error of replacing the sub-function by its maximum. *)
+
+let mse_lower s = s.variance +. ((s.min -. s.avg) ** 2.0)
+
+(* Probability that a uniform random assignment reaches each node: 1 at the
+   root, and each node passes half its mass to each child (accumulated over
+   the DAG, parents before children).  Collapsing node n to a constant
+   perturbs the global function with mean square error mass(n) * var-like
+   score, which is what approximation strategies should rank by. *)
+let mass root =
+  let order = Add.fold_nodes root ~init:[] ~f:(fun acc n -> n :: acc) in
+  (* fold_nodes emits children before parents; the accumulated list is
+     therefore parents-first. *)
+  let table : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let get id = Option.value (Hashtbl.find_opt table id) ~default:0.0 in
+  Hashtbl.replace table (Add.node_id root) 1.0;
+  List.iter
+    (fun node ->
+      match node with
+      | Add.Leaf _ -> ()
+      | Add.Node n ->
+        let m = get (Add.node_id node) /. 2.0 in
+        Hashtbl.replace table (Add.node_id n.low) (get (Add.node_id n.low) +. m);
+        Hashtbl.replace table (Add.node_id n.high)
+          (get (Add.node_id n.high) +. m))
+    order;
+  table

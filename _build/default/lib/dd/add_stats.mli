@@ -1,0 +1,41 @@
+(** Per-node statistics of the discrete functions represented by ADD nodes.
+
+    These implement Eq. 5–8 of the paper in linear time: the average,
+    variance, minimum and maximum of every sub-function, computed bottom-up
+    by the recursion of Eq. 7 (leaves have [avg = value], [variance = 0]).
+    The approximation strategies of {!Approx} rank collapse candidates with
+    these numbers. *)
+
+type t = {
+  avg : float;      (** uniform-input average of the sub-function (Eq. 6) *)
+  variance : float; (** uniform-input variance (Eq. 5) *)
+  min : float;      (** smallest terminal value of the sub-function *)
+  max : float;      (** largest terminal value of the sub-function *)
+}
+
+val all : Add.t -> (int, t) Hashtbl.t
+(** Statistics for every node reachable from the root, keyed by node id.
+    One bottom-up traversal, O(nodes). *)
+
+val of_node : Add.t -> t
+(** Statistics of a single diagram's root. *)
+
+val of_leaf : float -> t
+
+val combine : t -> t -> t
+(** [combine low high] is Eq. 7 applied to the two cofactors. *)
+
+val mse_upper : t -> float
+(** Mean square error incurred by replacing the sub-function with its
+    maximum (Eq. 8): [variance + (max - avg)^2].  The max strategy collapses
+    minimum-[mse_upper] nodes first. *)
+
+val mse_lower : t -> float
+(** Symmetric quantity for lower bounds: [variance + (min - avg)^2]. *)
+
+val mass : Add.t -> (int, float) Hashtbl.t
+(** Probability, under uniform independent inputs, that evaluation reaches
+    each node (the root has mass 1; a node shared by many paths accumulates
+    the mass of all of them).  The global mean-square error of collapsing a
+    node [n] to a constant is [mass(n)] times the node's own mean square
+    error, so {!Approx} ranks collapse candidates by the product. *)

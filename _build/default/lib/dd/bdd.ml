@@ -1,0 +1,286 @@
+type t =
+  | False
+  | True
+  | Node of { id : int; var : int; low : t; high : t }
+
+type manager = {
+  mutable next_id : int;
+  unique : (int * int * int, t) Hashtbl.t;
+  not_cache : (int, t) Hashtbl.t;
+  and_cache : (int * int, t) Hashtbl.t;
+  or_cache : (int * int, t) Hashtbl.t;
+  xor_cache : (int * int, t) Hashtbl.t;
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  exists_cache : (int, t) Hashtbl.t;
+}
+
+let manager () =
+  {
+    next_id = 2;
+    unique = Hashtbl.create 4096;
+    not_cache = Hashtbl.create 1024;
+    and_cache = Hashtbl.create 4096;
+    or_cache = Hashtbl.create 4096;
+    xor_cache = Hashtbl.create 1024;
+    ite_cache = Hashtbl.create 1024;
+    exists_cache = Hashtbl.create 64;
+  }
+
+let clear_caches m =
+  Hashtbl.reset m.not_cache;
+  Hashtbl.reset m.and_cache;
+  Hashtbl.reset m.or_cache;
+  Hashtbl.reset m.xor_cache;
+  Hashtbl.reset m.ite_cache;
+  Hashtbl.reset m.exists_cache
+
+let node_count m = m.next_id - 2
+
+let node_id = function False -> 0 | True -> 1 | Node n -> n.id
+
+let zero = False
+let one = True
+
+let of_bool b = if b then True else False
+
+(* Hash-consing constructor: enforces reduction (low != high) and sharing. *)
+let mk m v low high =
+  if low == high then low
+  else begin
+    let key = (v, node_id low, node_id high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; var = v; low; high } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m i False True
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk m i True False
+
+let top_var a b =
+  match a, b with
+  | Node na, Node nb -> min na.var nb.var
+  | Node na, (False | True) -> na.var
+  | (False | True), Node nb -> nb.var
+  | (False | True), (False | True) -> invalid_arg "Bdd.top_var: two terminals"
+
+let cofactors f v =
+  match f with
+  | Node n when n.var = v -> (n.low, n.high)
+  | False | True | Node _ -> (f, f)
+
+let rec bnot m f =
+  match f with
+  | False -> True
+  | True -> False
+  | Node n -> (
+    match Hashtbl.find_opt m.not_cache n.id with
+    | Some r -> r
+    | None ->
+      let r = mk m n.var (bnot m n.low) (bnot m n.high) in
+      Hashtbl.add m.not_cache n.id r;
+      r)
+
+(* Symmetric binary operations share this skeleton; [terminal] decides the
+   base cases, [cache] memoizes on the (commutatively normalized) id pair. *)
+let rec apply_comm m cache terminal a b =
+  match terminal a b with
+  | Some r -> r
+  | None ->
+    let ia = node_id a and ib = node_id b in
+    let key = if ia <= ib then (ia, ib) else (ib, ia) in
+    (match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let v = top_var a b in
+      let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
+      let r =
+        mk m v
+          (apply_comm m cache terminal a0 b0)
+          (apply_comm m cache terminal a1 b1)
+      in
+      Hashtbl.add cache key r;
+      r)
+
+let and_terminal a b =
+  match a, b with
+  | False, _ | _, False -> Some False
+  | True, x | x, True -> Some x
+  | Node na, Node nb -> if na.id = nb.id then Some a else None
+
+let or_terminal a b =
+  match a, b with
+  | True, _ | _, True -> Some True
+  | False, x | x, False -> Some x
+  | Node na, Node nb -> if na.id = nb.id then Some a else None
+
+let band m a b = apply_comm m m.and_cache and_terminal a b
+let bor m a b = apply_comm m m.or_cache or_terminal a b
+
+let bxor m a b =
+  let terminal a b =
+    match a, b with
+    | False, x | x, False -> Some x
+    | True, x | x, True ->
+      (* xor with true is negation; recurse through bnot (cached). *)
+      Some (bnot m x)
+    | Node na, Node nb -> if na.id = nb.id then Some False else None
+  in
+  apply_comm m m.xor_cache terminal a b
+
+let bnand m a b = bnot m (band m a b)
+let bnor m a b = bnot m (bor m a b)
+let bxnor m a b = bnot m (bxor m a b)
+let bimply m a b = bor m (bnot m a) b
+
+let rec ite m f g h =
+  match f with
+  | True -> g
+  | False -> h
+  | Node _ ->
+    if g == h then g
+    else if g == True && h == False then f
+    else begin
+      let key = (node_id f, node_id g, node_id h) in
+      match Hashtbl.find_opt m.ite_cache key with
+      | Some r -> r
+      | None ->
+        let v =
+          List.fold_left
+            (fun acc x ->
+              match x with Node n -> min acc n.var | False | True -> acc)
+            max_int [ f; g; h ]
+        in
+        let f0, f1 = cofactors f v in
+        let g0, g1 = cofactors g v in
+        let h0, h1 = cofactors h v in
+        let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
+        Hashtbl.add m.ite_cache key r;
+        r
+    end
+
+let band_list m fs = List.fold_left (band m) one fs
+let bor_list m fs = List.fold_left (bor m) zero fs
+
+let restrict m f ~var ~value =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | False | True -> f
+    | Node n when n.var > var -> f
+    | Node n when n.var = var -> if value then n.high else n.low
+    | Node n -> (
+      match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let r = mk m n.var (go n.low) (go n.high) in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go f
+
+let exists m vars f =
+  let vars = List.sort_uniq compare vars in
+  let quantify_one v f =
+    Hashtbl.reset m.exists_cache;
+    let rec go f =
+      match f with
+      | False | True -> f
+      | Node n when n.var > v -> f
+      | Node n when n.var = v -> bor m n.low n.high
+      | Node n -> (
+        match Hashtbl.find_opt m.exists_cache n.id with
+        | Some r -> r
+        | None ->
+          let r = mk m n.var (go n.low) (go n.high) in
+          Hashtbl.add m.exists_cache n.id r;
+          r)
+    in
+    go f
+  in
+  List.fold_left (fun acc v -> quantify_one v acc) f vars
+
+let forall m vars f = bnot m (exists m vars (bnot m f))
+
+let equal a b = a == b
+let is_true f = f == True
+let is_false f = f == False
+
+let rec eval f env =
+  match f with
+  | False -> false
+  | True -> true
+  | Node n ->
+    if n.var >= Array.length env then
+      invalid_arg "Bdd.eval: environment too short";
+    if env.(n.var) then eval n.high env else eval n.low env
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    let id = node_id f in
+    if Hashtbl.mem seen id then ()
+    else begin
+      Hashtbl.add seen id ();
+      match f with
+      | False | True -> ()
+      | Node n ->
+        go n.low;
+        go n.high
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let support f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    match f with
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        Hashtbl.replace vars n.var ();
+        go n.low;
+        go n.high
+      end
+  in
+  go f;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort compare
+
+let sat_fraction f =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | False -> 0.0
+    | True -> 1.0
+    | Node n -> (
+      match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let r = 0.5 *. (go n.low +. go n.high) in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go f
+
+let any_sat f =
+  let rec go f acc =
+    match f with
+    | False -> None
+    | True -> Some (List.rev acc)
+    | Node n -> (
+      match go n.high ((n.var, true) :: acc) with
+      | Some r -> Some r
+      | None -> go n.low ((n.var, false) :: acc))
+  in
+  go f []

@@ -1,0 +1,104 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    This is the Boolean half of the decision-diagram package the paper builds
+    its models with (the authors used CUDD; we implement the same interface
+    surface from scratch).  Nodes are hash-consed inside a {!manager}, so two
+    structurally equal diagrams built in the same manager are physically
+    equal, and equality tests are [==].
+
+    Variables are non-negative integers; the variable order is the natural
+    integer order (variable 0 is closest to the root).  All operations are
+    memoized in per-manager caches. *)
+
+type t = private
+  | False
+  | True
+  | Node of { id : int; var : int; low : t; high : t }
+      (** [Node {var; low; high}] is [if var then high else low].  Invariant:
+          [low != high] and both children mention only variables greater than
+          [var]. *)
+
+type manager
+(** Mutable state: unique table and operation caches.  Diagrams from
+    different managers must never be mixed. *)
+
+val manager : unit -> manager
+
+val clear_caches : manager -> unit
+(** Drop all operation caches (the unique table is kept, so existing nodes
+    stay valid).  Useful to bound memory in long runs. *)
+
+val node_count : manager -> int
+(** Number of live hash-consed nodes ever created in this manager. *)
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+
+val of_bool : bool -> t
+
+val var : manager -> int -> t
+(** [var m i] is the projection function of variable [i].  Raises
+    [Invalid_argument] if [i < 0]. *)
+
+val nvar : manager -> int -> t
+(** Negated projection, [not (var m i)]. *)
+
+(** {1 Boolean operations} *)
+
+val bnot : manager -> t -> t
+val band : manager -> t -> t -> t
+val bor : manager -> t -> t -> t
+val bxor : manager -> t -> t -> t
+val bnand : manager -> t -> t -> t
+val bnor : manager -> t -> t -> t
+val bxnor : manager -> t -> t -> t
+val bimply : manager -> t -> t -> t
+
+val ite : manager -> t -> t -> t -> t
+(** [ite m f g h] is [if f then g else h]. *)
+
+val band_list : manager -> t list -> t
+val bor_list : manager -> t list -> t
+
+(** {1 Cofactors and quantification} *)
+
+val restrict : manager -> t -> var:int -> value:bool -> t
+(** Cofactor with respect to a literal. *)
+
+val exists : manager -> int list -> t -> t
+(** Existential quantification of the listed variables. *)
+
+val forall : manager -> int list -> t -> t
+
+(** {1 Queries} *)
+
+val node_id : t -> int
+(** Unique id within the manager ([False] is 0, [True] is 1). *)
+
+val equal : t -> t -> bool
+(** Physical equality; valid for diagrams of the same manager. *)
+
+val is_true : t -> bool
+val is_false : t -> bool
+
+val eval : t -> bool array -> bool
+(** [eval f env] evaluates [f] under [env] where [env.(i)] is the value of
+    variable [i].  Linear in the number of variables on the path.  Raises
+    [Invalid_argument] if the path mentions a variable outside [env]. *)
+
+val size : t -> int
+(** Number of distinct nodes reachable from the root, terminals included. *)
+
+val support : t -> int list
+(** Sorted list of variables the function actually depends on. *)
+
+val sat_fraction : t -> float
+(** Probability that [f] is true when every variable is an independent fair
+    coin — i.e. the signal probability of the function under uniform inputs.
+    Exact, computed by a memoized traversal. *)
+
+val any_sat : t -> (int * bool) list option
+(** One satisfying partial assignment (variable, value), or [None] for
+    [False]. *)

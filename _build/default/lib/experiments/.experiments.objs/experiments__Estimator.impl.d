@@ -1,0 +1,1 @@
+lib/experiments/estimator.ml: Powermodel

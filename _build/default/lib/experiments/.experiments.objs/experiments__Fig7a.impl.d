@@ -1,0 +1,1 @@
+lib/experiments/fig7a.ml: Circuits Estimator Float Gatesim List Netlist Powermodel Stimulus Sweep

@@ -1,0 +1,1 @@
+lib/experiments/fig7b.ml: Circuits Estimator Gatesim List Netlist Powermodel Printf Stimulus Sweep

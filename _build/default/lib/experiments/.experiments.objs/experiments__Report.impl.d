@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Fig7a Fig7b List Printf String Table1

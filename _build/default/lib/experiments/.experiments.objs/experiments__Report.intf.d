@@ -1,0 +1,1 @@
+lib/experiments/report.mli: Fig7a Fig7b Table1

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Estimator Float Format Gatesim List Netlist Stimulus

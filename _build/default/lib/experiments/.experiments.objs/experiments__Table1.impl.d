@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Circuits Estimator Float Gatesim Hashtbl List Netlist Powermodel Stimulus Sweep

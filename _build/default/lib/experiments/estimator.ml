@@ -1,0 +1,26 @@
+type t =
+  | Add_model of Powermodel.Model.t
+  | Characterized of Powermodel.Baselines.t
+
+let name = function
+  | Add_model _ -> "ADD"
+  | Characterized b -> Powermodel.Baselines.name b
+
+let estimate t ~x_i ~x_f =
+  match t with
+  | Add_model m -> Powermodel.Model.switched_capacitance m ~x_i ~x_f
+  | Characterized b -> Powermodel.Baselines.estimate b ~x_i ~x_f
+
+type run = { average : float; maximum : float }
+
+let run t vectors =
+  match t with
+  | Add_model m ->
+    let r = Powermodel.Model.run m vectors in
+    { average = r.Powermodel.Model.average; maximum = r.Powermodel.Model.maximum }
+  | Characterized b ->
+    let r = Powermodel.Baselines.run b vectors in
+    {
+      average = r.Powermodel.Baselines.average;
+      maximum = r.Powermodel.Baselines.maximum;
+    }

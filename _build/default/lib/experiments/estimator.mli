@@ -1,0 +1,15 @@
+(** A uniform view of the competing RT-level estimators (ADD model, [Con],
+    [Lin]) so the sweep machinery can evaluate them side by side. *)
+
+type t =
+  | Add_model of Powermodel.Model.t
+  | Characterized of Powermodel.Baselines.t
+
+val name : t -> string
+
+val estimate : t -> x_i:bool array -> x_f:bool array -> float
+
+type run = { average : float; maximum : float }
+
+val run : t -> bool array array -> run
+(** Per-transition estimates over a vector sequence, summarized. *)

@@ -1,0 +1,70 @@
+(* Fig. 7a: relative error of Con, Lin and the ADD model on cm85 as a
+   function of the input transition probability, at sp = 0.5.  Con and Lin
+   are characterized in-sample at st = 0.5; the ADD model is built with
+   MAX = 500 nodes, as in the paper. *)
+
+type row = { st : float; re_con : float; re_lin : float; re_add : float }
+
+type result = {
+  circuit : string;
+  add_size : int;
+  exact_size : int option;
+  rows : row list;
+}
+
+let default_sts = [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95 ]
+
+let run ?(vectors = 3000) ?(char_vectors = 3000) ?(seed = 7) ?(max_size = 500)
+    ?(sts = default_sts) ?(with_exact_size = false) () =
+  let entry = Circuits.Suite.case_study in
+  let circuit = entry.Circuits.Suite.build () in
+  let sim = Gatesim.Simulator.create circuit in
+  let bits = Netlist.Circuit.input_count circuit in
+  let prng = Stimulus.Prng.create seed in
+  let char_seq =
+    Stimulus.Generator.sequence prng ~bits ~length:char_vectors ~sp:0.5 ~st:0.5
+  in
+  let con = Powermodel.Baselines.characterize_con sim char_seq in
+  let lin = Powermodel.Baselines.characterize_lin sim char_seq in
+  let model = Powermodel.Model.build ~max_size circuit in
+  let estimators =
+    [
+      ("Con", Estimator.Characterized con);
+      ("Lin", Estimator.Characterized lin);
+      ("ADD", Estimator.Add_model model);
+    ]
+  in
+  let grid = List.map (fun st -> { Sweep.sp = 0.5; st }) sts in
+  let results =
+    List.map
+      (fun point -> Sweep.run_point sim estimators prng ~vectors point)
+      grid
+  in
+  let abs_re r label =
+    let est = List.assoc label r.Sweep.estimates in
+    Float.abs
+      (Sweep.relative_error ~estimate:est.Estimator.average
+         ~truth:r.Sweep.sim_average)
+  in
+  let rows =
+    List.map
+      (fun r ->
+        {
+          st = r.Sweep.point.Sweep.st;
+          re_con = abs_re r "Con";
+          re_lin = abs_re r "Lin";
+          re_add = abs_re r "ADD";
+        })
+      results
+  in
+  let exact_size =
+    if with_exact_size then
+      Some (Powermodel.Model.size (Powermodel.Model.build circuit))
+    else None
+  in
+  {
+    circuit = entry.Circuits.Suite.name;
+    add_size = Powermodel.Model.size model;
+    exact_size;
+    rows;
+  }

@@ -1,0 +1,27 @@
+(** Fig. 7a reproduction: RE vs transition probability for the cm85 case
+    study.
+
+    [Con] and [Lin] are characterized in-sample at [sp = st = 0.5]; the
+    ADD model (MAX = 500) needs no characterization.  The paper's shape:
+    Con/Lin are only accurate near the characterization point and exceed
+    100% error for small st, while the ADD curve is flat and low. *)
+
+type row = {
+  st : float;
+  re_con : float;  (** |relative error| of the constant estimator *)
+  re_lin : float;
+  re_add : float;
+}
+
+type result = {
+  circuit : string;
+  add_size : int;       (** nodes of the bounded model actually built *)
+  exact_size : int option; (** nodes of the unbounded model, when requested *)
+  rows : row list;
+}
+
+val default_sts : float list
+
+val run :
+  ?vectors:int -> ?char_vectors:int -> ?seed:int -> ?max_size:int ->
+  ?sts:float list -> ?with_exact_size:bool -> unit -> result

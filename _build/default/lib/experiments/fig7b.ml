@@ -1,0 +1,63 @@
+(* Fig. 7b: accuracy/size trade-off of the ADD model for cm85.  One model
+   is built per size bound; the ARE of each is evaluated on the standard
+   sweep grid and compared against the characterized Con and Lin models. *)
+
+type row = {
+  max_size : int;
+  actual_size : int;
+  are : float;
+  build_cpu : float;
+}
+
+type result = {
+  circuit : string;
+  are_con : float;
+  are_lin : float;
+  lin_coefficients : int;
+  rows : row list;
+}
+
+let default_sizes = [ 3; 5; 10; 20; 50; 100; 200; 500; 1000 ]
+
+let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
+    ?(sizes = default_sizes) () =
+  let entry = Circuits.Suite.case_study in
+  let circuit = entry.Circuits.Suite.build () in
+  let sim = Gatesim.Simulator.create circuit in
+  let bits = Netlist.Circuit.input_count circuit in
+  let prng = Stimulus.Prng.create seed in
+  let char_seq =
+    Stimulus.Generator.sequence prng ~bits ~length:char_vectors ~sp:0.5 ~st:0.5
+  in
+  let con = Powermodel.Baselines.characterize_con sim char_seq in
+  let lin = Powermodel.Baselines.characterize_lin sim char_seq in
+  let models =
+    List.map (fun m -> (m, Powermodel.Model.build ~max_size:m circuit)) sizes
+  in
+  let estimators =
+    ("Con", Estimator.Characterized con)
+    :: ("Lin", Estimator.Characterized lin)
+    :: List.map
+         (fun (m, model) ->
+           (Printf.sprintf "ADD-%d" m, Estimator.Add_model model))
+         models
+  in
+  let results = Sweep.run_grid ~vectors ~seed:(seed + 1) sim estimators in
+  let rows =
+    List.map
+      (fun (m, model) ->
+        {
+          max_size = m;
+          actual_size = Powermodel.Model.size model;
+          are = Sweep.are_average results (Printf.sprintf "ADD-%d" m);
+          build_cpu = model.Powermodel.Model.stats.cpu_seconds;
+        })
+      models
+  in
+  {
+    circuit = entry.Circuits.Suite.name;
+    are_con = Sweep.are_average results "Con";
+    are_lin = Sweep.are_average results "Lin";
+    lin_coefficients = bits + 1;
+    rows;
+  }

@@ -1,0 +1,25 @@
+(** Fig. 7b reproduction: ARE vs ADD model size for the cm85 case study.
+
+    The paper's claim: ADDs with as few as 5–10 nodes still achieve AREs an
+    order of magnitude below a linear model with n+1 fitted coefficients. *)
+
+type row = {
+  max_size : int;     (** requested bound (MAX) *)
+  actual_size : int;  (** nodes of the model actually built *)
+  are : float;
+  build_cpu : float;
+}
+
+type result = {
+  circuit : string;
+  are_con : float;
+  are_lin : float;
+  lin_coefficients : int;
+  rows : row list;
+}
+
+val default_sizes : int list
+
+val run :
+  ?vectors:int -> ?char_vectors:int -> ?seed:int -> ?sizes:int list ->
+  unit -> result

@@ -1,0 +1,105 @@
+(* Plain-text rendering of experiment results, shaped like the paper's
+   figures and table. *)
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else String.make (width - len) ' ' ^ s
+
+let pad_left width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render ~header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           if i = 0 then pad_left widths.(i) cell else pad widths.(i) cell)
+         row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let pct x = Printf.sprintf "%.1f" (100.0 *. x)
+
+let fig7a (r : Fig7a.result) =
+  let rows =
+    List.map
+      (fun (row : Fig7a.row) ->
+        [
+          Printf.sprintf "%.2f" row.Fig7a.st;
+          pct row.Fig7a.re_con;
+          pct row.Fig7a.re_lin;
+          pct row.Fig7a.re_add;
+        ])
+      r.Fig7a.rows
+  in
+  Printf.sprintf
+    "Fig. 7a -- RE(%%) vs transition probability, circuit %s (sp = 0.5)\n\
+     ADD model size: %d nodes%s\n\n%s"
+    r.Fig7a.circuit r.Fig7a.add_size
+    (match r.Fig7a.exact_size with
+    | None -> ""
+    | Some s -> Printf.sprintf " (unbounded model: %d nodes)" s)
+    (render ~header:[ "st"; "Con"; "Lin"; "ADD" ] rows)
+
+let fig7b (r : Fig7b.result) =
+  let rows =
+    List.map
+      (fun (row : Fig7b.row) ->
+        [
+          string_of_int row.Fig7b.max_size;
+          string_of_int row.Fig7b.actual_size;
+          pct row.Fig7b.are;
+          Printf.sprintf "%.2f" row.Fig7b.build_cpu;
+        ])
+      r.Fig7b.rows
+  in
+  Printf.sprintf
+    "Fig. 7b -- ARE(%%) vs model size, circuit %s\n\
+     references: Con ARE = %s%%, Lin ARE = %s%% (%d fitted coefficients)\n\n%s"
+    r.Fig7b.circuit (pct r.Fig7b.are_con) (pct r.Fig7b.are_lin)
+    r.Fig7b.lin_coefficients
+    (render ~header:[ "MAX"; "size"; "ARE"; "CPU(s)" ] rows)
+
+let table1 rows =
+  let body =
+    List.map
+      (fun (row : Table1.row) ->
+        [
+          row.Table1.name;
+          string_of_int row.Table1.inputs;
+          string_of_int row.Table1.gates;
+          pct row.Table1.are_con;
+          pct row.Table1.are_lin;
+          pct row.Table1.are_add;
+          string_of_int row.Table1.max_avg;
+          Printf.sprintf "%.1f" row.Table1.cpu_avg;
+          pct row.Table1.are_con_ub;
+          pct row.Table1.are_add_ub;
+          string_of_int row.Table1.max_ub;
+          Printf.sprintf "%.1f" row.Table1.cpu_ub;
+        ])
+      rows
+  in
+  "Table 1 -- average estimators: ARE(%) of Con/Lin/ADD; upper bounds: \
+   ARE(%) of constant (Con) and pattern-dependent (ADD) bounds\n\n"
+  ^ render
+      ~header:
+        [
+          "name"; "n"; "N"; "Con"; "Lin"; "ADD"; "MAX"; "CPU";
+          "Con-ub"; "ADD-ub"; "MAX-ub"; "CPU-ub";
+        ]
+      body

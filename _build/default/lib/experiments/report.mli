@@ -1,0 +1,12 @@
+(** Plain-text rendering of the experiment results, shaped like the paper's
+    Fig. 7 and Table 1. *)
+
+val render : header:string list -> string list list -> string
+(** Align a table: first column left-aligned, the rest right-aligned. *)
+
+val pct : float -> string
+(** A ratio rendered as a percentage with one decimal. *)
+
+val fig7a : Fig7a.result -> string
+val fig7b : Fig7b.result -> string
+val table1 : Table1.row list -> string

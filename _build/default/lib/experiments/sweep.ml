@@ -1,0 +1,91 @@
+type point = { sp : float; st : float }
+
+let pp_point ppf { sp; st } = Format.fprintf ppf "(sp=%.2f, st=%.2f)" sp st
+
+(* The evaluation grid: "several simulation runs with different input
+   statistics".  Points whose toggle rate is infeasible for their signal
+   probability (st > 2 min(sp, 1-sp)) are dropped. *)
+let default_grid =
+  let sps = [ 0.2; 0.5; 0.8 ] in
+  let sts = [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+  List.concat_map
+    (fun sp ->
+      List.filter_map
+        (fun st ->
+          if st <= Stimulus.Generator.feasible_st ~sp st +. 1e-9 then
+            Some { sp; st }
+          else None)
+        sts)
+    sps
+
+let relative_error ~estimate ~truth =
+  if truth = 0.0 then if estimate = 0.0 then 0.0 else infinity
+  else (estimate -. truth) /. truth
+
+type run_result = {
+  point : point;
+  sim_average : float;
+  sim_maximum : float;
+  estimates : (string * Estimator.run) list;
+}
+
+let run_point sim estimators prng ~vectors point =
+  let bits =
+    Netlist.Circuit.input_count (Gatesim.Simulator.circuit sim)
+  in
+  let sequence =
+    Stimulus.Generator.sequence prng ~bits ~length:vectors ~sp:point.sp
+      ~st:point.st
+  in
+  let srun = Gatesim.Simulator.run sim sequence in
+  let estimates =
+    List.map (fun (label, e) -> (label, Estimator.run e sequence)) estimators
+  in
+  {
+    point;
+    sim_average = srun.Gatesim.Simulator.average;
+    sim_maximum = srun.Gatesim.Simulator.maximum;
+    estimates;
+  }
+
+let run_grid ?(grid = default_grid) ?(vectors = 2000) ?(seed = 2024) sim
+    estimators =
+  let prng = Stimulus.Prng.create seed in
+  List.map (fun point -> run_point sim estimators prng ~vectors point) grid
+
+(* Average relative error on average-power estimates: mean of |RE| over the
+   grid, as in the paper's ARE. *)
+let are_average results label =
+  let res =
+    List.map
+      (fun r ->
+        let est = List.assoc label r.estimates in
+        Float.abs
+          (relative_error ~estimate:est.Estimator.average ~truth:r.sim_average))
+      results
+  in
+  List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)
+
+(* Average relative error on maximum-power estimates, for the bound
+   columns: the bound's run maximum against the simulated run maximum. *)
+let are_maximum results label =
+  let res =
+    List.map
+      (fun r ->
+        let est = List.assoc label r.estimates in
+        Float.abs
+          (relative_error ~estimate:est.Estimator.maximum ~truth:r.sim_maximum))
+      results
+  in
+  List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)
+
+(* A constant estimator's "run maximum" is the constant itself; expose an
+   ARE against the simulated maxima for the constant bound column. *)
+let are_constant_maximum results value =
+  let res =
+    List.map
+      (fun r ->
+        Float.abs (relative_error ~estimate:value ~truth:r.sim_maximum))
+      results
+  in
+  List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)

@@ -1,0 +1,47 @@
+(** Input-statistics sweeps and the paper's ARE metric.
+
+    Each grid point [(sp, st)] drives one concurrent RTL/gate-level run on a
+    fresh random sequence with those statistics; the relative error of each
+    estimator's average (or maximum) against the golden simulation is
+    aggregated into the average relative error (ARE) reported by Fig. 7 and
+    Table 1. *)
+
+type point = { sp : float; st : float }
+
+val pp_point : Format.formatter -> point -> unit
+
+val default_grid : point list
+(** sp in \{0.2, 0.5, 0.8\} x st in \{0.1 .. 0.9\}, feasible combinations
+    only (9 points). *)
+
+val relative_error : estimate:float -> truth:float -> float
+(** Signed relative error; infinite when the truth is zero and the estimate
+    is not. *)
+
+type run_result = {
+  point : point;
+  sim_average : float;
+  sim_maximum : float;
+  estimates : (string * Estimator.run) list;
+}
+
+val run_point :
+  Gatesim.Simulator.t -> (string * Estimator.t) list -> Stimulus.Prng.t ->
+  vectors:int -> point -> run_result
+(** One concurrent run: simulate a fresh sequence with the point's
+    statistics and evaluate every estimator on it. *)
+
+val run_grid :
+  ?grid:point list -> ?vectors:int -> ?seed:int ->
+  Gatesim.Simulator.t -> (string * Estimator.t) list -> run_result list
+
+val are_average : run_result list -> string -> float
+(** ARE of the named estimator's average-power estimates over the runs. *)
+
+val are_maximum : run_result list -> string -> float
+(** ARE of the named estimator's per-run maximum against the simulated
+    maximum (bound columns of Table 1). *)
+
+val are_constant_maximum : run_result list -> float -> float
+(** ARE of a constant worst-case estimator against the simulated per-run
+    maxima. *)

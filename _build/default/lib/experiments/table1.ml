@@ -1,0 +1,81 @@
+(* Table 1: every benchmark, average estimators (Con / Lin / ADD) and
+   conservative upper bounds (constant / pattern-dependent ADD). *)
+
+type row = {
+  name : string;
+  inputs : int;
+  gates : int;
+  are_con : float;
+  are_lin : float;
+  are_add : float;
+  max_avg : int;
+  cpu_avg : float;
+  are_con_ub : float;
+  are_add_ub : float;
+  max_ub : int;
+  cpu_ub : float;
+}
+
+type config = {
+  vectors : int;       (* per evaluation run *)
+  char_vectors : int;  (* characterization sample length *)
+  seed : int;
+  max_scale : float;   (* scales the Table 1 MAX bounds, for quick runs *)
+}
+
+let default_config =
+  { vectors = 2000; char_vectors = 3000; seed = 5; max_scale = 1.0 }
+
+let scaled scale m = max 3 (int_of_float (Float.round (scale *. float_of_int m)))
+
+let run_entry ?(config = default_config) (entry : Circuits.Suite.entry) =
+  let circuit = entry.Circuits.Suite.build () in
+  let sim = Gatesim.Simulator.create circuit in
+  let bits = Netlist.Circuit.input_count circuit in
+  let prng = Stimulus.Prng.create (config.seed + Hashtbl.hash entry.name) in
+  let char_seq =
+    Stimulus.Generator.sequence prng ~bits ~length:config.char_vectors ~sp:0.5
+      ~st:0.5
+  in
+  let con = Powermodel.Baselines.characterize_con sim char_seq in
+  let lin = Powermodel.Baselines.characterize_lin sim char_seq in
+  let max_avg = scaled config.max_scale entry.Circuits.Suite.max_avg in
+  let max_ub = scaled config.max_scale entry.Circuits.Suite.max_ub in
+  let avg_model = Powermodel.Model.build ~max_size:max_avg circuit in
+  let ub_model = Powermodel.Bounds.build ~max_size:max_ub circuit in
+  let estimators =
+    [
+      ("Con", Estimator.Characterized con);
+      ("Lin", Estimator.Characterized lin);
+      ("ADD", Estimator.Add_model avg_model);
+      ("ADD-ub", Estimator.Add_model ub_model);
+    ]
+  in
+  let results =
+    Sweep.run_grid ~vectors:config.vectors ~seed:(config.seed + 1) sim
+      estimators
+  in
+  let constant_ub = Powermodel.Bounds.constant_bound ub_model in
+  {
+    name = entry.Circuits.Suite.name;
+    inputs = bits;
+    gates = Netlist.Circuit.gate_count circuit;
+    are_con = Sweep.are_average results "Con";
+    are_lin = Sweep.are_average results "Lin";
+    are_add = Sweep.are_average results "ADD";
+    max_avg;
+    cpu_avg = avg_model.Powermodel.Model.stats.cpu_seconds;
+    are_con_ub = Sweep.are_constant_maximum results constant_ub;
+    are_add_ub = Sweep.are_maximum results "ADD-ub";
+    max_ub;
+    cpu_ub = ub_model.Powermodel.Model.stats.cpu_seconds;
+  }
+
+let run ?(config = default_config) ?names () =
+  let entries =
+    match names with
+    | None -> Circuits.Suite.all
+    | Some names ->
+      List.filter_map Circuits.Suite.find names
+  in
+  List.map (fun entry -> run_entry ~config entry) entries

@@ -1,0 +1,34 @@
+(** Table 1 reproduction: ARE of the average estimators ([Con], [Lin],
+    [ADD]) and of the conservative upper bounds (constant vs
+    pattern-dependent ADD) for every benchmark in the suite, plus the MAX
+    bounds used and the model construction CPU times. *)
+
+type row = {
+  name : string;
+  inputs : int;     (** paper column n *)
+  gates : int;      (** paper column N *)
+  are_con : float;
+  are_lin : float;
+  are_add : float;
+  max_avg : int;
+  cpu_avg : float;
+  are_con_ub : float;  (** constant worst-case estimator's ARE on maxima *)
+  are_add_ub : float;  (** pattern-dependent bound's ARE on maxima *)
+  max_ub : int;
+  cpu_ub : float;
+}
+
+type config = {
+  vectors : int;
+  char_vectors : int;
+  seed : int;
+  max_scale : float;
+      (** multiplies the Table 1 MAX bounds; < 1 for quicker runs *)
+}
+
+val default_config : config
+
+val run_entry : ?config:config -> Circuits.Suite.entry -> row
+
+val run : ?config:config -> ?names:string list -> unit -> row list
+(** The full table (or a named subset), in suite order. *)

@@ -1,0 +1,1 @@
+lib/gatesim/simulator.ml: Array Netlist

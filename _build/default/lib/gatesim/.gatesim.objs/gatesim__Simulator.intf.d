@@ -1,0 +1,1 @@
+lib/gatesim/simulator.mli: Netlist

@@ -1,0 +1,101 @@
+type t = {
+  circuit : Netlist.Circuit.t;
+  loads : float array; (* per net, fF *)
+}
+
+let default_vdd = 3.3
+
+let create ?output_load ?loads circuit =
+  let loads =
+    match loads with
+    | Some loads ->
+      if Array.length loads <> circuit.Netlist.Circuit.net_count then
+        invalid_arg "Simulator.create: loads length must equal net count";
+      Array.copy loads
+    | None -> (
+      match output_load with
+      | None -> Netlist.Circuit.loads circuit
+      | Some output_load -> Netlist.Circuit.loads ~output_load circuit)
+  in
+  { circuit; loads }
+
+let circuit t = t.circuit
+let loads t = t.loads
+
+let eval t env = Netlist.Circuit.eval_all Netlist.Cell.bool_logic t.circuit env
+
+let eval_outputs t env =
+  Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic t.circuit env
+
+(* Zero-delay switched capacitance of the transition [before -> after]:
+   the loads of gate-output nets with a rising transition (Eq. 2-3 of the
+   paper; falling transitions discharge to ground and draw no supply
+   current; primary-input nets are driven externally and not counted). *)
+let switched_capacitance_of_values t before after =
+  let n = Netlist.Circuit.input_count t.circuit in
+  let total = ref 0.0 in
+  for net = n to Array.length before - 1 do
+    if (not before.(net)) && after.(net) then total := !total +. t.loads.(net)
+  done;
+  !total
+
+let switched_capacitance t x_i x_f =
+  let before = eval t x_i and after = eval t x_f in
+  switched_capacitance_of_values t before after
+
+let energy ?(vdd = default_vdd) t x_i x_f =
+  vdd *. vdd *. switched_capacitance t x_i x_f
+
+type run = {
+  patterns : int;          (** number of transitions simulated *)
+  average : float;         (** mean switched capacitance per transition, fF *)
+  maximum : float;         (** largest switched capacitance observed, fF *)
+  total : float;           (** sum over all transitions, fF *)
+  per_pattern : float array;
+}
+
+let run t vectors =
+  let count = Array.length vectors in
+  if count < 2 then invalid_arg "Simulator.run: need at least two vectors";
+  let per_pattern = Array.make (count - 1) 0.0 in
+  let values = ref (eval t vectors.(0)) in
+  let total = ref 0.0 and maximum = ref 0.0 in
+  for k = 1 to count - 1 do
+    let next = eval t vectors.(k) in
+    let c = switched_capacitance_of_values t !values next in
+    per_pattern.(k - 1) <- c;
+    total := !total +. c;
+    if c > !maximum then maximum := c;
+    values := next
+  done;
+  {
+    patterns = count - 1;
+    average = !total /. float_of_int (count - 1);
+    maximum = !maximum;
+    total = !total;
+    per_pattern;
+  }
+
+let average_power ?(vdd = default_vdd) ~period run =
+  (* femto-Farad * V^2 / s: returns femto-Joule / s when period is in s. *)
+  vdd *. vdd *. run.average /. period
+
+let worst_case_capacitance_exhaustive t =
+  (* Exact worst case by enumerating all pairs of input vectors: O(4^n),
+     usable only for small circuits (the infeasibility the paper notes). *)
+  let n = Netlist.Circuit.input_count t.circuit in
+  if n > 13 then
+    invalid_arg
+      "Simulator.worst_case_capacitance_exhaustive: too many inputs";
+  let vec k = Array.init n (fun i -> (k lsr i) land 1 = 1) in
+  let all_values = Array.init (1 lsl n) (fun k -> eval t (vec k)) in
+  let best = ref 0.0 in
+  Array.iter
+    (fun before ->
+      Array.iter
+        (fun after ->
+          let c = switched_capacitance_of_values t before after in
+          if c > !best then best := c)
+        all_values)
+    all_values;
+  !best

@@ -1,0 +1,100 @@
+(* Dense linear algebra for model fitting: Gaussian elimination with
+   partial pivoting, and least squares via the normal equations.  Problem
+   sizes here are tiny (n+1 coefficients of the Lin baseline), so numerical
+   sophistication beyond pivoting is unnecessary. *)
+
+exception Singular
+
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Lstsq.solve: non-square system";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Lstsq.solve: ragged matrix")
+    a;
+  let m = Array.map Array.copy a in
+  let rhs = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-12 then raise Singular;
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let t = rhs.(col) in
+      rhs.(col) <- rhs.(!pivot);
+      rhs.(!pivot) <- t
+    end;
+    for row = col + 1 to n - 1 do
+      let f = m.(row).(col) /. m.(col).(col) in
+      if f <> 0.0 then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (f *. m.(col).(k))
+        done;
+        rhs.(row) <- rhs.(row) -. (f *. rhs.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref rhs.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. m.(row).(row)
+  done;
+  x
+
+let solve_regularized a b ~ridge =
+  let n = Array.length b in
+  let m = Array.map Array.copy a in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- m.(i).(i) +. ridge
+  done;
+  solve m b
+
+(* rows: list of (features, target); fits x minimizing ||A x - b||^2 via
+   A^T A x = A^T b.  A tiny ridge keeps rank-deficient designs (e.g. an
+   input that never toggles in the sample) solvable. *)
+let fit rows ~features =
+  let count = List.length rows in
+  if count = 0 then invalid_arg "Lstsq.fit: empty sample";
+  let ata = Array.make_matrix features features 0.0 in
+  let atb = Array.make features 0.0 in
+  List.iter
+    (fun (row, target) ->
+      if Array.length row <> features then
+        invalid_arg "Lstsq.fit: feature width mismatch";
+      for i = 0 to features - 1 do
+        atb.(i) <- atb.(i) +. (row.(i) *. target);
+        for j = 0 to features - 1 do
+          ata.(i).(j) <- ata.(i).(j) +. (row.(i) *. row.(j))
+        done
+      done)
+    rows;
+  try solve ata atb with Singular -> solve_regularized ata atb ~ridge:1e-6
+
+let predict coeffs row =
+  if Array.length coeffs <> Array.length row then
+    invalid_arg "Lstsq.predict: width mismatch";
+  let s = ref 0.0 in
+  Array.iteri (fun i c -> s := !s +. (c *. row.(i))) coeffs;
+  !s
+
+let residual_rms rows coeffs =
+  let count = List.length rows in
+  if count = 0 then 0.0
+  else begin
+    let s =
+      List.fold_left
+        (fun acc (row, target) ->
+          let e = predict coeffs row -. target in
+          acc +. (e *. e))
+        0.0 rows
+    in
+    sqrt (s /. float_of_int count)
+  end

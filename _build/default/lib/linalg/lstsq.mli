@@ -1,0 +1,26 @@
+(** Small dense linear algebra: linear systems and least squares.
+
+    Used to characterize the paper's [Lin] baseline (a linear model of the
+    per-pattern power in the input transition bits) from a simulation
+    sample, exactly as Section 4 describes. *)
+
+exception Singular
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  Raises {!Singular} when a pivot vanishes. *)
+
+val solve_regularized :
+  float array array -> float array -> ridge:float -> float array
+(** Solve [(a + ridge I) x = b]. *)
+
+val fit : (float array * float) list -> features:int -> float array
+(** Ordinary least squares: coefficients minimizing the squared error of
+    [predict coeffs row ~ target] over the sample.  Falls back to a tiny
+    ridge when the normal equations are singular (e.g. a feature constant
+    across the sample). *)
+
+val predict : float array -> float array -> float
+
+val residual_rms : (float array * float) list -> float array -> float
+(** Root-mean-square residual of a fit over a sample. *)

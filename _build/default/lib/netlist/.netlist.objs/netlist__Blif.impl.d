@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Builder Cell Circuit Hashtbl List Mapper Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/mapper.ml: Array Builder List String

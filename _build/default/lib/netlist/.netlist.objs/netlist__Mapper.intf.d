@@ -1,0 +1,1 @@
+lib/netlist/mapper.mli: Builder Circuit

@@ -1,0 +1,259 @@
+type sop_node = {
+  node_inputs : string list;
+  node_output : string;
+  cubes : Mapper.cube list;
+  on_set : bool; (* false when the cover lists the off-set (output column 0) *)
+}
+
+type ast = {
+  model : string;
+  ast_inputs : string list;
+  ast_outputs : string list;
+  nodes : sop_node list;
+}
+
+(* --- Lexing: strip comments, join '\' continuations, split on blanks. --- *)
+
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (match pending with None -> acc | Some p -> p :: acc)
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+      let body =
+        if continued then String.sub line 0 (String.length line - 1) else line
+      in
+      let merged =
+        match pending with None -> body | Some p -> p ^ " " ^ body
+      in
+      if continued then join acc (Some merged) rest
+      else if String.trim merged = "" then join acc None rest
+      else join (String.trim merged :: acc) None rest
+  in
+  join [] None raw
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* --- Parsing into the AST. --- *)
+
+type parse_state = {
+  mutable p_model : string option;
+  mutable p_inputs : string list;
+  mutable p_outputs : string list;
+  mutable p_nodes : sop_node list; (* reversed *)
+  mutable current : (string list * string * (Mapper.cube * bool) list) option;
+}
+
+let flush_current st =
+  match st.current with
+  | None -> Ok ()
+  | Some (ins, out, rows) ->
+    st.current <- None;
+    let rows = List.rev rows in
+    let on_rows = List.for_all snd rows and off_rows = List.for_all (fun (_, v) -> not v) rows in
+    if rows <> [] && (not on_rows) && not off_rows then
+      Error (Printf.sprintf "node %s mixes on-set and off-set rows" out)
+    else begin
+      let cubes = List.map fst rows in
+      let on_set = rows = [] || on_rows in
+      st.p_nodes <-
+        { node_inputs = ins; node_output = out; cubes; on_set } :: st.p_nodes;
+      Ok ()
+    end
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_ast text =
+  let st =
+    { p_model = None; p_inputs = []; p_outputs = []; p_nodes = []; current = None }
+  in
+  let rec loop = function
+    | [] ->
+      let* () = flush_current st in
+      Ok
+        {
+          model = Option.value st.p_model ~default:"unnamed";
+          ast_inputs = st.p_inputs;
+          ast_outputs = st.p_outputs;
+          nodes = List.rev st.p_nodes;
+        }
+    | line :: rest -> (
+      match tokens line with
+      | [] -> loop rest
+      | ".model" :: name ->
+        let* () = flush_current st in
+        st.p_model <- Some (String.concat "_" name);
+        loop rest
+      | ".inputs" :: names ->
+        let* () = flush_current st in
+        st.p_inputs <- st.p_inputs @ names;
+        loop rest
+      | ".outputs" :: names ->
+        let* () = flush_current st in
+        st.p_outputs <- st.p_outputs @ names;
+        loop rest
+      | [ ".names" ] -> Error ".names with no signals"
+      | ".names" :: signals ->
+        let* () = flush_current st in
+        let rec split_last acc = function
+          | [] -> assert false
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split_last (x :: acc) rest
+        in
+        let ins, out = split_last [] signals in
+        st.current <- Some (ins, out, []);
+        loop rest
+      | [ ".end" ] ->
+        let* () = flush_current st in
+        Ok
+          {
+            model = Option.value st.p_model ~default:"unnamed";
+            ast_inputs = st.p_inputs;
+            ast_outputs = st.p_outputs;
+            nodes = List.rev st.p_nodes;
+          }
+      | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+        Error (Printf.sprintf "unsupported BLIF construct: %s" directive)
+      | row -> (
+        match st.current with
+        | None -> Error (Printf.sprintf "cube row outside .names: %s" line)
+        | Some (ins, out, rows) -> (
+          let width = List.length ins in
+          let pattern, value =
+            match row with
+            | [ v ] when width = 0 -> ("", v)
+            | [ p; v ] -> (p, v)
+            | _ -> ("?", "?")
+          in
+          let value_ok = value = "0" || value = "1" in
+          if (not value_ok) || String.length pattern <> width then
+            Error (Printf.sprintf "malformed cube row in node %s: %s" out line)
+          else
+            match Mapper.cube_of_string pattern with
+            | None -> Error (Printf.sprintf "bad cube %s in node %s" pattern out)
+            | Some cube ->
+              st.current <- Some (ins, out, (cube, value = "1") :: rows);
+              loop rest)))
+  in
+  loop (logical_lines text)
+
+(* --- Elaboration: dependency-ordered instantiation via Builder. --- *)
+
+let elaborate ast =
+  let b = Builder.create ~name:ast.model in
+  let nets : (string, Circuit.net) Hashtbl.t = Hashtbl.create 64 in
+  let defs : (string, sop_node) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace defs n.node_output n) ast.nodes;
+  List.iter
+    (fun name ->
+      if Hashtbl.mem nets name then
+        invalid_arg (Printf.sprintf "duplicate input %s" name)
+      else Hashtbl.replace nets name (Builder.input b name))
+    ast.ast_inputs;
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let exception Elab_error of string in
+  let rec net_of name =
+    match Hashtbl.find_opt nets name with
+    | Some n -> n
+    | None ->
+      if Hashtbl.mem in_progress name then
+        raise (Elab_error (Printf.sprintf "combinational cycle through %s" name));
+      (match Hashtbl.find_opt defs name with
+      | None ->
+        raise (Elab_error (Printf.sprintf "undefined signal %s" name))
+      | Some node ->
+        Hashtbl.replace in_progress name ();
+        let ins = Array.of_list (List.map net_of node.node_inputs) in
+        let on = Mapper.sop b ~inputs:ins ~cubes:node.cubes in
+        let out = if node.on_set then on else Mapper.complement_output b on in
+        Hashtbl.remove in_progress name;
+        Hashtbl.replace nets name out;
+        out)
+  in
+  try
+    List.iter
+      (fun name -> Builder.output b name (net_of name))
+      ast.ast_outputs;
+    Ok (Builder.finish b)
+  with
+  | Elab_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse text =
+  match parse_ast text with
+  | Error _ as e -> e
+  | Ok ast -> elaborate ast
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+(* --- Writer. --- *)
+
+let cover_of_kind kind =
+  let open Cell in
+  match kind with
+  | Const true -> [ ("", "1") ]
+  | Const false -> []
+  | Buf -> [ ("1", "1") ]
+  | Inv -> [ ("0", "1") ]
+  | And n -> [ (String.make n '1', "1") ]
+  | Nand n -> [ (String.make n '1', "0") ]
+  | Or n ->
+    List.init n (fun i ->
+        (String.init n (fun j -> if i = j then '1' else '-'), "1"))
+  | Nor n ->
+    List.init n (fun i ->
+        (String.init n (fun j -> if i = j then '1' else '-'), "0"))
+  | Xor -> [ ("01", "1"); ("10", "1") ]
+  | Xnor -> [ ("00", "1"); ("11", "1") ]
+  | Mux -> [ ("1-0", "1"); ("-11", "1") ]
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  let net_name i =
+    if i < Array.length c.input_names then c.input_names.(i)
+    else Printf.sprintf "n%d" i
+  in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" c.name);
+  Buffer.add_string buf
+    (".inputs " ^ String.concat " " (Array.to_list c.input_names) ^ "\n");
+  Buffer.add_string buf
+    (".outputs "
+    ^ String.concat " " (List.map fst (Array.to_list c.outputs))
+    ^ "\n");
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      let ins = Array.to_list (Array.map net_name g.ins) in
+      Buffer.add_string buf
+        (".names " ^ String.concat " " (ins @ [ net_name g.out ]) ^ "\n");
+      List.iter
+        (fun (pattern, v) ->
+          if pattern = "" then Buffer.add_string buf (v ^ "\n")
+          else Buffer.add_string buf (pattern ^ " " ^ v ^ "\n"))
+        (cover_of_kind g.kind))
+    c.gates;
+  Array.iter
+    (fun (name, net) ->
+      if not (String.equal name (net_name net)) then
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n1 1\n" (net_name net) name))
+    c.outputs;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,23 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    The supported subset is the one MCNC-style combinational benchmarks use:
+    [.model], [.inputs], [.outputs], [.names] with single-output SOP covers
+    ([0/1/-] cubes, on-set or off-set), comments and line continuations, and
+    [.end].  Latches and hierarchy are rejected — the paper's models cover
+    combinational macros only.
+
+    Parsed nodes are technology-mapped onto the {!Cell} library with
+    {!Mapper}, so a parsed circuit is immediately usable as a golden model. *)
+
+val parse : string -> (Circuit.t, string) result
+(** Parse and elaborate BLIF text.  Node order in the file is free; cyclic
+    or undefined signals are reported as [Error]. *)
+
+val parse_file : string -> (Circuit.t, string) result
+
+val to_string : Circuit.t -> string
+(** Emit a circuit as BLIF, one [.names] block per gate.  [parse] of the
+    result reconstructs a functionally identical circuit (gate identity is
+    not preserved: covers are re-mapped). *)
+
+val write_file : string -> Circuit.t -> unit

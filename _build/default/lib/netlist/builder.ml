@@ -1,0 +1,126 @@
+type state = {
+  name : string;
+  mutable inputs : string list; (* reversed *)
+  mutable gates : Circuit.gate list; (* reversed *)
+  mutable outputs : (string * Circuit.net) list; (* reversed *)
+  mutable next_net : int;
+  mutable frozen : bool;
+  mutable input_phase : bool;
+}
+
+type t = state
+
+let create ~name =
+  {
+    name;
+    inputs = [];
+    gates = [];
+    outputs = [];
+    next_net = 0;
+    frozen = false;
+    input_phase = true;
+  }
+
+let check_open b ctx =
+  if b.frozen then invalid_arg (Printf.sprintf "Builder.%s: already finished" ctx)
+
+let fresh b =
+  let n = b.next_net in
+  b.next_net <- n + 1;
+  n
+
+let input b name =
+  check_open b "input";
+  if not b.input_phase then
+    invalid_arg "Builder.input: all inputs must be declared before gates";
+  b.inputs <- name :: b.inputs;
+  fresh b
+
+let inputs b prefix count =
+  Array.init count (fun i -> input b (Printf.sprintf "%s%d" prefix i))
+
+let check_net b n ctx =
+  if n < 0 || n >= b.next_net then
+    invalid_arg (Printf.sprintf "Builder.%s: undefined net %d" ctx n)
+
+let gate b kind ins =
+  check_open b "gate";
+  b.input_phase <- false;
+  if not (Cell.valid kind) then
+    invalid_arg (Printf.sprintf "Builder.gate: invalid cell %s" (Cell.name kind));
+  if Array.length ins <> Cell.arity kind then
+    invalid_arg
+      (Printf.sprintf "Builder.gate: %s expects %d inputs, got %d"
+         (Cell.name kind) (Cell.arity kind) (Array.length ins));
+  Array.iter (fun n -> check_net b n "gate") ins;
+  let out = fresh b in
+  b.gates <- { Circuit.out; kind; ins = Array.copy ins } :: b.gates;
+  out
+
+let const b v = gate b (Cell.Const v) [||]
+let buf b a = gate b Cell.Buf [| a |]
+let not_ b a = gate b Cell.Inv [| a |]
+let and2 b x y = gate b (Cell.And 2) [| x; y |]
+let or2 b x y = gate b (Cell.Or 2) [| x; y |]
+let nand2 b x y = gate b (Cell.Nand 2) [| x; y |]
+let nor2 b x y = gate b (Cell.Nor 2) [| x; y |]
+let xor2 b x y = gate b Cell.Xor [| x; y |]
+let xnor2 b x y = gate b Cell.Xnor [| x; y |]
+let mux2 b ~sel ~if0 ~if1 = gate b Cell.Mux [| if0; if1; sel |]
+
+(* Balanced reduction tree over AND/OR using the widest available cells. *)
+let rec tree b mk_kind neutral nets =
+  match nets with
+  | [] -> const b neutral
+  | [ n ] -> n
+  | _ ->
+    let rec chunk acc current count = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | n :: rest ->
+        if count = Cell.max_simple_arity then
+          chunk (List.rev current :: acc) [ n ] 1 rest
+        else chunk acc (n :: current) (count + 1) rest
+    in
+    let groups = chunk [] [] 0 nets in
+    let reduce group =
+      match group with
+      | [ n ] -> n
+      | _ -> gate b (mk_kind (List.length group)) (Array.of_list group)
+    in
+    tree b mk_kind neutral (List.map reduce groups)
+
+let and_n b nets = tree b (fun n -> Cell.And n) true nets
+let or_n b nets = tree b (fun n -> Cell.Or n) false nets
+
+let rec xor_n b nets =
+  match nets with
+  | [] -> const b false
+  | [ n ] -> n
+  | _ ->
+    let rec pair acc = function
+      | [] -> List.rev acc
+      | [ n ] -> List.rev (n :: acc)
+      | a :: c :: rest -> pair (xor2 b a c :: acc) rest
+    in
+    xor_n b (pair [] nets)
+
+let output b name net =
+  check_open b "output";
+  check_net b net "output";
+  b.outputs <- (name, net) :: b.outputs
+
+let finish b =
+  check_open b "finish";
+  b.frozen <- true;
+  let c =
+    {
+      Circuit.name = b.name;
+      input_names = Array.of_list (List.rev b.inputs);
+      outputs = Array.of_list (List.rev b.outputs);
+      gates = Array.of_list (List.rev b.gates);
+      net_count = b.next_net;
+    }
+  in
+  match Circuit.validate c with
+  | Ok () -> c
+  | Error msg -> invalid_arg ("Builder.finish: " ^ msg)

@@ -1,0 +1,52 @@
+(** Safe, incremental construction of {!Circuit.t} values.
+
+    The builder hands out nets only after they are defined, so the finished
+    circuit is topologically sorted by construction.  Inputs must all be
+    declared before the first gate.  [finish] freezes the builder and
+    validates the result. *)
+
+type t
+
+val create : name:string -> t
+
+val input : t -> string -> Circuit.net
+(** Declare one named primary input.  Raises [Invalid_argument] after the
+    first gate has been created. *)
+
+val inputs : t -> string -> int -> Circuit.net array
+(** [inputs b "a" 4] declares [a0 .. a3]. *)
+
+val gate : t -> Cell.kind -> Circuit.net array -> Circuit.net
+(** Instantiate any library cell; returns its output net. *)
+
+(** {1 Cell shorthands} *)
+
+val const : t -> bool -> Circuit.net
+val buf : t -> Circuit.net -> Circuit.net
+val not_ : t -> Circuit.net -> Circuit.net
+val and2 : t -> Circuit.net -> Circuit.net -> Circuit.net
+val or2 : t -> Circuit.net -> Circuit.net -> Circuit.net
+val nand2 : t -> Circuit.net -> Circuit.net -> Circuit.net
+val nor2 : t -> Circuit.net -> Circuit.net -> Circuit.net
+val xor2 : t -> Circuit.net -> Circuit.net -> Circuit.net
+val xnor2 : t -> Circuit.net -> Circuit.net -> Circuit.net
+
+val mux2 : t -> sel:Circuit.net -> if0:Circuit.net -> if1:Circuit.net -> Circuit.net
+
+(** {1 Reduction trees}
+
+    Balanced trees built from the widest library cells; an empty list yields
+    the reduction's neutral constant. *)
+
+val and_n : t -> Circuit.net list -> Circuit.net
+val or_n : t -> Circuit.net list -> Circuit.net
+val xor_n : t -> Circuit.net list -> Circuit.net
+
+(** {1 Finishing} *)
+
+val output : t -> string -> Circuit.net -> unit
+(** Bind a net to a named primary output. *)
+
+val finish : t -> Circuit.t
+(** Freeze and validate.  Raises [Invalid_argument] on a malformed circuit
+    (which indicates a builder bug) or if called twice. *)

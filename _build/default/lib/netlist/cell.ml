@@ -1,0 +1,123 @@
+type kind =
+  | Const of bool
+  | Buf
+  | Inv
+  | And of int
+  | Nand of int
+  | Or of int
+  | Nor of int
+  | Xor
+  | Xnor
+  | Mux
+
+let arity = function
+  | Const _ -> 0
+  | Buf | Inv -> 1
+  | And n | Nand n | Or n | Nor n -> n
+  | Xor | Xnor -> 2
+  | Mux -> 3
+
+let name = function
+  | Const false -> "tie0"
+  | Const true -> "tie1"
+  | Buf -> "buf"
+  | Inv -> "inv"
+  | And n -> Printf.sprintf "and%d" n
+  | Nand n -> Printf.sprintf "nand%d" n
+  | Or n -> Printf.sprintf "or%d" n
+  | Nor n -> Printf.sprintf "nor%d" n
+  | Xor -> "xor2"
+  | Xnor -> "xnor2"
+  | Mux -> "mux2"
+
+(* Test gate library: per-pin input capacitance, in fF.  The paper maps MCNC
+   circuits onto "a test gate library" and derives each gate's load from the
+   input capacitances of its fan-out gates; these values play that role. *)
+let input_cap = function
+  | Const _ -> 0.0
+  | Buf -> 5.0
+  | Inv -> 5.0
+  | And _ -> 6.0
+  | Nand _ -> 5.5
+  | Or _ -> 6.0
+  | Nor _ -> 5.5
+  | Xor -> 9.0
+  | Xnor -> 9.0
+  | Mux -> 7.5
+
+(* Rough relative cell area (in equivalent gates), for reporting only. *)
+let area = function
+  | Const _ -> 0.0
+  | Buf -> 0.5
+  | Inv -> 0.5
+  | And n | Nand n | Or n | Nor n -> 0.5 +. (0.5 *. float_of_int n)
+  | Xor | Xnor -> 2.5
+  | Mux -> 2.0
+
+let max_simple_arity = 4
+(* Largest AND/NAND/OR/NOR fan-in available in the library. *)
+
+let valid = function
+  | And n | Nand n | Or n | Nor n -> n >= 2 && n <= max_simple_arity
+  | Const _ | Buf | Inv | Xor | Xnor | Mux -> true
+
+type 'a logic = {
+  ltrue : 'a;
+  lfalse : 'a;
+  lnot : 'a -> 'a;
+  land_ : 'a -> 'a -> 'a;
+  lor_ : 'a -> 'a -> 'a;
+  lxor_ : 'a -> 'a -> 'a;
+}
+
+let bool_logic =
+  {
+    ltrue = true;
+    lfalse = false;
+    lnot = not;
+    land_ = ( && );
+    lor_ = ( || );
+    lxor_ = ( <> );
+  }
+
+let reduce op init ins =
+  Array.fold_left op init ins
+
+let eval logic kind ins =
+  if Array.length ins <> arity kind then
+    invalid_arg
+      (Printf.sprintf "Cell.eval: %s expects %d inputs, got %d" (name kind)
+         (arity kind) (Array.length ins));
+  match kind with
+  | Const b -> if b then logic.ltrue else logic.lfalse
+  | Buf -> ins.(0)
+  | Inv -> logic.lnot ins.(0)
+  | And _ -> reduce logic.land_ logic.ltrue ins
+  | Nand _ -> logic.lnot (reduce logic.land_ logic.ltrue ins)
+  | Or _ -> reduce logic.lor_ logic.lfalse ins
+  | Nor _ -> logic.lnot (reduce logic.lor_ logic.lfalse ins)
+  | Xor -> logic.lxor_ ins.(0) ins.(1)
+  | Xnor -> logic.lnot (logic.lxor_ ins.(0) ins.(1))
+  | Mux ->
+    (* ins = [| a; b; s |]: output is b when s, a otherwise. *)
+    let a = ins.(0) and b = ins.(1) and s = ins.(2) in
+    logic.lor_ (logic.land_ s b) (logic.land_ (logic.lnot s) a)
+
+let eval_bool kind ins = eval bool_logic kind ins
+
+let all_kinds =
+  [
+    Const false; Const true; Buf; Inv;
+    And 2; And 3; And 4;
+    Nand 2; Nand 3; Nand 4;
+    Or 2; Or 3; Or 4;
+    Nor 2; Nor 3; Nor 4;
+    Xor; Xnor; Mux;
+  ]
+
+let of_name s =
+  let rec find = function
+    | [] -> None
+    | k :: rest -> if String.equal (name k) s then Some k else find rest
+  in
+  find all_kinds

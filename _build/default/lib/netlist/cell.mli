@@ -1,0 +1,59 @@
+(** The test gate library.
+
+    The paper maps benchmark circuits onto a "test gate library" whose input
+    capacitances define the load each driving gate must charge.  This module
+    is that library: a fixed set of combinational cells with per-pin input
+    capacitance (fF) and a generic evaluator usable both for Boolean
+    simulation and for symbolic (BDD) construction. *)
+
+type kind =
+  | Const of bool  (** constant driver, no inputs *)
+  | Buf
+  | Inv
+  | And of int     (** [And n]: n-input AND, [2 <= n <= 4] *)
+  | Nand of int
+  | Or of int
+  | Nor of int
+  | Xor            (** 2-input *)
+  | Xnor           (** 2-input *)
+  | Mux            (** 2:1 multiplexer; inputs [[|a; b; s|]], output [s ? b : a] *)
+
+val arity : kind -> int
+val name : kind -> string
+
+val of_name : string -> kind option
+(** Inverse of {!name} over {!all_kinds}. *)
+
+val input_cap : kind -> float
+(** Per-pin input capacitance in fF; the load of a driving gate is the sum
+    of the input capacitances of the pins it fans out to. *)
+
+val area : kind -> float
+(** Relative cell area (equivalent gates), for reporting. *)
+
+val max_simple_arity : int
+val valid : kind -> bool
+
+val all_kinds : kind list
+
+(** {1 Generic evaluation}
+
+    [eval logic kind ins] computes the cell function over any carrier: booleans
+    for simulation, BDDs for the symbolic model construction. *)
+
+type 'a logic = {
+  ltrue : 'a;
+  lfalse : 'a;
+  lnot : 'a -> 'a;
+  land_ : 'a -> 'a -> 'a;
+  lor_ : 'a -> 'a -> 'a;
+  lxor_ : 'a -> 'a -> 'a;
+}
+
+val bool_logic : bool logic
+
+val eval : 'a logic -> kind -> 'a array -> 'a
+(** Raises [Invalid_argument] when the input count does not match the
+    cell's arity. *)
+
+val eval_bool : kind -> bool array -> bool

@@ -1,0 +1,55 @@
+(** Gate-level combinational netlists — the paper's "golden model".
+
+    A circuit is a DAG of library cells over integer {e nets}.  Nets
+    [0 .. input_count - 1] are the primary inputs; every gate defines exactly
+    one net, and gates are stored in topological order (a gate may only read
+    nets defined earlier).  Use {!Builder} to construct circuits safely. *)
+
+type net = int
+
+type gate = { out : net; kind : Cell.kind; ins : net array }
+
+type t = {
+  name : string;
+  input_names : string array;   (** nets [0 .. n-1] *)
+  outputs : (string * net) array;
+  gates : gate array;           (** topologically sorted *)
+  net_count : int;
+}
+
+val input_count : t -> int
+val gate_count : t -> int
+val output_count : t -> int
+
+val validate : t -> (unit, string) result
+(** Structural sanity: every net defined exactly once and before use, cell
+    arities respected, outputs bound. *)
+
+val default_output_load : float
+(** Capacitance (fF) assumed on primary-output nets (pad / downstream
+    register stand-in). *)
+
+val loads : ?output_load:float -> t -> float array
+(** Per-net load capacitance: the sum of the input capacitances of the
+    gates each net drives, plus [output_load] on primary outputs — the
+    back-annotation rule of the paper's experiments ("input capacitances of
+    fan-out gates were used as load capacitances for the driving ones"). *)
+
+val depth : t -> int
+(** Logic depth in gate levels. *)
+
+val fanout : t -> int array
+(** Per-net fan-out (number of gate input pins driven). *)
+
+val total_area : t -> float
+
+val input_index : t -> string -> int option
+
+val eval_all : 'a Cell.logic -> t -> 'a array -> 'a array
+(** Evaluate every net under the given primary-input values, over any logic
+    carrier (booleans for simulation, BDDs for the symbolic construction).
+    Result is indexed by net. *)
+
+val eval_outputs : 'a Cell.logic -> t -> 'a array -> 'a array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type literal = Pos | Neg | Dontcare
+
+type cube = literal array
+
+let literal_of_char = function
+  | '1' -> Some Pos
+  | '0' -> Some Neg
+  | '-' -> Some Dontcare
+  | _ -> None
+
+let cube_of_string s =
+  let lits = Array.make (String.length s) Dontcare in
+  let ok = ref true in
+  String.iteri
+    (fun i c ->
+      match literal_of_char c with
+      | Some l -> lits.(i) <- l
+      | None -> ok := false)
+    s;
+  if !ok then Some lits else None
+
+let string_of_cube cube =
+  String.init (Array.length cube) (fun i ->
+      match cube.(i) with Pos -> '1' | Neg -> '0' | Dontcare -> '-')
+
+let cube_covers cube bits =
+  let n = Array.length cube in
+  let rec go i =
+    i >= n
+    ||
+    match cube.(i) with
+    | Dontcare -> go (i + 1)
+    | Pos -> bits.(i) && go (i + 1)
+    | Neg -> (not bits.(i)) && go (i + 1)
+  in
+  if Array.length bits <> n then
+    invalid_arg "Mapper.cube_covers: width mismatch";
+  go 0
+
+let eval_sop cubes bits = List.exists (fun c -> cube_covers c bits) cubes
+
+(* Map a sum-of-products cover to gates: one AND tree per cube (inverters
+   for negated literals, shared across cubes), one OR tree over the cubes. *)
+let sop builder ~inputs ~cubes =
+  let width = Array.length inputs in
+  let inverted = Array.make width None in
+  let inv i =
+    match inverted.(i) with
+    | Some n -> n
+    | None ->
+      let n = Builder.not_ builder inputs.(i) in
+      inverted.(i) <- Some n;
+      n
+  in
+  let cube_net cube =
+    if Array.length cube <> width then
+      invalid_arg "Mapper.sop: cube width mismatch";
+    let lits = ref [] in
+    Array.iteri
+      (fun i l ->
+        match l with
+        | Dontcare -> ()
+        | Pos -> lits := inputs.(i) :: !lits
+        | Neg -> lits := inv i :: !lits)
+      cube;
+    match List.rev !lits with
+    | [] -> Builder.const builder true (* tautological cube *)
+    | nets -> Builder.and_n builder nets
+  in
+  match cubes with
+  | [] -> Builder.const builder false
+  | _ -> Builder.or_n builder (List.map cube_net cubes)
+
+let complement_output builder net = Builder.not_ builder net

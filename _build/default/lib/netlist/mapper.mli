@@ -1,0 +1,29 @@
+(** Technology mapping of two-level covers onto the gate library.
+
+    BLIF logic nodes are sum-of-products covers; this module turns a cover
+    into AND/OR/INV trees built with {!Builder} — the simple mapper standing
+    in for the paper's MCNC-to-test-library mapping flow. *)
+
+type literal = Pos | Neg | Dontcare
+
+type cube = literal array
+
+val cube_of_string : string -> cube option
+(** Parse a PLA-style cube over ['0'], ['1'], ['-']. *)
+
+val string_of_cube : cube -> string
+
+val cube_covers : cube -> bool array -> bool
+(** Does the cube contain this minterm?  Raises [Invalid_argument] on a
+    width mismatch. *)
+
+val eval_sop : cube list -> bool array -> bool
+
+val sop :
+  Builder.t -> inputs:Circuit.net array -> cubes:cube list -> Circuit.net
+(** Instantiate the cover over the given input nets and return the output
+    net.  Inverters are shared between cubes; an empty cover is constant
+    false, a cover containing the empty cube is constant true. *)
+
+val complement_output : Builder.t -> Circuit.net -> Circuit.net
+(** Inverter wrapper used for BLIF off-set ([... 0]) covers. *)

@@ -1,0 +1,1 @@
+lib/powermodel/analysis.ml: Array Dd Hashtbl Model Vars

@@ -1,0 +1,1 @@
+lib/powermodel/baselines.ml: Array Gatesim Linalg

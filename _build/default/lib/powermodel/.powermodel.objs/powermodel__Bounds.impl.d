@@ -1,0 +1,1 @@
+lib/powermodel/bounds.ml: Array Dd Gatesim Model

@@ -1,0 +1,1 @@
+lib/powermodel/bounds.mli: Dd Gatesim Model Netlist

@@ -1,0 +1,1 @@
+lib/powermodel/compose.ml: Array List Model Printf

@@ -1,0 +1,1 @@
+lib/powermodel/compose.mli: Model

@@ -1,0 +1,1 @@
+lib/powermodel/model.ml: Array Dd Netlist Sys Vars

@@ -1,0 +1,1 @@
+lib/powermodel/model.mli: Dd Netlist

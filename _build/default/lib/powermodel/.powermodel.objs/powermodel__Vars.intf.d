@@ -1,0 +1,1 @@
+lib/powermodel/vars.mli:

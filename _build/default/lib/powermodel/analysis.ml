@@ -1,0 +1,92 @@
+(* Analytical queries on a constructed model.
+
+   Because the model is a closed-form ADD over the transition variables,
+   questions that would need long simulations on a black-box model are a
+   single diagram traversal here:
+
+   - the transition that maximizes the (bound on) switching capacitance —
+     the "input conditions that maximize the internal switching activity"
+     the worst-case literature the paper cites searches for;
+   - the expected capacitance under given Markov input statistics, exactly;
+   - per-input sensitivities: how much expected capacitance each input's
+     toggling contributes. *)
+
+(* Follow a max-value path through the ADD; unconstrained variables (levels
+   skipped by the reduced diagram) are filled with [false]. *)
+let worst_case_transition model =
+  let n = model.Model.inputs in
+  let env = Array.make (Vars.count ~inputs:n) false in
+  let rec descend node =
+    match node with
+    | Dd.Add.Leaf l -> l.value
+    | Dd.Add.Node nd ->
+      let max_of t =
+        match t with
+        | Dd.Add.Leaf l -> l.value
+        | Dd.Add.Node _ -> Dd.Add.max_value t
+      in
+      if max_of nd.high >= max_of nd.low then begin
+        env.(nd.var) <- true;
+        descend nd.high
+      end
+      else begin
+        env.(nd.var) <- false;
+        descend nd.low
+      end
+  in
+  let value = descend model.Model.cap in
+  let x_i = Array.init n (fun j -> env.(Vars.initial j)) in
+  let x_f = Array.init n (fun j -> env.(Vars.final j)) in
+  (x_i, x_f, value)
+
+(* Exact expectation of the model under Markov statistics (sp, st): the
+   analytic counterpart of running an infinite random simulation with
+   those statistics. *)
+let expected_capacitance model ~sp ~st =
+  let tables = Dd.Markov.analyze { Dd.Markov.sp; st } model.Model.cap in
+  let root_id = Dd.Add.node_id model.Model.cap in
+  let _, e1, _ = Dd.Markov.node_moments tables root_id ~default:(0.0, 0.0) in
+  e1
+
+(* Sensitivity of input j: expected capacitance given that input j toggles
+   minus given that it holds, under otherwise-uniform inputs.  Computed by
+   restricting the ADD on the (x_j_i, x_j_f) pair and averaging — a
+   designer-facing "which inputs are power-hot" query that a white-box
+   model answers without any simulation. *)
+let toggle_sensitivity model j =
+  if j < 0 || j >= model.Model.inputs then
+    invalid_arg "Analysis.toggle_sensitivity: input out of range";
+  let mgr = model.Model.add_manager in
+  let vi = Vars.initial j and vf = Vars.final j in
+  (* restrict the ADD to a fixed (initial, final) pair of values *)
+  let restrict2 b_i b_f =
+    let memo = Hashtbl.create 256 in
+    let rec go node =
+      match node with
+      | Dd.Add.Leaf _ -> node
+      | Dd.Add.Node nd -> (
+        match Hashtbl.find_opt memo nd.id with
+        | Some r -> r
+        | None ->
+          let r =
+            if nd.var = vi then go (if b_i then nd.high else nd.low)
+            else if nd.var = vf then go (if b_f then nd.high else nd.low)
+            else if nd.var > vf then node
+            else Dd.Add.make_node mgr nd.var (go nd.low) (go nd.high)
+          in
+          Hashtbl.add memo nd.id r;
+          r)
+    in
+    go model.Model.cap
+  in
+  let avg node = (Dd.Add_stats.of_node node).Dd.Add_stats.avg in
+  let toggle =
+    0.5 *. (avg (restrict2 false true) +. avg (restrict2 true false))
+  in
+  let hold =
+    0.5 *. (avg (restrict2 false false) +. avg (restrict2 true true))
+  in
+  toggle -. hold
+
+let toggle_sensitivities model =
+  Array.init model.Model.inputs (fun j -> toggle_sensitivity model j)

@@ -1,0 +1,26 @@
+(** Analytical queries on a constructed model.
+
+    A white-box model is a closed-form discrete function, so questions that
+    need long simulation campaigns on black-box models become single
+    diagram traversals: worst-case witnesses, exact expectations under any
+    input statistics, per-input sensitivities. *)
+
+val worst_case_transition : Model.t -> bool array * bool array * float
+(** [(x_i, x_f, value)] — a transition attaining the model's maximum.  On
+    an exact model this is a true worst-case witness (the "input conditions
+    that maximize the internal switching activity" of the worst-case
+    literature the paper discusses); on an upper-bound model it attains the
+    conservative bound.  Don't-care inputs are reported as [false]. *)
+
+val expected_capacitance : Model.t -> sp:float -> st:float -> float
+(** Exact expectation of the model under the Markov stimulus statistics
+    [(sp, st)] — the analytic counterpart of an infinitely long random
+    simulation run. *)
+
+val toggle_sensitivity : Model.t -> int -> float
+(** Expected capacitance when input [j] toggles minus when it holds, other
+    inputs uniform — how power-hot that input is.  Raises
+    [Invalid_argument] for an out-of-range input. *)
+
+val toggle_sensitivities : Model.t -> float array
+(** {!toggle_sensitivity} for every input. *)

@@ -1,0 +1,37 @@
+(** Characterization-based reference models ([Con] and [Lin] of Section 4).
+
+    Both are tuned against a zero-delay gate-level simulation sample — the
+    classical black-box flow the paper argues against.  They are accurate
+    in-sample and drift badly out-of-sample, which is the comparison
+    Fig. 7a and Table 1 make. *)
+
+type t =
+  | Con of { value : float }
+      (** constant estimator: the characterization-run average *)
+  | Lin of { coeffs : float array }
+      (** linear-in-transition-bits model
+          [c0 + c1 a1 + ... + cn an], [a_j = x_i_j XOR x_f_j] *)
+
+val name : t -> string
+
+val characterize_con : Gatesim.Simulator.t -> bool array array -> t
+(** Fit the constant model on a characterization sequence (the paper uses
+    random vectors with sp = st = 0.5). *)
+
+val characterize_lin : Gatesim.Simulator.t -> bool array array -> t
+(** Least-squares fit of the linear model on a characterization sequence. *)
+
+val transition_features : bool array -> bool array -> float array
+(** Feature row [1, a_1 .. a_n] of one transition. *)
+
+val estimate : t -> x_i:bool array -> x_f:bool array -> float
+(** Per-pattern estimate in fF (the linear model can go negative — it is
+    used unclamped, as in the paper). *)
+
+type run = {
+  patterns : int;
+  average : float;
+  maximum : float;
+}
+
+val run : t -> bool array array -> run

@@ -1,0 +1,53 @@
+(* Conservative worst-case estimation (Section 1.2 / Table 1, cols 9-12).
+
+   A model built with the Upper_bound strategy over-approximates the
+   switching capacitance of every transition.  Its largest terminal is a
+   (conservative) constant worst-case estimator — the "Con" bound column of
+   Table 1 uses exactly this value. *)
+
+let build ?weighting ?max_size ?output_load circuit =
+  Model.build ~strategy:Dd.Approx.Upper_bound ?weighting ?max_size
+    ?output_load circuit
+
+let constant_bound model =
+  match model.Model.strategy with
+  | Dd.Approx.Upper_bound | Dd.Approx.Average -> Model.max_capacitance model
+  | Dd.Approx.Lower_bound ->
+    invalid_arg "Bounds.constant_bound: lower-bound model"
+
+let is_upper_bound_model model =
+  match model.Model.strategy with
+  | Dd.Approx.Upper_bound -> true
+  | Dd.Approx.Average | Dd.Approx.Lower_bound ->
+    Model.is_exact model (* an exact model bounds trivially *)
+
+(* Check conservativeness against the golden simulator on a vector
+   sequence; returns the first violating transition if any.  Used by the
+   test suite and by users validating a bound model. *)
+let validate model sim vectors =
+  let count = Array.length vectors in
+  let rec go k =
+    if k >= count then Ok ()
+    else begin
+      let x_i = vectors.(k - 1) and x_f = vectors.(k) in
+      let bound = Model.switched_capacitance model ~x_i ~x_f in
+      let truth = Gatesim.Simulator.switched_capacitance sim x_i x_f in
+      if bound +. 1e-9 < truth then Error (k - 1, bound, truth) else go (k + 1)
+    end
+  in
+  if count < 2 then Ok () else go 1
+
+(* Average slack of the bound over a sequence: mean (bound - truth), a
+   tightness measure reported by the examples. *)
+let average_slack model sim vectors =
+  let count = Array.length vectors in
+  if count < 2 then invalid_arg "Bounds.average_slack: need two vectors";
+  let total = ref 0.0 in
+  for k = 1 to count - 1 do
+    let x_i = vectors.(k - 1) and x_f = vectors.(k) in
+    total :=
+      !total
+      +. Model.switched_capacitance model ~x_i ~x_f
+      -. Gatesim.Simulator.switched_capacitance sim x_i x_f
+  done;
+  !total /. float_of_int (count - 1)

@@ -1,0 +1,29 @@
+(** Conservative pattern-dependent upper bounds (Section 1.2, Table 1
+    columns 9–12).
+
+    Characterization cannot produce conservative worst-case estimators
+    short of exhaustive simulation; the white-box construction can: a
+    max-strategy model over-approximates every transition by construction. *)
+
+val build :
+  ?weighting:Dd.Approx.weighting ->
+  ?max_size:int -> ?output_load:float -> Netlist.Circuit.t -> Model.t
+(** [Model.build] with the {!Dd.Approx.Upper_bound} strategy. *)
+
+val constant_bound : Model.t -> float
+(** The model's largest terminal — a conservative constant worst-case
+    estimator (the paper's "Con" reference in the bound columns).  Raises
+    [Invalid_argument] on a lower-bound model. *)
+
+val is_upper_bound_model : Model.t -> bool
+
+val validate :
+  Model.t -> Gatesim.Simulator.t -> bool array array ->
+  (unit, int * float * float) result
+(** Check [model >= simulator] over every transition of a sequence;
+    [Error (k, bound, truth)] names the first violation (transition index,
+    both values in fF). *)
+
+val average_slack : Model.t -> Gatesim.Simulator.t -> bool array array -> float
+(** Mean over-approximation (fF) of the bound on a sequence — a tightness
+    measure. *)

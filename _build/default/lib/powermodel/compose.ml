@@ -1,0 +1,85 @@
+(* RT-level composition of per-macro models (Section 1.2).
+
+   An RTL design instantiates many library macros.  Given per-macro
+   pattern-dependent upper bounds, the system bound for one transition is
+   the sum of the macro bounds under each macro's own input slice — far
+   tighter than summing the macros' constant worst cases, because no real
+   pattern maximizes every macro at once. *)
+
+type instance = {
+  label : string;
+  model : Model.t;
+  input_map : int array;
+      (* input_map.(j) = index in the system input vector feeding macro
+         input j *)
+}
+
+type t = { instances : instance list; system_inputs : int }
+
+let instance ~label ~model ~input_map =
+  Array.iter
+    (fun i ->
+      if i < 0 then invalid_arg "Compose.instance: negative input index")
+    input_map;
+  if Array.length input_map <> model.Model.inputs then
+    invalid_arg "Compose.instance: input map width must match model inputs";
+  { label; model; input_map }
+
+let create ~system_inputs instances =
+  List.iter
+    (fun inst ->
+      Array.iter
+        (fun i ->
+          if i >= system_inputs then
+            invalid_arg
+              (Printf.sprintf
+                 "Compose.create: instance %s reads system input %d of %d"
+                 inst.label i system_inputs))
+        inst.input_map)
+    instances;
+  { instances; system_inputs }
+
+let slice inst v = Array.map (fun i -> v.(i)) inst.input_map
+
+let check_width t v ctx =
+  if Array.length v <> t.system_inputs then
+    invalid_arg (Printf.sprintf "Compose.%s: system input width mismatch" ctx)
+
+let estimate t ~x_i ~x_f =
+  check_width t x_i "estimate";
+  check_width t x_f "estimate";
+  List.fold_left
+    (fun acc inst ->
+      acc
+      +. Model.switched_capacitance inst.model ~x_i:(slice inst x_i)
+           ~x_f:(slice inst x_f))
+    0.0 t.instances
+
+let per_instance t ~x_i ~x_f =
+  check_width t x_i "per_instance";
+  check_width t x_f "per_instance";
+  List.map
+    (fun inst ->
+      ( inst.label,
+        Model.switched_capacitance inst.model ~x_i:(slice inst x_i)
+          ~x_f:(slice inst x_f) ))
+    t.instances
+
+(* Summing each macro's overall worst case — the coarse alternative the
+   paper criticizes: "no compensation occurs when adding conservative
+   estimates". *)
+let constant_bound t =
+  List.fold_left
+    (fun acc inst -> acc +. Model.max_capacitance inst.model)
+    0.0 t.instances
+
+let run t vectors =
+  let count = Array.length vectors in
+  if count < 2 then invalid_arg "Compose.run: need at least two vectors";
+  let total = ref 0.0 and maximum = ref neg_infinity in
+  for k = 1 to count - 1 do
+    let c = estimate t ~x_i:vectors.(k - 1) ~x_f:vectors.(k) in
+    total := !total +. c;
+    if c > !maximum then maximum := c
+  done;
+  (!total /. float_of_int (count - 1), !maximum)

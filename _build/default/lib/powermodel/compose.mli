@@ -1,0 +1,29 @@
+(** RT-level composition of per-macro models (Section 1.2).
+
+    Pattern-dependent upper bounds compose: the bound of a design for a
+    given transition is the sum of its macros' bounds under their own input
+    slices, which is far tighter than the sum of the macros' constant worst
+    cases.  The same composition evaluates average-strategy models of a
+    multi-macro design during RTL simulation. *)
+
+type instance
+
+type t
+
+val instance : label:string -> model:Model.t -> input_map:int array -> instance
+(** [input_map.(j)] is the system input index wired to macro input [j].
+    Width must match the model's input count. *)
+
+val create : system_inputs:int -> instance list -> t
+
+val estimate : t -> x_i:bool array -> x_f:bool array -> float
+(** Summed per-macro estimate (fF) for one system-level transition. *)
+
+val per_instance : t -> x_i:bool array -> x_f:bool array -> (string * float) list
+
+val constant_bound : t -> float
+(** Sum of the macros' constant worst cases — the loose bound the paper
+    contrasts against. *)
+
+val run : t -> bool array array -> float * float
+(** [(average, maximum)] of the summed estimate over a sequence. *)

@@ -1,0 +1,189 @@
+type build_stats = {
+  gates : int;
+  skipped : int;
+  approx_calls : int;
+  peak_size : int;
+  final_size : int;
+  bdd_nodes : int;
+  cpu_seconds : float;
+}
+
+type t = {
+  circuit_name : string;
+  inputs : int;
+  strategy : Dd.Approx.strategy;
+  weighting : Dd.Approx.weighting;
+  max_size : int option;
+  add_manager : Dd.Add.manager;
+  cap : Dd.Add.t;
+  stats : build_stats;
+}
+
+let bdd_logic mgr =
+  {
+    Netlist.Cell.ltrue = Dd.Bdd.one;
+    lfalse = Dd.Bdd.zero;
+    lnot = Dd.Bdd.bnot mgr;
+    land_ = Dd.Bdd.band mgr;
+    lor_ = Dd.Bdd.bor mgr;
+    lxor_ = Dd.Bdd.bxor mgr;
+  }
+
+(* The iterative construction of Fig. 6: for each gate j,
+     deltaC(x_i, x_f) = NOT g_j(x_i) AND g_j(x_f), weighted by C_j,
+   accumulated into C with the size bound MAX enforced by node collapsing
+   after each step.  Both the partial contribution and the accumulator are
+   approximated with the same strategy, which stays globally sound because
+   avg(a) + avg(b) = avg(a + b) and max(a) + max(b) >= max(a + b). *)
+let build ?(strategy = Dd.Approx.Average)
+    ?(weighting = Dd.Approx.default_weighting) ?max_size ?output_load ?loads
+    circuit =
+  (match max_size with
+  | Some m when m < 1 -> invalid_arg "Model.build: max_size must be >= 1"
+  | Some _ | None -> ());
+  let t0 = Sys.time () in
+  let n = Netlist.Circuit.input_count circuit in
+  let bdd_mgr = Dd.Bdd.manager () in
+  let add_mgr = ref (Dd.Add.manager ()) in
+  let logic = bdd_logic bdd_mgr in
+  let env_i = Array.init n (fun j -> Dd.Bdd.var bdd_mgr (Vars.initial j)) in
+  let env_f = Array.init n (fun j -> Dd.Bdd.var bdd_mgr (Vars.final j)) in
+  let values_i = Netlist.Circuit.eval_all logic circuit env_i in
+  let values_f = Netlist.Circuit.eval_all logic circuit env_f in
+  let loads =
+    match loads with
+    | Some loads ->
+      if Array.length loads <> circuit.Netlist.Circuit.net_count then
+        invalid_arg "Model.build: loads length must equal net count";
+      Array.copy loads
+    | None -> (
+      match output_load with
+      | None -> Netlist.Circuit.loads circuit
+      | Some output_load -> Netlist.Circuit.loads ~output_load circuit)
+  in
+  let cap = ref (Dd.Add.const !add_mgr 0.0) in
+  let approx_calls = ref 0 in
+  let peak = ref 1 in
+  let skipped = ref 0 in
+  (* The unique table retains every intermediate node, so a long
+     construction would otherwise hold (and hash against) millions of dead
+     nodes: when the table outgrows a budget, the accumulator is migrated
+     into a fresh manager and the old one is dropped. *)
+  let m_delta_bound () =
+    match max_size with None -> max_int | Some m -> m / 8
+  in
+  let purge_budget = 1_000_000 in
+  let purge () =
+    if Dd.Add.allocated !add_mgr > purge_budget then begin
+      let fresh = Dd.Add.manager () in
+      cap := Dd.Add.migrate fresh !cap;
+      add_mgr := fresh
+    end
+  in
+  (* Intermediate results may exceed MAX by up to a third before a
+     collapse brings them back to MAX — Fig. 6 semantics with hysteresis,
+     saving most of the collapse invocations on large circuits.  A final
+     clamp (below) restores the strict bound on the finished model. *)
+  let clamp ?(slack = true) ?bound add =
+    match max_size with
+    | None -> add
+    | Some m ->
+      let m = match bound with None -> m | Some b -> min m b in
+      let sz = Dd.Add.size add in
+      if sz > !peak then peak := sz;
+      let trigger = if slack then m + (m / 3) else m in
+      if sz <= trigger then add
+      else begin
+        incr approx_calls;
+        Dd.Approx.compress ~weighting !add_mgr ~strategy ~max_size:m add
+      end
+  in
+  Array.iter
+    (fun (g : Netlist.Circuit.gate) ->
+      let load = loads.(g.out) in
+      if load = 0.0 then incr skipped
+      else begin
+        let rising =
+          Dd.Bdd.band bdd_mgr
+            (Dd.Bdd.bnot bdd_mgr values_i.(g.out))
+            values_f.(g.out)
+        in
+        (* of_bdd with the load as the one-value fuses the paper's
+           bdd-to-ADD conversion and add_times into one traversal. *)
+        let delta = Dd.Add.of_bdd !add_mgr ~one_value:load rising in
+        (* per-gate contributions are bounded much harder than the
+           accumulator: the cost of adding a delta is the size of the
+           cross product, and the accumulator's own clamp dominates the
+           final accuracy anyway *)
+        let delta = clamp ~bound:(max 64 (m_delta_bound ())) delta in
+        cap := clamp (Dd.Add.add !add_mgr !cap delta);
+        purge ()
+      end)
+    circuit.Netlist.Circuit.gates;
+  cap := clamp ~slack:false !cap;
+  let final_size = Dd.Add.size !cap in
+  if final_size > !peak then peak := final_size;
+  let stats =
+    {
+      gates = Netlist.Circuit.gate_count circuit;
+      skipped = !skipped;
+      approx_calls = !approx_calls;
+      peak_size = !peak;
+      final_size;
+      bdd_nodes = Dd.Bdd.node_count bdd_mgr;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  in
+  {
+    circuit_name = circuit.Netlist.Circuit.name;
+    inputs = n;
+    strategy;
+    weighting;
+    max_size;
+    add_manager = !add_mgr;
+    cap = !cap;
+    stats;
+  }
+
+let is_exact t = t.stats.approx_calls = 0
+
+let size t = Dd.Add.size t.cap
+
+let switched_capacitance t ~x_i ~x_f =
+  if Array.length x_i <> t.inputs || Array.length x_f <> t.inputs then
+    invalid_arg "Model.switched_capacitance: input width mismatch";
+  Dd.Add.eval t.cap (Vars.env ~x_i ~x_f)
+
+let energy ?(vdd = 3.3) t ~x_i ~x_f =
+  vdd *. vdd *. switched_capacitance t ~x_i ~x_f
+
+type run = {
+  patterns : int;
+  average : float;
+  maximum : float;
+  total : float;
+}
+
+let run t vectors =
+  let count = Array.length vectors in
+  if count < 2 then invalid_arg "Model.run: need at least two vectors";
+  let total = ref 0.0 and maximum = ref neg_infinity in
+  for k = 1 to count - 1 do
+    let c = switched_capacitance t ~x_i:vectors.(k - 1) ~x_f:vectors.(k) in
+    total := !total +. c;
+    if c > !maximum then maximum := c
+  done;
+  {
+    patterns = count - 1;
+    average = !total /. float_of_int (count - 1);
+    maximum = !maximum;
+    total = !total;
+  }
+
+let average_capacitance t = (Dd.Add_stats.of_node t.cap).Dd.Add_stats.avg
+
+let max_capacitance t = Dd.Add.max_value t.cap
+
+let var_name t v = Vars.name ~inputs:t.inputs v
+
+let to_dot t = Dd.Dot.add ~name:t.circuit_name ~var_name:(var_name t) t.cap

@@ -1,0 +1,93 @@
+(** The paper's contribution: characterization-free, pattern-dependent
+    RT-level models of switching capacitance.
+
+    [build] constructs the ADD of [C(x_i, x_f)] (Eq. 4) directly from the
+    gate-level golden model, with no simulation: the netlist is evaluated
+    twice symbolically (over the [x_i] and [x_f] variable copies), and each
+    gate contributes [NOT g(x_i) AND g(x_f)] weighted by its load
+    capacitance — the iterative loop of Fig. 6.  When a size bound is given,
+    every intermediate ADD is kept under it by node collapsing
+    ({!Dd.Approx}), using the model's strategy:
+
+    - {!Dd.Approx.Average} models are tuned for average-power accuracy;
+    - {!Dd.Approx.Upper_bound} models are conservative pattern-dependent
+      upper bounds ([estimate >= truth] for every transition).
+
+    An unbounded model is {e exact}: it reproduces the zero-delay gate-level
+    simulation pattern by pattern, for any input statistics. *)
+
+type build_stats = {
+  gates : int;          (** gates visited *)
+  skipped : int;        (** zero-load gates contributing nothing *)
+  approx_calls : int;   (** node-collapsing invocations (Fig. 6 [add_approx]) *)
+  peak_size : int;      (** largest intermediate ADD observed *)
+  final_size : int;
+  bdd_nodes : int;      (** BDD nodes allocated for the node functions *)
+  cpu_seconds : float;
+}
+
+type t = {
+  circuit_name : string;
+  inputs : int;
+  strategy : Dd.Approx.strategy;
+  weighting : Dd.Approx.weighting;
+  max_size : int option;
+  add_manager : Dd.Add.manager;
+  cap : Dd.Add.t;       (** the model: switching capacitance in fF over
+                            the {!Vars} variable numbering *)
+  stats : build_stats;
+}
+
+val build :
+  ?strategy:Dd.Approx.strategy ->
+  ?weighting:Dd.Approx.weighting ->
+  ?max_size:int ->
+  ?output_load:float ->
+  ?loads:float array ->
+  Netlist.Circuit.t ->
+  t
+(** Construct the model.  [max_size] is the paper's [MAX] (omit it for an
+    exact model); [strategy] defaults to {!Dd.Approx.Average}; [weighting]
+    to the statistics-robust default ({!Dd.Approx.default_weighting});
+    [output_load] is forwarded to {!Netlist.Circuit.loads}, or [loads]
+    (per-net, full length) replaces the derived back-annotation
+    entirely. *)
+
+val is_exact : t -> bool
+(** True when no approximation was ever applied. *)
+
+val size : t -> int
+
+val switched_capacitance : t -> x_i:bool array -> x_f:bool array -> float
+(** Model lookup for one transition — linear in the number of inputs. *)
+
+val energy : ?vdd:float -> t -> x_i:bool array -> x_f:bool array -> float
+(** [Vdd^2 * C] (Eq. 1), fJ for fF loads. *)
+
+(** {1 Sequence runs} *)
+
+type run = {
+  patterns : int;
+  average : float;  (** mean estimated capacitance per transition, fF *)
+  maximum : float;
+  total : float;
+}
+
+val run : t -> bool array array -> run
+(** Estimate every consecutive transition of a vector sequence — the RTL
+    side of the paper's concurrent RTL/gate-level evaluation. *)
+
+(** {1 Analysis} *)
+
+val average_capacitance : t -> float
+(** Exact expectation of the model under uniform independent inputs
+    (sp = st = 0.5). *)
+
+val max_capacitance : t -> float
+(** Largest value the model can produce; for an upper-bound model this is
+    the constant worst-case estimator of Table 1's [Con] bound column. *)
+
+val var_name : t -> int -> string
+
+val to_dot : t -> string
+(** Graphviz rendering of the model's ADD (Fig. 3/4-style). *)

@@ -1,0 +1,21 @@
+(* Variable numbering convention for transition functions.
+
+   A model of [C(x_i, x_f)] is a discrete function of 2n Boolean variables.
+   We interleave the two copies — variable [2j] is input j at time t_i,
+   variable [2j+1] is input j at time t_f — so that correlated bit pairs
+   sit next to each other in the diagram order, which keeps comparator- and
+   mux-like ADDs compact. *)
+
+let initial j = 2 * j
+let final j = (2 * j) + 1
+
+let count ~inputs = 2 * inputs
+
+let env ~x_i ~x_f =
+  let n = Array.length x_i in
+  if Array.length x_f <> n then invalid_arg "Vars.env: width mismatch";
+  Array.init (2 * n) (fun v -> if v land 1 = 0 then x_i.(v / 2) else x_f.(v / 2))
+
+let name ~inputs v =
+  if v < 0 || v >= 2 * inputs then invalid_arg "Vars.name: out of range";
+  Printf.sprintf "x%d%s" (v / 2) (if v land 1 = 0 then "_i" else "_f")

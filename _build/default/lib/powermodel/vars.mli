@@ -1,0 +1,20 @@
+(** Variable numbering for transition functions [C(x_i, x_f)].
+
+    The initial and final copies of input [j] are interleaved
+    ([2j] and [2j+1]) so that the strongly correlated pair is adjacent in
+    the diagram variable order. *)
+
+val initial : int -> int
+(** Diagram variable of input [j] at time [t_i]. *)
+
+val final : int -> int
+(** Diagram variable of input [j] at time [t_f]. *)
+
+val count : inputs:int -> int
+(** Total diagram variables for an [inputs]-input macro. *)
+
+val env : x_i:bool array -> x_f:bool array -> bool array
+(** Merge an input transition into a diagram assignment. *)
+
+val name : inputs:int -> int -> string
+(** Human-readable variable label, e.g. ["x3_f"]. *)

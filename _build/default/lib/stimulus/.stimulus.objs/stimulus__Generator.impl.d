@@ -1,0 +1,1 @@
+lib/stimulus/generator.ml: Array Float Prng

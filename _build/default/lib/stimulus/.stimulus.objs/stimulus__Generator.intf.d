@@ -1,0 +1,1 @@
+lib/stimulus/generator.mli: Prng

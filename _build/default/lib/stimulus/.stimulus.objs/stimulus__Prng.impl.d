@@ -1,0 +1,1 @@
+lib/stimulus/prng.ml: Int64

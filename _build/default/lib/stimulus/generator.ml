@@ -1,0 +1,62 @@
+(* Random input streams with prescribed per-bit signal probability [sp]
+   (stationary probability of being 1) and transition probability [st]
+   (probability of toggling between consecutive vectors).
+
+   Each bit follows a two-state Markov chain with
+     P(0 -> 1) = st / (2 (1 - sp))     P(1 -> 0) = st / (2 sp)
+   whose stationary distribution is Bernoulli(sp) and whose stationary
+   toggle rate is st.  The first vector is drawn from the stationary
+   distribution, so the whole stream is stationary.  Feasibility requires
+   st <= 2 * min(sp, 1 - sp); infeasible requests are clamped (and
+   reported by [feasible_st]). *)
+
+let feasible_st ~sp st = Float.min st (2.0 *. Float.min sp (1.0 -. sp))
+
+let rates ~sp ~st =
+  if sp <= 0.0 || sp >= 1.0 then
+    invalid_arg "Generator.rates: sp must be strictly between 0 and 1";
+  if st < 0.0 || st > 1.0 then
+    invalid_arg "Generator.rates: st must be in [0, 1]";
+  let st = feasible_st ~sp st in
+  let p01 = st /. (2.0 *. (1.0 -. sp)) in
+  let p10 = st /. (2.0 *. sp) in
+  (Float.min 1.0 p01, Float.min 1.0 p10)
+
+let sequence prng ~bits ~length ~sp ~st =
+  if length < 1 then invalid_arg "Generator.sequence: length must be >= 1";
+  if bits < 1 then invalid_arg "Generator.sequence: bits must be >= 1";
+  let p01, p10 = rates ~sp ~st in
+  let first = Array.init bits (fun _ -> Prng.bool prng ~p:sp) in
+  let vectors = Array.make length first in
+  for k = 1 to length - 1 do
+    let prev = vectors.(k - 1) in
+    vectors.(k) <-
+      Array.init bits (fun i ->
+          if prev.(i) then not (Prng.bool prng ~p:p10)
+          else Prng.bool prng ~p:p01)
+  done;
+  vectors
+
+let uniform_pair prng ~bits =
+  let v () = Array.init bits (fun _ -> Prng.bool prng ~p:0.5) in
+  (v (), v ())
+
+type measured = { measured_sp : float; measured_st : float }
+
+let measure vectors =
+  let length = Array.length vectors in
+  if length < 2 then invalid_arg "Generator.measure: need at least 2 vectors";
+  let bits = Array.length vectors.(0) in
+  let ones = ref 0 and toggles = ref 0 in
+  Array.iter
+    (fun v -> Array.iter (fun b -> if b then incr ones) v)
+    vectors;
+  for k = 1 to length - 1 do
+    for i = 0 to bits - 1 do
+      if vectors.(k).(i) <> vectors.(k - 1).(i) then incr toggles
+    done
+  done;
+  {
+    measured_sp = float_of_int !ones /. float_of_int (length * bits);
+    measured_st = float_of_int !toggles /. float_of_int ((length - 1) * bits);
+  }

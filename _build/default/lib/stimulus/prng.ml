@@ -1,0 +1,37 @@
+(* SplitMix64: tiny, fast, high-quality 64-bit PRNG with a trivially
+   seedable state.  Deterministic across runs and platforms, which the
+   experiment harness relies on for reproducibility. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits53 t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+
+let float t =
+  (* uniform in [0, 1) *)
+  bits53 t /. 9007199254740992.0 (* 2^53 *)
+
+let bool t ~p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* rejection-free modulo is fine for our non-cryptographic use *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let split t =
+  (* derive an independent stream *)
+  create (Int64.to_int (next_int64 t))

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    The experiment harness must be reproducible run-to-run, so it never uses
+    the global [Random] state: every stream is derived from an explicit
+    seed. *)
+
+type t
+
+val create : int -> t
+(** A fresh generator from a seed. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli draw with probability [p] of [true]. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [[0, bound)]; [bound] must be positive. *)
+
+val split : t -> t
+(** Derive an independent stream (consumes one draw from the parent). *)

@@ -1,0 +1,1 @@
+test/test_add.ml: Alcotest Dd Float List Printf QCheck Util

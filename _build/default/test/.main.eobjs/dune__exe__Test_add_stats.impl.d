@@ -1,0 +1,1 @@
+test/test_add_stats.ml: Alcotest Array Dd Float Hashtbl List Option Powermodel QCheck Util

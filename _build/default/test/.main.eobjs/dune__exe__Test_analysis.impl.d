@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Circuits Dd Gatesim List Netlist Powermodel Printf Util

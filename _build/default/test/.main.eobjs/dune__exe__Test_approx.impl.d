@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Dd List Netlist Powermodel QCheck Util

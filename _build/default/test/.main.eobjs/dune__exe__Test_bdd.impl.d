@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Dd List Printf QCheck Util

@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Array Circuits List Netlist Option Printf Stimulus String Util

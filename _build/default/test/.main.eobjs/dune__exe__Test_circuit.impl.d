@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Fun List Netlist Util

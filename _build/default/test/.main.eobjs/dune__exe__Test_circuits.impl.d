@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Fun List Netlist Option Stimulus Util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Circuits Experiments Float Gatesim List Powermodel Stimulus String Util

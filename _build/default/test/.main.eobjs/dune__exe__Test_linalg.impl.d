@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Gen Linalg List QCheck Util

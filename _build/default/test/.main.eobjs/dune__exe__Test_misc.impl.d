@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Circuits Dd Experiments List Netlist Powermodel QCheck Stimulus String Util

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Circuits Dd Float Gatesim List Netlist Powermodel Printf QCheck Stimulus String Util

@@ -1,0 +1,1 @@
+test/test_stimulus.ml: Alcotest Array Float List QCheck Stimulus Util

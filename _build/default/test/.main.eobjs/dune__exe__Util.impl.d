@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Circuits Dd Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "cfpm"
+    [
+      ("bdd", Test_bdd.suite);
+      ("add", Test_add.suite);
+      ("add-stats", Test_add_stats.suite);
+      ("approx", Test_approx.suite);
+      ("cell", Test_cell.suite);
+      ("circuit", Test_circuit.suite);
+      ("blif", Test_blif.suite);
+      ("sim", Test_sim.suite);
+      ("stimulus", Test_stimulus.suite);
+      ("linalg", Test_linalg.suite);
+      ("circuits", Test_circuits.suite);
+      ("model", Test_model.suite);
+      ("experiments", Test_experiments.suite);
+      ("misc", Test_misc.suite);
+      ("analysis", Test_analysis.suite);
+    ]

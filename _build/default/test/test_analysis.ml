@@ -1,0 +1,119 @@
+(* Analytical queries: worst-case witnesses, exact expectations, and
+   per-input sensitivities — all validated against brute force. *)
+
+let worst_case_witness_is_true_worst () =
+  List.iter
+    (fun circuit ->
+      let sim = Gatesim.Simulator.create circuit in
+      let model = Powermodel.Model.build circuit in
+      let x_i, x_f, claimed = Powermodel.Analysis.worst_case_transition model in
+      (* the witness must evaluate to the claimed value... *)
+      Util.check_close "witness value"
+        claimed
+        (Powermodel.Model.switched_capacitance model ~x_i ~x_f);
+      (* ...agree with the golden simulator (exact model)... *)
+      Util.check_close "witness is real"
+        claimed
+        (Gatesim.Simulator.switched_capacitance sim x_i x_f);
+      (* ...and match the exhaustive maximum *)
+      Util.check_close "witness is maximal"
+        (Gatesim.Simulator.worst_case_capacitance_exhaustive sim)
+        claimed)
+    [
+      Circuits.Decoder.decod ();
+      Util.small_random_circuit 21;
+      Circuits.Adder.circuit ~bits:3;
+    ]
+
+let expected_capacitance_matches_enumeration () =
+  let circuit = Util.small_random_circuit 22 in
+  let sim = Gatesim.Simulator.create circuit in
+  let model = Powermodel.Model.build circuit in
+  let n = Netlist.Circuit.input_count circuit in
+  List.iter
+    (fun (sp, st) ->
+      let stats = { Dd.Markov.sp; st } in
+      (* enumerate all transitions weighted by the Markov measure *)
+      let expected = ref 0.0 in
+      List.iter
+        (fun x_i ->
+          List.iter
+            (fun x_f ->
+              let p = ref 1.0 in
+              for j = 0 to n - 1 do
+                let pi = if x_i.(j) then sp else 1.0 -. sp in
+                let t = Dd.Markov.p_toggle_given ~initial:x_i.(j) stats in
+                let pf = if x_f.(j) <> x_i.(j) then t else 1.0 -. t in
+                p := !p *. pi *. pf
+              done;
+              expected :=
+                !expected
+                +. (!p *. Gatesim.Simulator.switched_capacitance sim x_i x_f))
+            (Util.assignments n))
+        (Util.assignments n);
+      Util.check_close ~eps:1e-6
+        (Printf.sprintf "E[C] at (%.1f, %.1f)" sp st)
+        !expected
+        (Powermodel.Analysis.expected_capacitance model ~sp ~st))
+    [ (0.5, 0.5); (0.5, 0.1); (0.3, 0.2) ]
+
+let sensitivity_matches_enumeration () =
+  let circuit = Util.small_random_circuit 23 in
+  let sim = Gatesim.Simulator.create circuit in
+  let model = Powermodel.Model.build circuit in
+  let n = Netlist.Circuit.input_count circuit in
+  let brute j =
+    (* average C over all transitions where input j toggles / holds, the
+       other inputs uniform over all (x_i, x_f) combinations *)
+    let sum_toggle = ref 0.0 and count_toggle = ref 0 in
+    let sum_hold = ref 0.0 and count_hold = ref 0 in
+    List.iter
+      (fun x_i ->
+        List.iter
+          (fun x_f ->
+            let c = Gatesim.Simulator.switched_capacitance sim x_i x_f in
+            if x_i.(j) <> x_f.(j) then begin
+              sum_toggle := !sum_toggle +. c;
+              incr count_toggle
+            end
+            else begin
+              sum_hold := !sum_hold +. c;
+              incr count_hold
+            end)
+          (Util.assignments n))
+      (Util.assignments n);
+    (!sum_toggle /. float_of_int !count_toggle)
+    -. (!sum_hold /. float_of_int !count_hold)
+  in
+  for j = 0 to n - 1 do
+    Util.check_close ~eps:1e-6
+      (Printf.sprintf "sensitivity of input %d" j)
+      (brute j)
+      (Powermodel.Analysis.toggle_sensitivity model j)
+  done
+
+let sensitivities_array () =
+  let model = Powermodel.Model.build (Circuits.Decoder.decod ()) in
+  let s = Powermodel.Analysis.toggle_sensitivities model in
+  Alcotest.(check int) "one per input" 5 (Array.length s);
+  Alcotest.check_raises "range"
+    (Invalid_argument "Analysis.toggle_sensitivity: input out of range")
+    (fun () -> ignore (Powermodel.Analysis.toggle_sensitivity model 9))
+
+let bound_witness_attains_constant_bound () =
+  let circuit = Circuits.Comparator.cm85 () in
+  let bound = Powermodel.Bounds.build ~max_size:500 circuit in
+  let x_i, x_f, value = Powermodel.Analysis.worst_case_transition bound in
+  Util.check_close "attains max" (Powermodel.Bounds.constant_bound bound) value;
+  Util.check_close "evaluates to max" value
+    (Powermodel.Model.switched_capacitance bound ~x_i ~x_f)
+
+let suite =
+  [
+    Alcotest.test_case "worst-case witness" `Quick worst_case_witness_is_true_worst;
+    Alcotest.test_case "expected capacitance" `Slow
+      expected_capacitance_matches_enumeration;
+    Alcotest.test_case "toggle sensitivity" `Slow sensitivity_matches_enumeration;
+    Alcotest.test_case "sensitivities array" `Quick sensitivities_array;
+    Alcotest.test_case "bound witness" `Quick bound_witness_attains_constant_bound;
+  ]

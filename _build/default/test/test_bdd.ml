@@ -1,0 +1,182 @@
+(* BDD package: semantics against brute-force evaluation, canonicity,
+   Boolean algebra laws, queries. *)
+
+let mgr = Dd.Bdd.manager ()
+
+let vars = 5
+
+let check_semantics e =
+  let f = Util.bdd_of_expr mgr e in
+  List.for_all
+    (fun env -> Dd.Bdd.eval f env = Util.eval_expr env e)
+    (Util.assignments vars)
+
+let test_semantics =
+  Util.qtest ~count:300 "bdd equals brute-force evaluation"
+    (Util.expr_arbitrary ~vars) check_semantics
+
+let test_canonicity =
+  (* structurally different but equivalent expressions share the node *)
+  Util.qtest ~count:200 "equivalent functions are physically equal"
+    (QCheck.pair (Util.expr_arbitrary ~vars) (Util.expr_arbitrary ~vars))
+    (fun (e1, e2) ->
+      let f1 = Util.bdd_of_expr mgr e1 and f2 = Util.bdd_of_expr mgr e2 in
+      let equivalent =
+        List.for_all
+          (fun env -> Util.eval_expr env e1 = Util.eval_expr env e2)
+          (Util.assignments vars)
+      in
+      Dd.Bdd.equal f1 f2 = equivalent)
+
+let unit_basics () =
+  let x = Dd.Bdd.var mgr 0 and y = Dd.Bdd.var mgr 1 in
+  Alcotest.(check bool) "x and not x = 0" true
+    (Dd.Bdd.is_false (Dd.Bdd.band mgr x (Dd.Bdd.bnot mgr x)));
+  Alcotest.(check bool) "x or not x = 1" true
+    (Dd.Bdd.is_true (Dd.Bdd.bor mgr x (Dd.Bdd.bnot mgr x)));
+  Alcotest.(check bool) "x xor x = 0" true
+    (Dd.Bdd.is_false (Dd.Bdd.bxor mgr x x));
+  Alcotest.(check bool) "involution" true
+    (Dd.Bdd.equal x (Dd.Bdd.bnot mgr (Dd.Bdd.bnot mgr x)));
+  Alcotest.(check bool) "de morgan" true
+    (Dd.Bdd.equal
+       (Dd.Bdd.bnot mgr (Dd.Bdd.band mgr x y))
+       (Dd.Bdd.bor mgr (Dd.Bdd.bnot mgr x) (Dd.Bdd.bnot mgr y)));
+  Alcotest.(check bool) "nvar = not var" true
+    (Dd.Bdd.equal (Dd.Bdd.nvar mgr 3) (Dd.Bdd.bnot mgr (Dd.Bdd.var mgr 3)))
+
+let unit_derived_gates () =
+  let x = Dd.Bdd.var mgr 0 and y = Dd.Bdd.var mgr 1 in
+  let envs = Util.assignments 2 in
+  let table op expect =
+    List.iter
+      (fun env ->
+        Alcotest.(check bool)
+          (Printf.sprintf "env %b %b" env.(0) env.(1))
+          (expect env.(0) env.(1))
+          (Dd.Bdd.eval (op mgr x y) env))
+      envs
+  in
+  table Dd.Bdd.bnand (fun a b -> not (a && b));
+  table Dd.Bdd.bnor (fun a b -> not (a || b));
+  table Dd.Bdd.bxnor (fun a b -> a = b);
+  table Dd.Bdd.bimply (fun a b -> (not a) || b)
+
+let unit_ite () =
+  let x = Dd.Bdd.var mgr 0
+  and y = Dd.Bdd.var mgr 1
+  and z = Dd.Bdd.var mgr 2 in
+  let f = Dd.Bdd.ite mgr x y z in
+  List.iter
+    (fun env ->
+      Alcotest.(check bool) "ite semantics"
+        (if env.(0) then env.(1) else env.(2))
+        (Dd.Bdd.eval f env))
+    (Util.assignments 3)
+
+let unit_restrict () =
+  let x = Dd.Bdd.var mgr 0 and y = Dd.Bdd.var mgr 1 in
+  let f = Dd.Bdd.bxor mgr x y in
+  Alcotest.(check bool) "f|x=1 = not y" true
+    (Dd.Bdd.equal
+       (Dd.Bdd.restrict mgr f ~var:0 ~value:true)
+       (Dd.Bdd.bnot mgr y));
+  Alcotest.(check bool) "f|x=0 = y" true
+    (Dd.Bdd.equal (Dd.Bdd.restrict mgr f ~var:0 ~value:false) y)
+
+let unit_quantifiers () =
+  let x = Dd.Bdd.var mgr 0 and y = Dd.Bdd.var mgr 1 in
+  let f = Dd.Bdd.band mgr x y in
+  Alcotest.(check bool) "exists x. x&y = y" true
+    (Dd.Bdd.equal (Dd.Bdd.exists mgr [ 0 ] f) y);
+  Alcotest.(check bool) "forall x. x&y = 0" true
+    (Dd.Bdd.is_false (Dd.Bdd.forall mgr [ 0 ] f));
+  Alcotest.(check bool) "exists both = 1" true
+    (Dd.Bdd.is_true (Dd.Bdd.exists mgr [ 0; 1 ] f))
+
+let test_exists_semantics =
+  Util.qtest ~count:150 "exists quantifies correctly"
+    (QCheck.pair (Util.expr_arbitrary ~vars) (QCheck.int_bound (vars - 1)))
+    (fun (e, v) ->
+      let f = Util.bdd_of_expr mgr e in
+      let q = Dd.Bdd.exists mgr [ v ] f in
+      List.for_all
+        (fun env ->
+          let with_v b =
+            let env = Array.copy env in
+            env.(v) <- b;
+            Util.eval_expr env e
+          in
+          Dd.Bdd.eval q env = (with_v false || with_v true))
+        (Util.assignments vars))
+
+let unit_support () =
+  let x = Dd.Bdd.var mgr 0 and z = Dd.Bdd.var mgr 2 in
+  let f = Dd.Bdd.band mgr x z in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Dd.Bdd.support f);
+  Alcotest.(check (list int)) "support of const" [] (Dd.Bdd.support Dd.Bdd.one)
+
+let test_sat_fraction =
+  Util.qtest ~count:200 "sat_fraction equals counted fraction"
+    (Util.expr_arbitrary ~vars)
+    (fun e ->
+      let f = Util.bdd_of_expr mgr e in
+      let envs = Util.assignments vars in
+      let count =
+        List.length (List.filter (fun env -> Util.eval_expr env e) envs)
+      in
+      Util.close
+        (float_of_int count /. float_of_int (List.length envs))
+        (Dd.Bdd.sat_fraction f))
+
+let test_any_sat =
+  Util.qtest ~count:200 "any_sat returns a genuine witness"
+    (Util.expr_arbitrary ~vars)
+    (fun e ->
+      let f = Util.bdd_of_expr mgr e in
+      match Dd.Bdd.any_sat f with
+      | None -> Dd.Bdd.is_false f
+      | Some partial ->
+        (* complete the partial assignment with false *)
+        let env = Array.make vars false in
+        List.iter (fun (v, b) -> env.(v) <- b) partial;
+        Util.eval_expr env e)
+
+let unit_size () =
+  let x = Dd.Bdd.var mgr 0 in
+  Alcotest.(check int) "terminal size" 1 (Dd.Bdd.size Dd.Bdd.one);
+  Alcotest.(check int) "var size" 3 (Dd.Bdd.size x)
+
+let unit_errors () =
+  Alcotest.check_raises "negative var" (Invalid_argument "Bdd.var: negative variable")
+    (fun () -> ignore (Dd.Bdd.var mgr (-1)));
+  let f = Dd.Bdd.var mgr 7 in
+  Alcotest.check_raises "short env"
+    (Invalid_argument "Bdd.eval: environment too short") (fun () ->
+      ignore (Dd.Bdd.eval f (Array.make 3 false)))
+
+let unit_clear_caches () =
+  let x = Dd.Bdd.var mgr 0 and y = Dd.Bdd.var mgr 1 in
+  let before = Dd.Bdd.band mgr x y in
+  Dd.Bdd.clear_caches mgr;
+  let after = Dd.Bdd.band mgr x y in
+  Alcotest.(check bool) "caches cleared, nodes stable" true
+    (Dd.Bdd.equal before after)
+
+let suite =
+  [
+    Alcotest.test_case "basic laws" `Quick unit_basics;
+    Alcotest.test_case "derived gates" `Quick unit_derived_gates;
+    Alcotest.test_case "ite" `Quick unit_ite;
+    Alcotest.test_case "restrict" `Quick unit_restrict;
+    Alcotest.test_case "quantifiers" `Quick unit_quantifiers;
+    Alcotest.test_case "support" `Quick unit_support;
+    Alcotest.test_case "size" `Quick unit_size;
+    Alcotest.test_case "errors" `Quick unit_errors;
+    Alcotest.test_case "clear caches" `Quick unit_clear_caches;
+    test_semantics;
+    test_canonicity;
+    test_exists_semantics;
+    test_sat_fraction;
+    test_any_sat;
+  ]

@@ -1,0 +1,203 @@
+(* BLIF reader/writer and the SOP mapper. *)
+
+let parse_ok text =
+  match Netlist.Blif.parse text with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let simple_and () =
+  let c = parse_ok ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n" in
+  Alcotest.(check int) "inputs" 2 (Netlist.Circuit.input_count c);
+  List.iter
+    (fun env ->
+      let outs = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env in
+      Alcotest.(check bool) "and" (env.(0) && env.(1)) outs.(0))
+    (Util.assignments 2)
+
+let offset_cover () =
+  (* output column 0 means the cover lists the OFF-set *)
+  let c = parse_ok ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n" in
+  List.iter
+    (fun env ->
+      let outs = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env in
+      Alcotest.(check bool) "nand" (not (env.(0) && env.(1))) outs.(0))
+    (Util.assignments 2)
+
+let dontcare_and_multicube () =
+  let c =
+    parse_ok
+      ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-1 1\n01- 1\n.end\n"
+  in
+  List.iter
+    (fun env ->
+      let expect = (env.(0) && env.(2)) || ((not env.(0)) && env.(1)) in
+      let outs = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env in
+      Alcotest.(check bool) "sop" expect outs.(0))
+    (Util.assignments 3)
+
+let constants () =
+  let c =
+    parse_ok ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n"
+  in
+  let outs =
+    Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c [| false |]
+  in
+  Alcotest.(check bool) "const 1" true outs.(0);
+  Alcotest.(check bool) "const 0" false outs.(1)
+
+let out_of_order_nodes () =
+  (* nodes may reference signals defined later in the file *)
+  let c =
+    parse_ok
+      ".model m\n.inputs a b\n.outputs y\n.names t y\n0 1\n.names a b t\n11 1\n.end\n"
+  in
+  List.iter
+    (fun env ->
+      let outs = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env in
+      Alcotest.(check bool) "inverted and" (not (env.(0) && env.(1))) outs.(0))
+    (Util.assignments 2)
+
+let continuation_and_comments () =
+  let c =
+    parse_ok
+      "# a comment\n.model m\n.inputs a \\\nb\n.outputs y\n.names a b y  # trailing\n11 1\n.end\n"
+  in
+  Alcotest.(check int) "inputs across continuation" 2
+    (Netlist.Circuit.input_count c)
+
+let suite_errors () =
+  let contains msg frag =
+    let lm = String.length msg and lf = String.length frag in
+    let rec go i = i + lf <= lm && (String.sub msg i lf = frag || go (i + 1)) in
+    go 0
+  in
+  let expect_error text fragment =
+    match Netlist.Blif.parse text with
+    | Ok _ -> Alcotest.failf "expected failure (%s)" fragment
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %s (got %S)" fragment msg)
+        true (contains msg fragment)
+  in
+  expect_error ".model m\n.inputs a\n.outputs y\n.end\n" "undefined";
+  expect_error ".model m\n.inputs a\n.outputs y\n.names y y2\n1 1\n.end\n"
+    "undefined";
+  expect_error
+    ".model m\n.inputs a\n.outputs y\n.names y t\n1 1\n.names t y\n1 1\n.end\n"
+    "cycle";
+  expect_error ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n" "cube";
+  expect_error ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n"
+    "malformed";
+  expect_error ".model m\n.latch a b\n.end\n" "unsupported";
+  expect_error
+    ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n"
+    "mixes"
+
+let roundtrip_suite () =
+  (* every suite circuit must survive BLIF export + reimport functionally *)
+  List.iter
+    (fun name ->
+      let entry = Option.get (Circuits.Suite.find name) in
+      let c = entry.Circuits.Suite.build () in
+      let text = Netlist.Blif.to_string c in
+      match Netlist.Blif.parse text with
+      | Error msg -> Alcotest.failf "%s roundtrip: %s" name msg
+      | Ok c' ->
+        let n = Netlist.Circuit.input_count c in
+        Alcotest.(check int)
+          (name ^ " inputs") n
+          (Netlist.Circuit.input_count c');
+        let prng = Stimulus.Prng.create 99 in
+        for _ = 1 to 200 do
+          let env = Array.init n (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
+          let o1 = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env in
+          let o2 =
+            Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c' env
+          in
+          if o1 <> o2 then Alcotest.failf "%s roundtrip mismatch" name
+        done)
+    [ "cm85"; "decod"; "parity"; "x2"; "cmb" ]
+
+let mapper_cubes () =
+  Alcotest.(check (option string)) "parse cube" (Some "1-0")
+    (Option.map Netlist.Mapper.string_of_cube
+       (Netlist.Mapper.cube_of_string "1-0"));
+  Alcotest.(check (option string)) "reject junk" None
+    (Option.map Netlist.Mapper.string_of_cube
+       (Netlist.Mapper.cube_of_string "1x0"));
+  let cube = Option.get (Netlist.Mapper.cube_of_string "1-0") in
+  Alcotest.(check bool) "covers 110" true
+    (Netlist.Mapper.cube_covers cube [| true; true; false |]);
+  Alcotest.(check bool) "covers 111" false
+    (Netlist.Mapper.cube_covers cube [| true; true; true |])
+
+let mapper_matches_semantics () =
+  (* random covers: the mapped circuit equals eval_sop *)
+  let prng = Stimulus.Prng.create 17 in
+  for _ = 1 to 50 do
+    let width = 1 + Stimulus.Prng.int prng ~bound:5 in
+    let cube () =
+      Array.init width (fun _ ->
+          match Stimulus.Prng.int prng ~bound:3 with
+          | 0 -> Netlist.Mapper.Pos
+          | 1 -> Netlist.Mapper.Neg
+          | _ -> Netlist.Mapper.Dontcare)
+    in
+    let cubes = List.init (Stimulus.Prng.int prng ~bound:4) (fun _ -> cube ()) in
+    let b = Netlist.Builder.create ~name:"sop" in
+    let ins = Netlist.Builder.inputs b "x" width in
+    Netlist.Builder.output b "y" (Netlist.Mapper.sop b ~inputs:ins ~cubes);
+    let c = Netlist.Builder.finish b in
+    List.iter
+      (fun env ->
+        let outs =
+          Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env
+        in
+        if outs.(0) <> Netlist.Mapper.eval_sop cubes env then
+          Alcotest.failf "mapped SOP differs from eval_sop")
+      (Util.assignments width)
+  done
+
+let every_cell_roundtrips () =
+  (* one-gate circuits for every library cell: export to BLIF, re-parse,
+     compare exhaustively *)
+  List.iter
+    (fun kind ->
+      let arity = Netlist.Cell.arity kind in
+      if arity > 0 then begin
+        let b = Netlist.Builder.create ~name:"cell" in
+        let ins = Netlist.Builder.inputs b "x" arity in
+        Netlist.Builder.output b "y" (Netlist.Builder.gate b kind ins);
+        let c = Netlist.Builder.finish b in
+        match Netlist.Blif.parse (Netlist.Blif.to_string c) with
+        | Error msg ->
+          Alcotest.failf "%s: %s" (Netlist.Cell.name kind) msg
+        | Ok c' ->
+          List.iter
+            (fun env ->
+              let o1 =
+                Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env
+              in
+              let o2 =
+                Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c' env
+              in
+              if o1 <> o2 then
+                Alcotest.failf "%s cover wrong" (Netlist.Cell.name kind))
+            (Util.assignments arity)
+      end)
+    Netlist.Cell.all_kinds
+
+let suite =
+  [
+    Alcotest.test_case "simple and" `Quick simple_and;
+    Alcotest.test_case "every cell's BLIF cover" `Quick every_cell_roundtrips;
+    Alcotest.test_case "off-set cover" `Quick offset_cover;
+    Alcotest.test_case "dontcares and multiple cubes" `Quick dontcare_and_multicube;
+    Alcotest.test_case "constants" `Quick constants;
+    Alcotest.test_case "out-of-order nodes" `Quick out_of_order_nodes;
+    Alcotest.test_case "continuations and comments" `Quick continuation_and_comments;
+    Alcotest.test_case "parse errors" `Quick suite_errors;
+    Alcotest.test_case "suite roundtrip" `Slow roundtrip_suite;
+    Alcotest.test_case "mapper cubes" `Quick mapper_cubes;
+    Alcotest.test_case "mapper matches eval_sop" `Quick mapper_matches_semantics;
+  ]

@@ -1,0 +1,147 @@
+(* Netlist structure: builder discipline, validation, loads, analysis. *)
+
+let simple () =
+  (* the unit of the paper's Fig. 2: g1 = x1', g2 = x2', g3 = x1 + x2 *)
+  let b = Netlist.Builder.create ~name:"fig2" in
+  let x1 = Netlist.Builder.input b "x1" in
+  let x2 = Netlist.Builder.input b "x2" in
+  let g1 = Netlist.Builder.not_ b x1 in
+  let g2 = Netlist.Builder.not_ b x2 in
+  let g3 = Netlist.Builder.or2 b x1 x2 in
+  Netlist.Builder.output b "g1" g1;
+  Netlist.Builder.output b "g2" g2;
+  Netlist.Builder.output b "g3" g3;
+  Netlist.Builder.finish b
+
+let structure () =
+  let c = simple () in
+  Alcotest.(check int) "inputs" 2 (Netlist.Circuit.input_count c);
+  Alcotest.(check int) "gates" 3 (Netlist.Circuit.gate_count c);
+  Alcotest.(check int) "outputs" 3 (Netlist.Circuit.output_count c);
+  Alcotest.(check int) "depth" 1 (Netlist.Circuit.depth c);
+  Alcotest.(check bool) "validates" true
+    (Netlist.Circuit.validate c = Ok ())
+
+let functional () =
+  let c = simple () in
+  List.iter
+    (fun env ->
+      let outs = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env in
+      Alcotest.(check bool) "g1" (not env.(0)) outs.(0);
+      Alcotest.(check bool) "g2" (not env.(1)) outs.(1);
+      Alcotest.(check bool) "g3" (env.(0) || env.(1)) outs.(2))
+    (Util.assignments 2)
+
+let loads () =
+  let c = simple () in
+  let loads = Netlist.Circuit.loads ~output_load:10.0 c in
+  (* x1 drives an inverter (5.0) and an or2 pin (6.0); same for x2 *)
+  Util.check_close "x1 load" 11.0 loads.(0);
+  Util.check_close "x2 load" 11.0 loads.(1);
+  (* each gate output only drives a primary output *)
+  Util.check_close "g1 load" 10.0 loads.(2);
+  Util.check_close "g2 load" 10.0 loads.(3);
+  Util.check_close "g3 load" 10.0 loads.(4)
+
+let fanout () =
+  let c = simple () in
+  let f = Netlist.Circuit.fanout c in
+  Alcotest.(check int) "x1 fanout" 2 f.(0);
+  Alcotest.(check int) "g1 fanout" 0 f.(2)
+
+let input_index () =
+  let c = simple () in
+  Alcotest.(check (option int)) "x2" (Some 1) (Netlist.Circuit.input_index c "x2");
+  Alcotest.(check (option int)) "missing" None
+    (Netlist.Circuit.input_index c "nope")
+
+let builder_discipline () =
+  let b = Netlist.Builder.create ~name:"bad" in
+  let x = Netlist.Builder.input b "x" in
+  let _ = Netlist.Builder.not_ b x in
+  Alcotest.check_raises "late input"
+    (Invalid_argument "Builder.input: all inputs must be declared before gates")
+    (fun () -> ignore (Netlist.Builder.input b "y"));
+  Alcotest.check_raises "undefined net"
+    (Invalid_argument "Builder.gate: undefined net 99") (fun () ->
+      ignore (Netlist.Builder.not_ b 99))
+
+let builder_finish_once () =
+  let b = Netlist.Builder.create ~name:"once" in
+  let x = Netlist.Builder.input b "x" in
+  Netlist.Builder.output b "y" (Netlist.Builder.buf b x);
+  let _ = Netlist.Builder.finish b in
+  Alcotest.check_raises "finish twice"
+    (Invalid_argument "Builder.finish: already finished") (fun () ->
+      ignore (Netlist.Builder.finish b))
+
+let reduction_trees () =
+  let check_tree build expect label =
+    let b = Netlist.Builder.create ~name:label in
+    let ins = Netlist.Builder.inputs b "x" 9 in
+    Netlist.Builder.output b "y" (build b (Array.to_list ins));
+    let c = Netlist.Builder.finish b in
+    List.iter
+      (fun env ->
+        let outs =
+          Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env
+        in
+        Alcotest.(check bool) label (expect env) outs.(0))
+      (* sample a few assignments; exhaustive 2^9 is fine too but slow-ish *)
+      (List.filteri (fun i _ -> i mod 7 = 0) (Util.assignments 9))
+  in
+  check_tree Netlist.Builder.and_n
+    (fun env -> Array.for_all Fun.id env)
+    "and_n";
+  check_tree Netlist.Builder.or_n (fun env -> Array.exists Fun.id env) "or_n";
+  check_tree Netlist.Builder.xor_n
+    (fun env -> Array.fold_left ( <> ) false env)
+    "xor_n"
+
+let empty_trees () =
+  let b = Netlist.Builder.create ~name:"empty" in
+  let _ = Netlist.Builder.input b "x" in
+  let t = Netlist.Builder.and_n b [] in
+  let f = Netlist.Builder.or_n b [] in
+  let x = Netlist.Builder.xor_n b [] in
+  Netlist.Builder.output b "t" t;
+  Netlist.Builder.output b "f" f;
+  Netlist.Builder.output b "x" x;
+  let c = Netlist.Builder.finish b in
+  let outs =
+    Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c [| false |]
+  in
+  Alcotest.(check bool) "and [] = 1" true outs.(0);
+  Alcotest.(check bool) "or [] = 0" false outs.(1);
+  Alcotest.(check bool) "xor [] = 0" false outs.(2)
+
+let mux_convention () =
+  let b = Netlist.Builder.create ~name:"mux" in
+  let a = Netlist.Builder.input b "a" in
+  let c = Netlist.Builder.input b "c" in
+  let s = Netlist.Builder.input b "s" in
+  Netlist.Builder.output b "y" (Netlist.Builder.mux2 b ~sel:s ~if0:a ~if1:c);
+  let circuit = Netlist.Builder.finish b in
+  List.iter
+    (fun env ->
+      let outs =
+        Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic circuit env
+      in
+      Alcotest.(check bool) "mux semantics"
+        (if env.(2) then env.(1) else env.(0))
+        outs.(0))
+    (Util.assignments 3)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick structure;
+    Alcotest.test_case "functional" `Quick functional;
+    Alcotest.test_case "load back-annotation" `Quick loads;
+    Alcotest.test_case "fanout" `Quick fanout;
+    Alcotest.test_case "input index" `Quick input_index;
+    Alcotest.test_case "builder discipline" `Quick builder_discipline;
+    Alcotest.test_case "finish once" `Quick builder_finish_once;
+    Alcotest.test_case "reduction trees" `Quick reduction_trees;
+    Alcotest.test_case "empty trees" `Quick empty_trees;
+    Alcotest.test_case "mux convention" `Quick mux_convention;
+  ]

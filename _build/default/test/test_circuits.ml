@@ -1,0 +1,272 @@
+(* Benchmark circuit generators: functional correctness against reference
+   models, structural sanity of the whole suite. *)
+
+let bits_of n width = Array.init width (fun i -> (n lsr i) land 1 = 1)
+
+let int_of bits =
+  Array.to_list bits
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let eval c env = Netlist.Circuit.eval_outputs Netlist.Cell.bool_logic c env
+
+let adder_adds () =
+  let c = Circuits.Adder.circuit ~bits:4 in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for cin = 0 to 1 do
+        let env = Array.append (Array.append (bits_of a 4) (bits_of b 4)) [| cin = 1 |] in
+        let outs = eval c env in
+        let sum = int_of (Array.sub outs 0 4) in
+        let cout = if outs.(4) then 16 else 0 in
+        if sum + cout <> a + b + cin then
+          Alcotest.failf "add %d+%d+%d = %d, got %d" a b cin (a + b + cin)
+            (sum + cout)
+      done
+    done
+  done
+
+let comparator_compares () =
+  let c = Circuits.Comparator.cm85 () in
+  (* inputs interleaved a0 b0 a1 b1 ... a4 b4, then en *)
+  let env_of a b en =
+    let env = Array.make 11 false in
+    for j = 0 to 4 do
+      env.(2 * j) <- (a lsr j) land 1 = 1;
+      env.((2 * j) + 1) <- (b lsr j) land 1 = 1
+    done;
+    env.(10) <- en;
+    env
+  in
+  for a = 0 to 31 do
+    for b = 0 to 31 do
+      let outs = eval c (env_of a b true) in
+      let expect = (a > b, a = b, a < b) in
+      if (outs.(0), outs.(1), outs.(2)) <> expect then
+        Alcotest.failf "compare %d %d wrong" a b;
+      (* enable low forces all outputs low *)
+      let gated = eval c (env_of a b false) in
+      if Array.exists Fun.id gated then
+        Alcotest.failf "enable=0 must gate outputs (%d, %d)" a b
+    done
+  done
+
+let mux_selects () =
+  (* input order: s0..s3, en, d0..d15 *)
+  let c = Circuits.Muxes.cm150 () in
+  let prng = Stimulus.Prng.create 21 in
+  for _ = 1 to 500 do
+    let env = Array.init 21 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
+    let sel = int_of (Array.sub env 0 4) in
+    let outs = eval c env in
+    let expect = env.(5 + sel) && env.(4) in
+    if outs.(0) <> expect then Alcotest.failf "cm150 select %d wrong" sel
+  done
+
+let mux_tree_selects () =
+  (* input order: s0..s3, pol, d0..d15 *)
+  let c = Circuits.Muxes.mux () in
+  let prng = Stimulus.Prng.create 23 in
+  for _ = 1 to 500 do
+    let env = Array.init 21 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
+    let sel = int_of (Array.sub env 0 4) in
+    let pol = env.(4) in
+    let outs = eval c env in
+    let data = env.(5 + sel) in
+    if outs.(0) <> (data <> pol) then Alcotest.failf "mux y wrong";
+    if outs.(1) <> (data = pol) then Alcotest.failf "mux yn wrong"
+  done
+
+let parity_is_parity () =
+  let c = Circuits.Parity.parity () in
+  let cn = Circuits.Parity.parity_nand () in
+  let prng = Stimulus.Prng.create 31 in
+  for _ = 1 to 500 do
+    let env = Array.init 16 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
+    let expect = Array.fold_left ( <> ) false env in
+    let outs = eval c env and outs_nand = eval cn env in
+    if outs.(0) <> expect || outs.(1) <> not expect then
+      Alcotest.failf "parity tree wrong";
+    if outs_nand.(0) <> expect then Alcotest.failf "nand parity wrong"
+  done
+
+let decoder_one_hot () =
+  let c = Circuits.Decoder.decod () in
+  for addr = 0 to 15 do
+    List.iter
+      (fun en ->
+        let env = Array.append (bits_of addr 4) [| en |] in
+        let outs = eval c env in
+        Array.iteri
+          (fun k v ->
+            let expect = en && k = addr in
+            if v <> expect then Alcotest.failf "decoder line %d wrong" k)
+          outs)
+      [ true; false ]
+  done
+
+let alu2_operations () =
+  let c = Circuits.Alu.alu2 () in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for op = 0 to 3 do
+        let env =
+          Array.concat [ bits_of a 4; bits_of b 4; bits_of op 2 ]
+        in
+        let outs = eval c env in
+        let r = int_of (Array.sub outs 0 4) in
+        let expect =
+          match op with
+          | 0 -> (a + b) land 15
+          | 1 -> a land b
+          | 2 -> a lor b
+          | _ -> a lxor b
+        in
+        if r <> expect then
+          Alcotest.failf "alu2 op %d: %d ? %d = %d, got %d" op a b expect r;
+        if op = 0 && outs.(4) <> (a + b > 15) then
+          Alcotest.failf "alu2 carry wrong for %d + %d" a b
+      done
+    done
+  done
+
+let alu4_operations () =
+  let c = Circuits.Alu.alu4 () in
+  let mask = 31 in
+  let prng = Stimulus.Prng.create 41 in
+  for _ = 1 to 2000 do
+    let a = Stimulus.Prng.int prng ~bound:32 in
+    let b = Stimulus.Prng.int prng ~bound:32 in
+    let op = Stimulus.Prng.int prng ~bound:16 in
+    let env = Array.concat [ bits_of a 5; bits_of b 5; bits_of op 4 ] in
+    let outs = eval c env in
+    let r = int_of (Array.sub outs 0 5) in
+    let expect =
+      match op with
+      | 0 -> (a + b) land mask
+      | 1 -> (a - b) land mask
+      | 2 -> (a + 1) land mask
+      | 3 -> a land b
+      | 4 -> a lor b
+      | 5 -> a lxor b
+      | 6 -> lnot (a land b) land mask
+      | 7 -> lnot (a lor b) land mask
+      | 8 -> lnot (a lxor b) land mask
+      | 9 -> a
+      | 10 -> lnot a land mask
+      | 11 -> b
+      | 12 -> lnot b land mask
+      | 13 -> a land (lnot b land mask)
+      | 14 -> a lor (lnot b land mask)
+      | _ -> 1
+    in
+    if r <> expect then
+      Alcotest.failf "alu4 op %d: a=%d b=%d expect %d got %d" op a b expect r;
+    if outs.(6) <> (r = 0) then Alcotest.failf "alu4 zero flag wrong"
+  done
+
+let structured_blocks () =
+  let cmb = Circuits.Structured.cmb () in
+  let pcle = Circuits.Structured.pcle () in
+  Alcotest.(check int) "cmb inputs" 16 (Netlist.Circuit.input_count cmb);
+  Alcotest.(check int) "pcle inputs" 19 (Netlist.Circuit.input_count pcle);
+  (* cmb: pattern 0xA5F with ctl armed fires sel0 *)
+  let env = Array.make 16 false in
+  for i = 0 to 11 do
+    env.(i) <- (0xA5F lsr i) land 1 = 1
+  done;
+  env.(12) <- true (* c0: armed *);
+  let outs = eval cmb env in
+  Alcotest.(check bool) "cmb sel0 fires" true outs.(0);
+  Alcotest.(check bool) "cmb sel1 quiet" false outs.(1);
+  (* pcle: equal byte parities with check mode fires en_ok *)
+  let env = Array.make 19 false in
+  env.(0) <- true;
+  env.(8) <- true;
+  (* one bit set per byte: parities agree *)
+  env.(16) <- true;
+  env.(17) <- true;
+  let outs = eval pcle env in
+  Alcotest.(check bool) "pcle en_ok" true outs.(0)
+
+let suite_is_sane () =
+  List.iter
+    (fun entry ->
+      let c = entry.Circuits.Suite.build () in
+      (match Netlist.Circuit.validate c with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s invalid: %s" entry.Circuits.Suite.name msg);
+      Alcotest.(check bool)
+        (entry.Circuits.Suite.name ^ " nonempty")
+        true
+        (Netlist.Circuit.gate_count c > 0);
+      (* deterministic: building twice gives identical structure *)
+      let c2 = entry.Circuits.Suite.build () in
+      Alcotest.(check int)
+        (entry.Circuits.Suite.name ^ " deterministic")
+        (Netlist.Circuit.gate_count c)
+        (Netlist.Circuit.gate_count c2))
+    Circuits.Suite.all
+
+let table1_interface_matches_paper () =
+  (* input counts are the paper's Table 1 column n *)
+  List.iter
+    (fun (name, n) ->
+      let entry = Option.get (Circuits.Suite.find name) in
+      let c = entry.Circuits.Suite.build () in
+      Alcotest.(check int) (name ^ " inputs") n (Netlist.Circuit.input_count c))
+    [
+      ("alu2", 10); ("alu4", 14); ("cmb", 16); ("cm150", 21); ("cm85", 11);
+      ("comp", 32); ("decod", 5); ("k2", 45); ("mux", 21); ("parity", 16);
+      ("pcle", 19); ("x1", 49); ("x2", 10);
+    ]
+
+let random_logic_all_live () =
+  (* windowed generator: every net is read or exported *)
+  let c = Util.small_random_circuit 7 in
+  let f = Netlist.Circuit.fanout c in
+  let outputs =
+    Array.to_list c.Netlist.Circuit.outputs |> List.map snd
+  in
+  Array.iteri
+    (fun net reads ->
+      if
+        net >= Netlist.Circuit.input_count c
+        && reads = 0
+        && not (List.mem net outputs)
+      then Alcotest.failf "dead net %d" net)
+    f
+
+let pla_generator_shape () =
+  let c =
+    Circuits.Random_logic.generate_pla
+      {
+        Circuits.Random_logic.pla_name = "pla";
+        pla_inputs = 12;
+        pla_outputs = 6;
+        cubes_per_output = 3;
+        min_literals = 2;
+        max_literals = 4;
+        input_window = 8;
+        pla_seed = 77;
+      }
+  in
+  Alcotest.(check int) "outputs" 6 (Netlist.Circuit.output_count c);
+  Alcotest.(check bool) "validates" true (Netlist.Circuit.validate c = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "adder adds" `Quick adder_adds;
+    Alcotest.test_case "comparator compares" `Quick comparator_compares;
+    Alcotest.test_case "cm150 selects" `Quick mux_selects;
+    Alcotest.test_case "mux tree selects" `Quick mux_tree_selects;
+    Alcotest.test_case "parity trees" `Quick parity_is_parity;
+    Alcotest.test_case "decoder one-hot" `Quick decoder_one_hot;
+    Alcotest.test_case "alu2 operations" `Quick alu2_operations;
+    Alcotest.test_case "alu4 operations" `Quick alu4_operations;
+    Alcotest.test_case "structured blocks" `Quick structured_blocks;
+    Alcotest.test_case "suite sanity" `Quick suite_is_sane;
+    Alcotest.test_case "Table 1 interfaces" `Quick table1_interface_matches_paper;
+    Alcotest.test_case "random logic liveness" `Quick random_logic_all_live;
+    Alcotest.test_case "pla generator" `Quick pla_generator_shape;
+  ]

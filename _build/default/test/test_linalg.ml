@@ -1,0 +1,86 @@
+(* Linear algebra used by the Lin baseline characterization. *)
+
+let solve_known () =
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let b = [| 5.0; 10.0 |] in
+  let x = Linalg.Lstsq.solve a b in
+  Util.check_close "x0" 1.0 x.(0);
+  Util.check_close "x1" 3.0 x.(1)
+
+let solve_permutation () =
+  (* needs pivoting: leading zero *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let b = [| 2.0; 3.0 |] in
+  let x = Linalg.Lstsq.solve a b in
+  Util.check_close "x0" 3.0 x.(0);
+  Util.check_close "x1" 2.0 x.(1)
+
+let singular_detected () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" Linalg.Lstsq.Singular (fun () ->
+      ignore (Linalg.Lstsq.solve a [| 1.0; 2.0 |]))
+
+let regularized_survives () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  let x = Linalg.Lstsq.solve_regularized a [| 1.0; 2.0 |] ~ridge:1e-6 in
+  Alcotest.(check int) "solution exists" 2 (Array.length x)
+
+let fit_recovers_exact_linear () =
+  (* y = 3 + 2 x1 - x2 on a spread of points: OLS must recover exactly *)
+  let rows =
+    List.concat_map
+      (fun x1 ->
+        List.map
+          (fun x2 ->
+            let x1 = float_of_int x1 and x2 = float_of_int x2 in
+            ([| 1.0; x1; x2 |], 3.0 +. (2.0 *. x1) -. x2))
+          [ 0; 1; 2; 5 ])
+      [ 0; 1; 3; 4 ]
+  in
+  let coeffs = Linalg.Lstsq.fit rows ~features:3 in
+  Util.check_close ~eps:1e-6 "c0" 3.0 coeffs.(0);
+  Util.check_close ~eps:1e-6 "c1" 2.0 coeffs.(1);
+  Util.check_close ~eps:1e-6 "c2" (-1.0) coeffs.(2);
+  Util.check_close ~eps:1e-6 "rms" 0.0 (Linalg.Lstsq.residual_rms rows coeffs)
+
+let fit_least_squares_property =
+  (* perturbing the OLS solution never reduces the residual *)
+  Util.qtest ~count:100 "OLS minimizes the residual"
+    QCheck.(pair (list_of_size (Gen.int_range 5 20) (triple (float_bound_inclusive 5.0) (float_bound_inclusive 5.0) (float_bound_inclusive 5.0))) (pair small_int small_int))
+    (fun (points, (di, dj)) ->
+      match points with
+      | [] -> true
+      | _ ->
+        let rows =
+          List.map (fun (a, b, y) -> ([| 1.0; a; b |], y)) points
+        in
+        let coeffs = Linalg.Lstsq.fit rows ~features:3 in
+        let base = Linalg.Lstsq.residual_rms rows coeffs in
+        let perturbed = Array.copy coeffs in
+        perturbed.(di mod 3) <- perturbed.(di mod 3) +. 0.05;
+        perturbed.(dj mod 3) <- perturbed.(dj mod 3) -. 0.03;
+        Linalg.Lstsq.residual_rms rows perturbed >= base -. 1e-9)
+
+let fit_rank_deficient () =
+  (* a constant feature column duplicated: singular normal equations must
+     fall back to ridge and still produce a finite fit *)
+  let rows = [ ([| 1.0; 1.0 |], 2.0); ([| 1.0; 1.0 |], 2.0) ] in
+  let coeffs = Linalg.Lstsq.fit rows ~features:2 in
+  Alcotest.(check bool) "finite" true
+    (Array.for_all Float.is_finite coeffs)
+
+let predict_mismatch () =
+  Alcotest.check_raises "width" (Invalid_argument "Lstsq.predict: width mismatch")
+    (fun () -> ignore (Linalg.Lstsq.predict [| 1.0 |] [| 1.0; 2.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "solve known system" `Quick solve_known;
+    Alcotest.test_case "solve with pivoting" `Quick solve_permutation;
+    Alcotest.test_case "singular detection" `Quick singular_detected;
+    Alcotest.test_case "ridge regularization" `Quick regularized_survives;
+    Alcotest.test_case "fit recovers linear" `Quick fit_recovers_exact_linear;
+    Alcotest.test_case "rank-deficient fit" `Quick fit_rank_deficient;
+    Alcotest.test_case "predict width guard" `Quick predict_mismatch;
+    fit_least_squares_property;
+  ]

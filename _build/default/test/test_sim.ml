@@ -1,0 +1,122 @@
+(* Zero-delay simulator: the paper's running example (Fig. 2) with its
+   exact capacitances, plus sequence accounting and worst-case search. *)
+
+(* Fig. 2 unit: g1 = x1', g2 = x2', g3 = x1 + x2; C1=40, C2=50, C3=10 fF. *)
+let fig2 () =
+  let b = Netlist.Builder.create ~name:"fig2" in
+  let x1 = Netlist.Builder.input b "x1" in
+  let x2 = Netlist.Builder.input b "x2" in
+  let g1 = Netlist.Builder.not_ b x1 in
+  let g2 = Netlist.Builder.not_ b x2 in
+  let g3 = Netlist.Builder.or2 b x1 x2 in
+  Netlist.Builder.output b "g1" g1;
+  Netlist.Builder.output b "g2" g2;
+  Netlist.Builder.output b "g3" g3;
+  let c = Netlist.Builder.finish b in
+  let loads = Array.make c.Netlist.Circuit.net_count 0.0 in
+  loads.(g1) <- 40.0;
+  loads.(g2) <- 50.0;
+  loads.(g3) <- 10.0;
+  (c, loads)
+
+let vec b1 b0 = [| b0; b1 |] (* x1 is input 0 *)
+
+let paper_example () =
+  let c, loads = fig2 () in
+  let sim = Gatesim.Simulator.create ~loads c in
+  let check (x1i, x2i) (x1f, x2f) expected =
+    let got =
+      Gatesim.Simulator.switched_capacitance sim (vec x2i x1i) (vec x2f x1f)
+    in
+    Util.check_close
+      (Printf.sprintf "C(%b%b -> %b%b)" x1i x2i x1f x2f)
+      expected got
+  in
+  (* Ex. 1 of the paper: C(11, 00) = C1 + C2 = 90 fF *)
+  check (true, true) (false, false) 90.0;
+  check (false, false) (false, false) 0.0;
+  (* 00 -> 01: g3 rises (10), g2 falls, g1 stays 1 *)
+  check (false, false) (false, true) 10.0;
+  (* 00 -> 11: g3 rises, both inverters fall *)
+  check (false, false) (true, true) 10.0;
+  (* 10 -> 01: g1 rises (40); g2 falls; g3 stays 1 *)
+  check (true, false) (false, true) 40.0
+
+let energy_is_vdd2_c () =
+  let c, loads = fig2 () in
+  let sim = Gatesim.Simulator.create ~loads c in
+  let e =
+    Gatesim.Simulator.energy ~vdd:2.0 sim (vec true true) (vec false false)
+  in
+  Util.check_close "E = Vdd^2 C" (4.0 *. 90.0) e
+
+let run_accounting () =
+  let c, loads = fig2 () in
+  let sim = Gatesim.Simulator.create ~loads c in
+  let vectors = [| vec true true; vec false false; vec false true |] in
+  let run = Gatesim.Simulator.run sim vectors in
+  Alcotest.(check int) "patterns" 2 run.Gatesim.Simulator.patterns;
+  (* 11 -> 00: 90; 00 -> 10 (x2 rises): g3 rises 10, g2 falls *)
+  Util.check_close "total" 100.0 run.Gatesim.Simulator.total;
+  Util.check_close "average" 50.0 run.Gatesim.Simulator.average;
+  Util.check_close "maximum" 90.0 run.Gatesim.Simulator.maximum;
+  Util.check_close "per pattern 0" 90.0 run.Gatesim.Simulator.per_pattern.(0)
+
+let average_power () =
+  let c, loads = fig2 () in
+  let sim = Gatesim.Simulator.create ~loads c in
+  let run =
+    Gatesim.Simulator.run sim [| vec true true; vec false false |]
+  in
+  (* 90 fF * (3.3)^2 / 1e-9 s *)
+  Util.check_close "power"
+    (90.0 *. 3.3 *. 3.3 /. 1e-9)
+    (Gatesim.Simulator.average_power ~period:1e-9 run)
+
+let worst_case_exhaustive () =
+  let c, loads = fig2 () in
+  let sim = Gatesim.Simulator.create ~loads c in
+  (* worst transition is 11 -> 00: 90 fF *)
+  Util.check_close "exact worst case" 90.0
+    (Gatesim.Simulator.worst_case_capacitance_exhaustive sim)
+
+let worst_case_guard () =
+  let c = Circuits.Comparator.comp () in
+  let sim = Gatesim.Simulator.create c in
+  Alcotest.check_raises "too many inputs"
+    (Invalid_argument
+       "Simulator.worst_case_capacitance_exhaustive: too many inputs")
+    (fun () -> ignore (Gatesim.Simulator.worst_case_capacitance_exhaustive sim))
+
+let inputs_not_counted () =
+  (* primary-input nets carry load but are driven externally: a transition
+     that only flips inputs whose gates do not rise must cost 0 *)
+  let b = Netlist.Builder.create ~name:"buf" in
+  let x = Netlist.Builder.input b "x" in
+  Netlist.Builder.output b "y" (Netlist.Builder.buf b x) ;
+  let c = Netlist.Builder.finish b in
+  let sim = Gatesim.Simulator.create c in
+  (* x falls: buffer output falls, nothing rises *)
+  Util.check_close "falling costs nothing" 0.0
+    (Gatesim.Simulator.switched_capacitance sim [| true |] [| false |]);
+  Alcotest.(check bool) "rising costs the buffer load" true
+    (Gatesim.Simulator.switched_capacitance sim [| false |] [| true |] > 0.0)
+
+let run_needs_two () =
+  let c, loads = fig2 () in
+  let sim = Gatesim.Simulator.create ~loads c in
+  Alcotest.check_raises "one vector"
+    (Invalid_argument "Simulator.run: need at least two vectors") (fun () ->
+      ignore (Gatesim.Simulator.run sim [| vec true true |]))
+
+let suite =
+  [
+    Alcotest.test_case "paper Fig. 2 table" `Quick paper_example;
+    Alcotest.test_case "energy = Vdd^2 C" `Quick energy_is_vdd2_c;
+    Alcotest.test_case "run accounting" `Quick run_accounting;
+    Alcotest.test_case "average power" `Quick average_power;
+    Alcotest.test_case "exhaustive worst case" `Quick worst_case_exhaustive;
+    Alcotest.test_case "worst case guard" `Quick worst_case_guard;
+    Alcotest.test_case "only rising edges charge" `Quick inputs_not_counted;
+    Alcotest.test_case "run needs two vectors" `Quick run_needs_two;
+  ]
