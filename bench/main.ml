@@ -1,6 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation section, runs the ablation studies called out in DESIGN.md,
-   and finishes with Bechamel micro-benchmarks of the kernels.
+   finishes with Bechamel micro-benchmarks of the kernels, and writes a
+   machine-readable BENCH_results.json so CI can archive a perf
+   trajectory across PRs and diff the model errors of two runs.
 
      dune exec bench/main.exe
 
@@ -8,7 +10,10 @@
      CFPM_VECTORS        vectors per evaluation run   (default 1500)
      CFPM_CHAR_VECTORS   characterization run length  (default 2500)
      CFPM_SKIP_TABLE1    set to skip the (slow) full Table 1
-     CFPM_ONLY           comma-separated Table 1 circuit subset *)
+     CFPM_ONLY           comma-separated Table 1 circuit subset
+     CFPM_JOBS           worker domains for the parallel engine
+                         (default: Domain.recommended_domain_count)
+     CFPM_BENCH_JSON     JSON report path (default BENCH_results.json) *)
 
 let vectors =
   match Sys.getenv_opt "CFPM_VECTORS" with
@@ -20,40 +25,58 @@ let char_vectors =
   | Some v -> int_of_string v
   | None -> 2500
 
+let json_path =
+  match Sys.getenv_opt "CFPM_BENCH_JSON" with
+  | Some p -> p
+  | None -> "BENCH_results.json"
+
 let heading title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* Runs [f], prints the wall clock, and returns (result, elapsed) so the
+   JSON report can carry the timing alongside the data. *)
 let timed label f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.printf "[%s: %.1fs]\n" label (Unix.gettimeofday () -. t0);
-  r
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "[%s: %.1fs]\n" label dt;
+  (r, dt)
 
 (* ------------------------------------------------------------------ *)
 (* Experiment reproductions (one per paper table/figure).              *)
 
 let run_fig7a () =
   heading "Experiment E1: Fig. 7a — RE vs transition probability (cm85)";
-  let r = timed "fig7a" (fun () -> Experiments.Fig7a.run ~vectors ~char_vectors ()) in
-  print_string (Experiments.Report.fig7a r)
+  let r, dt =
+    timed "fig7a" (fun () -> Experiments.Fig7a.run ~vectors ~char_vectors ())
+  in
+  print_string (Experiments.Report.fig7a r);
+  (r, dt)
 
 let run_fig7b () =
   heading "Experiment E2: Fig. 7b — accuracy/size trade-off (cm85)";
-  let r = timed "fig7b" (fun () -> Experiments.Fig7b.run ~vectors ~char_vectors ()) in
-  print_string (Experiments.Report.fig7b r)
+  let r, dt =
+    timed "fig7b" (fun () -> Experiments.Fig7b.run ~vectors ~char_vectors ())
+  in
+  print_string (Experiments.Report.fig7b r);
+  (r, dt)
+
+let table1_names () =
+  match Sys.getenv_opt "CFPM_ONLY" with
+  | Some s -> Some (String.split_on_char ',' s)
+  | None -> None
 
 let run_table1 () =
   heading "Experiment E3/E4: Table 1 — all benchmarks";
-  let names =
-    match Sys.getenv_opt "CFPM_ONLY" with
-    | Some s -> Some (String.split_on_char ',' s)
-    | None -> None
-  in
   let config =
     { Experiments.Table1.default_config with vectors; char_vectors }
   in
-  let rows = timed "table1" (fun () -> Experiments.Table1.run ~config ?names ()) in
-  print_string (Experiments.Report.table1 rows)
+  let rows, dt =
+    timed "table1" (fun () ->
+        Experiments.Table1.run ~config ?names:(table1_names ()) ())
+  in
+  print_string (Experiments.Report.table1 rows);
+  (rows, dt)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                          *)
@@ -89,12 +112,14 @@ let ablation_accumulation () =
      (cm85, MAX = 500)";
   let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
   let sim = Gatesim.Simulator.create circuit in
-  let incremental =
+  let incremental, _ =
     timed "incremental build" (fun () ->
         Powermodel.Model.build ~max_size:500 circuit)
   in
-  let exact = timed "exact build" (fun () -> Powermodel.Model.build circuit) in
-  let oneshot_cap =
+  let exact, _ =
+    timed "exact build" (fun () -> Powermodel.Model.build circuit)
+  in
+  let oneshot_cap, _ =
     timed "one-shot compress" (fun () ->
         Dd.Approx.compress exact.Powermodel.Model.add_manager
           ~strategy:Dd.Approx.Average ~max_size:500 exact.Powermodel.Model.cap)
@@ -219,20 +244,75 @@ let bechamel_suite () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report.                                            *)
+
+let write_json ~total_seconds ~fig7a ~fig7b ~table1 =
+  let experiments =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map
+          (fun (r, dt) ->
+            ("fig7a", Experiments.Bench_json.fig7a ~wall_seconds:dt r))
+          fig7a;
+        Option.map
+          (fun (r, dt) ->
+            ("fig7b", Experiments.Bench_json.fig7b ~wall_seconds:dt r))
+          fig7b;
+        Option.map
+          (fun (rows, dt) ->
+            ("table1", Experiments.Bench_json.table1 ~wall_seconds:dt rows))
+          table1;
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "cfpm-bench/1");
+        ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
+        ("vectors", Json.Int vectors);
+        ("char_vectors", Json.Int char_vectors);
+        ( "only",
+          match Sys.getenv_opt "CFPM_ONLY" with
+          | Some s -> Json.String s
+          | None -> Json.Null );
+        ("total_seconds", Json.Float total_seconds);
+        ("experiments", Json.Obj experiments);
+        ( "model_errors",
+          Experiments.Bench_json.model_errors
+            ?fig7a:(Option.map fst fig7a)
+            ?fig7b:(Option.map fst fig7b)
+            ?table1:(Option.map fst table1) () );
+      ]
+  in
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc (Json.to_string json));
+  Printf.printf "\n[wrote %s]\n" json_path
+
 let () =
+  let t0 = Unix.gettimeofday () in
   Printf.printf
     "cfpm benchmark harness — Characterization-Free Behavioral Power \
      Modeling (DATE 1998)\n";
-  Printf.printf "vectors per run: %d, characterization: %d\n" vectors
-    char_vectors;
-  run_fig7a ();
-  run_fig7b ();
-  (match Sys.getenv_opt "CFPM_SKIP_TABLE1" with
-  | Some _ -> Printf.printf "\n[table 1 skipped by CFPM_SKIP_TABLE1]\n"
-  | None -> run_table1 ());
+  Printf.printf "vectors per run: %d, characterization: %d, jobs: %d\n" vectors
+    char_vectors
+    (Parallel.Pool.default_jobs ());
+  let fig7a = run_fig7a () in
+  let fig7b = run_fig7b () in
+  let table1 =
+    match Sys.getenv_opt "CFPM_SKIP_TABLE1" with
+    | Some _ ->
+      Printf.printf "\n[table 1 skipped by CFPM_SKIP_TABLE1]\n";
+      None
+    | None -> Some (run_table1 ())
+  in
   ablation_weighting ();
   ablation_accumulation ();
   ablation_variable_pairing ();
   ablation_implementation_sensitivity ();
   bechamel_suite ();
+  write_json
+    ~total_seconds:(Unix.gettimeofday () -. t0)
+    ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1;
   Printf.printf "\nDone.\n"

@@ -37,6 +37,16 @@ let seed_arg =
   let doc = "PRNG seed for all random streams." in
   Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel experiment engine; 0 selects \
+     $(b,CFPM_JOBS) or the machine's recommended domain count.  Results \
+     are identical for every job count."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let jobs_opt jobs = if jobs <= 0 then None else Some jobs
+
 let strategy_arg =
   let doc = "Approximation strategy: average, upper or lower." in
   let strategies =
@@ -121,22 +131,22 @@ let build_cmd =
       $ vectors_arg $ seed_arg)
 
 let fig7a_cmd =
-  let run vectors seed =
-    let r = Experiments.Fig7a.run ~vectors ~seed () in
+  let run vectors seed jobs =
+    let r = Experiments.Fig7a.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7a r)
   in
   Cmd.v
     (Cmd.info "fig7a" ~doc:"Reproduce Fig. 7a (RE vs st for cm85).")
-    Term.(const run $ vectors_arg $ seed_arg)
+    Term.(const run $ vectors_arg $ seed_arg $ jobs_arg)
 
 let fig7b_cmd =
-  let run vectors seed =
-    let r = Experiments.Fig7b.run ~vectors ~seed () in
+  let run vectors seed jobs =
+    let r = Experiments.Fig7b.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7b r)
   in
   Cmd.v
     (Cmd.info "fig7b" ~doc:"Reproduce Fig. 7b (ARE vs model size for cm85).")
-    Term.(const run $ vectors_arg $ seed_arg)
+    Term.(const run $ vectors_arg $ seed_arg $ jobs_arg)
 
 let table1_cmd =
   let names_arg =
@@ -147,7 +157,7 @@ let table1_cmd =
     let doc = "Scale factor applied to the Table 1 MAX bounds." in
     Arg.(value & opt float 1.0 & info [ "max-scale" ] ~docv:"S" ~doc)
   in
-  let run vectors seed names max_scale =
+  let run vectors seed names max_scale jobs =
     let config =
       {
         Experiments.Table1.default_config with
@@ -157,12 +167,13 @@ let table1_cmd =
       }
     in
     let names = match names with [] -> None | l -> Some l in
-    let rows = Experiments.Table1.run ~config ?names () in
+    let rows = Experiments.Table1.run ~config ?names ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.table1 rows)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (all benchmarks).")
-    Term.(const run $ vectors_arg $ seed_arg $ names_arg $ scale_arg)
+    Term.(
+      const run $ vectors_arg $ seed_arg $ names_arg $ scale_arg $ jobs_arg)
 
 let dot_cmd =
   let run name max_size strategy weighting =

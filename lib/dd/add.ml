@@ -12,9 +12,18 @@ type manager = {
       (* keyed by op tag and both operand ids packed into one int *)
   ite_cache : (int * int * int, t) Hashtbl.t;
   of_bdd_cache : (int * int64 * int64, t) Hashtbl.t;
+  perf : Perf.t;
+  (* apply counters indexed by op tag; fetched at creation so the hot
+     loops never hash a counter name *)
+  c_apply : Perf.counter array;
+  c_ite : Perf.counter;
+  c_of_bdd : Perf.counter;
 }
 
-let manager () =
+let op_names = [| "plus"; "minus"; "times"; "min"; "max" |]
+
+let manager ?perf () =
+  let perf = match perf with Some p -> p | None -> Perf.create () in
   {
     next_id = 0;
     leaves = Hashtbl.create 256;
@@ -22,12 +31,21 @@ let manager () =
     apply_cache = Hashtbl.create 4096;
     ite_cache = Hashtbl.create 1024;
     of_bdd_cache = Hashtbl.create 1024;
+    perf;
+    c_apply = Array.map (Perf.counter perf) op_names;
+    c_ite = Perf.counter perf "ite";
+    c_of_bdd = Perf.counter perf "of_bdd";
   }
 
 let clear_caches m =
   Hashtbl.reset m.apply_cache;
   Hashtbl.reset m.ite_cache;
-  Hashtbl.reset m.of_bdd_cache
+  Hashtbl.reset m.of_bdd_cache;
+  Perf.reset m.perf
+
+let perf m = m.perf
+
+let unique_size m = Hashtbl.length m.unique
 
 let node_id = function Leaf l -> l.id | Node n -> n.id
 
@@ -51,6 +69,7 @@ let mk m v low high =
       let n = Node { id = m.next_id; var = v; low; high } in
       m.next_id <- m.next_id + 1;
       Hashtbl.add m.unique key n;
+      Perf.note_peak m.perf m.next_id;
       n
   end
 
@@ -64,8 +83,11 @@ let of_bdd m ?(one_value = 1.0) ?(zero_value = 0.0) b =
     | Bdd.Node n -> (
       let key = (n.id, ov, zv) in
       match Hashtbl.find_opt m.of_bdd_cache key with
-      | Some r -> r
+      | Some r ->
+        Perf.hit m.c_of_bdd;
+        r
       | None ->
+        Perf.miss m.c_of_bdd;
         let r = mk m n.var (go n.low) (go n.high) in
         Hashtbl.add m.of_bdd_cache key r;
         r)
@@ -105,24 +127,32 @@ let cofactors f v =
   | Node n when n.var = v -> (n.low, n.high)
   | Leaf _ | Node _ -> (f, f)
 
-let rec apply2 m op a b =
-  match a, b with
-  | Leaf la, Leaf lb -> const m (eval_op op la.value lb.value)
-  | _ ->
-    let ia = node_id a and ib = node_id b in
-    (* Normalize commutative operand order for better cache hits. *)
-    let a, b, ia, ib =
-      if is_commutative op && ia > ib then (b, a, ib, ia) else (a, b, ia, ib)
-    in
-    let key = pack_key op ia ib in
-    (match Hashtbl.find_opt m.apply_cache key with
-    | Some r -> r
-    | None ->
-      let v = top_var a b in
-      let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
-      let r = mk m v (apply2 m op a0 b0) (apply2 m op a1 b1) in
-      Hashtbl.add m.apply_cache key r;
-      r)
+let apply2 m op a b =
+  let ctr = m.c_apply.(op_tag op) in
+  let commutative = is_commutative op in
+  let rec go a b =
+    match a, b with
+    | Leaf la, Leaf lb -> const m (eval_op op la.value lb.value)
+    | _ ->
+      let ia = node_id a and ib = node_id b in
+      (* Normalize commutative operand order for better cache hits. *)
+      let a, b, ia, ib =
+        if commutative && ia > ib then (b, a, ib, ia) else (a, b, ia, ib)
+      in
+      let key = pack_key op ia ib in
+      (match Hashtbl.find_opt m.apply_cache key with
+      | Some r ->
+        Perf.hit ctr;
+        r
+      | None ->
+        Perf.miss ctr;
+        let v = top_var a b in
+        let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
+        let r = mk m v (go a0 b0) (go a1 b1) in
+        Hashtbl.add m.apply_cache key r;
+        r)
+  in
+  go a b
 
 let add m a b = apply2 m Plus a b
 let sub m a b = apply2 m Minus a b
@@ -149,35 +179,43 @@ let map_leaves m f t =
 let scale m c t = if c = 1.0 then t else map_leaves m (fun v -> c *. v) t
 let offset m c t = if c = 0.0 then t else map_leaves m (fun v -> c +. v) t
 
-let rec ite m guard g h =
-  match guard with
-  | Bdd.True -> g
-  | Bdd.False -> h
-  | Bdd.Node _ ->
-    if g == h then g
-    else begin
-      let key = (Bdd.node_id guard, node_id g, node_id h) in
-      match Hashtbl.find_opt m.ite_cache key with
-      | Some r -> r
-      | None ->
-        let vg = Bdd.(match guard with Node n -> n.var | False | True -> max_int) in
-        let v =
-          List.fold_left
-            (fun acc x ->
-              match x with Node n -> min acc n.var | Leaf _ -> acc)
-            vg [ g; h ]
-        in
-        let f0, f1 =
-          match guard with
-          | Bdd.Node n when n.var = v -> (n.low, n.high)
-          | Bdd.False | Bdd.True | Bdd.Node _ -> (guard, guard)
-        in
-        let g0, g1 = cofactors g v in
-        let h0, h1 = cofactors h v in
-        let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
-        Hashtbl.add m.ite_cache key r;
-        r
-    end
+let ite m guard g h =
+  let rec go guard g h =
+    match guard with
+    | Bdd.True -> g
+    | Bdd.False -> h
+    | Bdd.Node _ ->
+      if g == h then g
+      else begin
+        let key = (Bdd.node_id guard, node_id g, node_id h) in
+        match Hashtbl.find_opt m.ite_cache key with
+        | Some r ->
+          Perf.hit m.c_ite;
+          r
+        | None ->
+          Perf.miss m.c_ite;
+          let vg =
+            Bdd.(match guard with Node n -> n.var | False | True -> max_int)
+          in
+          let v =
+            List.fold_left
+              (fun acc x ->
+                match x with Node n -> min acc n.var | Leaf _ -> acc)
+              vg [ g; h ]
+          in
+          let f0, f1 =
+            match guard with
+            | Bdd.Node n when n.var = v -> (n.low, n.high)
+            | Bdd.False | Bdd.True | Bdd.Node _ -> (guard, guard)
+          in
+          let g0, g1 = cofactors g v in
+          let h0, h1 = cofactors h v in
+          let r = mk m v (go f0 g0 h0) (go f1 g1 h1) in
+          Hashtbl.add m.ite_cache key r;
+          r
+      end
+  in
+  go guard g h
 
 let equal a b = a == b
 

@@ -17,8 +17,21 @@ type t = private
 
 type manager
 
-val manager : unit -> manager
+val manager : ?perf:Perf.t -> unit -> manager
+(** [perf] shares an existing counter set — {!Powermodel.Model.build}
+    uses this to keep one cumulative counter window across its periodic
+    manager migrations. *)
+
 val clear_caches : manager -> unit
+(** Drop the operation caches and reset the {!Perf} counters. *)
+
+val perf : manager -> Perf.t
+(** Apply-cache hits/misses per operation ({e plus}, {e minus},
+    {e times}, {e min}, {e max}, {e ite}, {e of_bdd}), peak allocated
+    node count, and {!Approx} collapse passes. *)
+
+val unique_size : manager -> int
+(** Current number of entries in the unique (hash-consing) table. *)
 
 (** {1 Construction} *)
 

@@ -361,12 +361,14 @@ let compress ?(weighting = default_weighting) mgr ~strategy ~max_size root =
   if max_size < 1 then invalid_arg "Approx.compress: max_size must be >= 1";
   if Add.size root <= max_size then root
   else begin
+    Perf.note_collapse (Add.perf mgr);
     let plan = make_plan strategy weighting root in
     search mgr plan max_size
   end
 
 let collapse_below ?(weighting = default_weighting) mgr ~strategy ~threshold
     root =
+  Perf.note_collapse (Add.perf mgr);
   let plan = make_plan strategy weighting root in
   (* ranked is sorted by score, so the below-threshold set is a prefix *)
   let k = ref 0 in

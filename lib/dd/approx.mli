@@ -56,7 +56,9 @@ val compress :
     (searching for roughly the fewest collapses that reach the target) and
     returns the rebuilt diagram, whose size is [<= max_size].  [max_size]
     must be at least 1: collapsing everything leaves a single constant
-    estimator, the degenerate model the paper mentions. *)
+    estimator, the degenerate model the paper mentions.  Each actual
+    collapse pass is counted into the target manager's {!Perf}
+    counters. *)
 
 val collapse_below :
   ?weighting:weighting ->

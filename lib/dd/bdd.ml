@@ -12,9 +12,19 @@ type manager = {
   xor_cache : (int * int, t) Hashtbl.t;
   ite_cache : (int * int * int, t) Hashtbl.t;
   exists_cache : (int, t) Hashtbl.t;
+  perf : Perf.t;
+  (* counters pre-fetched at creation so the operation loops never hash a
+     name on the hot path *)
+  c_not : Perf.counter;
+  c_and : Perf.counter;
+  c_or : Perf.counter;
+  c_xor : Perf.counter;
+  c_ite : Perf.counter;
+  c_exists : Perf.counter;
 }
 
-let manager () =
+let manager ?perf () =
+  let perf = match perf with Some p -> p | None -> Perf.create () in
   {
     next_id = 2;
     unique = Hashtbl.create 4096;
@@ -24,6 +34,13 @@ let manager () =
     xor_cache = Hashtbl.create 1024;
     ite_cache = Hashtbl.create 1024;
     exists_cache = Hashtbl.create 64;
+    perf;
+    c_not = Perf.counter perf "not";
+    c_and = Perf.counter perf "and";
+    c_or = Perf.counter perf "or";
+    c_xor = Perf.counter perf "xor";
+    c_ite = Perf.counter perf "ite";
+    c_exists = Perf.counter perf "exists";
   }
 
 let clear_caches m =
@@ -32,9 +49,14 @@ let clear_caches m =
   Hashtbl.reset m.or_cache;
   Hashtbl.reset m.xor_cache;
   Hashtbl.reset m.ite_cache;
-  Hashtbl.reset m.exists_cache
+  Hashtbl.reset m.exists_cache;
+  Perf.reset m.perf
 
 let node_count m = m.next_id - 2
+
+let perf m = m.perf
+
+let unique_size m = Hashtbl.length m.unique
 
 let node_id = function False -> 0 | True -> 1 | Node n -> n.id
 
@@ -54,6 +76,7 @@ let mk m v low high =
       let n = Node { id = m.next_id; var = v; low; high } in
       m.next_id <- m.next_id + 1;
       Hashtbl.add m.unique key n;
+      Perf.note_peak m.perf (m.next_id - 2);
       n
   end
 
@@ -77,38 +100,47 @@ let cofactors f v =
   | Node n when n.var = v -> (n.low, n.high)
   | False | True | Node _ -> (f, f)
 
-let rec bnot m f =
-  match f with
-  | False -> True
-  | True -> False
-  | Node n -> (
-    match Hashtbl.find_opt m.not_cache n.id with
-    | Some r -> r
-    | None ->
-      let r = mk m n.var (bnot m n.low) (bnot m n.high) in
-      Hashtbl.add m.not_cache n.id r;
-      r)
+let bnot m f =
+  let rec go f =
+    match f with
+    | False -> True
+    | True -> False
+    | Node n -> (
+      match Hashtbl.find_opt m.not_cache n.id with
+      | Some r ->
+        Perf.hit m.c_not;
+        r
+      | None ->
+        Perf.miss m.c_not;
+        let r = mk m n.var (go n.low) (go n.high) in
+        Hashtbl.add m.not_cache n.id r;
+        r)
+  in
+  go f
 
 (* Symmetric binary operations share this skeleton; [terminal] decides the
-   base cases, [cache] memoizes on the (commutatively normalized) id pair. *)
-let rec apply_comm m cache terminal a b =
-  match terminal a b with
-  | Some r -> r
-  | None ->
-    let ia = node_id a and ib = node_id b in
-    let key = if ia <= ib then (ia, ib) else (ib, ia) in
-    (match Hashtbl.find_opt cache key with
+   base cases, [cache] memoizes on the (commutatively normalized) id pair
+   and [ctr] counts its hits/misses. *)
+let apply_comm m cache ctr terminal a b =
+  let rec go a b =
+    match terminal a b with
     | Some r -> r
     | None ->
-      let v = top_var a b in
-      let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
-      let r =
-        mk m v
-          (apply_comm m cache terminal a0 b0)
-          (apply_comm m cache terminal a1 b1)
-      in
-      Hashtbl.add cache key r;
-      r)
+      let ia = node_id a and ib = node_id b in
+      let key = if ia <= ib then (ia, ib) else (ib, ia) in
+      (match Hashtbl.find_opt cache key with
+      | Some r ->
+        Perf.hit ctr;
+        r
+      | None ->
+        Perf.miss ctr;
+        let v = top_var a b in
+        let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
+        let r = mk m v (go a0 b0) (go a1 b1) in
+        Hashtbl.add cache key r;
+        r)
+  in
+  go a b
 
 let and_terminal a b =
   match a, b with
@@ -122,8 +154,8 @@ let or_terminal a b =
   | False, x | x, False -> Some x
   | Node na, Node nb -> if na.id = nb.id then Some a else None
 
-let band m a b = apply_comm m m.and_cache and_terminal a b
-let bor m a b = apply_comm m m.or_cache or_terminal a b
+let band m a b = apply_comm m m.and_cache m.c_and and_terminal a b
+let bor m a b = apply_comm m m.or_cache m.c_or or_terminal a b
 
 let bxor m a b =
   let terminal a b =
@@ -134,38 +166,44 @@ let bxor m a b =
       Some (bnot m x)
     | Node na, Node nb -> if na.id = nb.id then Some False else None
   in
-  apply_comm m m.xor_cache terminal a b
+  apply_comm m m.xor_cache m.c_xor terminal a b
 
 let bnand m a b = bnot m (band m a b)
 let bnor m a b = bnot m (bor m a b)
 let bxnor m a b = bnot m (bxor m a b)
 let bimply m a b = bor m (bnot m a) b
 
-let rec ite m f g h =
-  match f with
-  | True -> g
-  | False -> h
-  | Node _ ->
-    if g == h then g
-    else if g == True && h == False then f
-    else begin
-      let key = (node_id f, node_id g, node_id h) in
-      match Hashtbl.find_opt m.ite_cache key with
-      | Some r -> r
-      | None ->
-        let v =
-          List.fold_left
-            (fun acc x ->
-              match x with Node n -> min acc n.var | False | True -> acc)
-            max_int [ f; g; h ]
-        in
-        let f0, f1 = cofactors f v in
-        let g0, g1 = cofactors g v in
-        let h0, h1 = cofactors h v in
-        let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
-        Hashtbl.add m.ite_cache key r;
-        r
-    end
+let ite m f g h =
+  let rec go f g h =
+    match f with
+    | True -> g
+    | False -> h
+    | Node _ ->
+      if g == h then g
+      else if g == True && h == False then f
+      else begin
+        let key = (node_id f, node_id g, node_id h) in
+        match Hashtbl.find_opt m.ite_cache key with
+        | Some r ->
+          Perf.hit m.c_ite;
+          r
+        | None ->
+          Perf.miss m.c_ite;
+          let v =
+            List.fold_left
+              (fun acc x ->
+                match x with Node n -> min acc n.var | False | True -> acc)
+              max_int [ f; g; h ]
+          in
+          let f0, f1 = cofactors f v in
+          let g0, g1 = cofactors g v in
+          let h0, h1 = cofactors h v in
+          let r = mk m v (go f0 g0 h0) (go f1 g1 h1) in
+          Hashtbl.add m.ite_cache key r;
+          r
+      end
+  in
+  go f g h
 
 let band_list m fs = List.fold_left (band m) one fs
 let bor_list m fs = List.fold_left (bor m) zero fs
@@ -198,8 +236,11 @@ let exists m vars f =
       | Node n when n.var = v -> bor m n.low n.high
       | Node n -> (
         match Hashtbl.find_opt m.exists_cache n.id with
-        | Some r -> r
+        | Some r ->
+          Perf.hit m.c_exists;
+          r
         | None ->
+          Perf.miss m.c_exists;
           let r = mk m n.var (go n.low) (go n.high) in
           Hashtbl.add m.exists_cache n.id r;
           r)

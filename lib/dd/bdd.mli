@@ -22,14 +22,25 @@ type manager
 (** Mutable state: unique table and operation caches.  Diagrams from
     different managers must never be mixed. *)
 
-val manager : unit -> manager
+val manager : ?perf:Perf.t -> unit -> manager
+(** [perf] shares an existing counter set (e.g. to carry counters across a
+    manager migration); a fresh one is created by default. *)
 
 val clear_caches : manager -> unit
 (** Drop all operation caches (the unique table is kept, so existing nodes
-    stay valid).  Useful to bound memory in long runs. *)
+    stay valid) and reset the {!Perf} counters.  Useful to bound memory in
+    long runs. *)
 
 val node_count : manager -> int
 (** Number of live hash-consed nodes ever created in this manager. *)
+
+val perf : manager -> Perf.t
+(** The manager's performance counters: apply-cache hits/misses per
+    operation ({e not}, {e and}, {e or}, {e xor}, {e ite}, {e exists})
+    and the peak node count. *)
+
+val unique_size : manager -> int
+(** Current number of entries in the unique (hash-consing) table. *)
 
 (** {1 Construction} *)
 

@@ -1,0 +1,120 @@
+let fig7a_row (r : Fig7a.row) =
+  Json.Obj
+    [
+      ("st", Json.Float r.Fig7a.st);
+      ("re_con", Json.Float r.Fig7a.re_con);
+      ("re_lin", Json.Float r.Fig7a.re_lin);
+      ("re_add", Json.Float r.Fig7a.re_add);
+    ]
+
+let fig7a ~wall_seconds (r : Fig7a.result) =
+  Json.Obj
+    [
+      ("circuit", Json.String r.Fig7a.circuit);
+      ("wall_seconds", Json.Float wall_seconds);
+      ("add_size", Json.Int r.Fig7a.add_size);
+      ( "exact_size",
+        match r.Fig7a.exact_size with
+        | Some s -> Json.Int s
+        | None -> Json.Null );
+      ("rows", Json.List (List.map fig7a_row r.Fig7a.rows));
+    ]
+
+let fig7b_row (r : Fig7b.row) =
+  Json.Obj
+    [
+      ("max_size", Json.Int r.Fig7b.max_size);
+      ("actual_size", Json.Int r.Fig7b.actual_size);
+      ("are", Json.Float r.Fig7b.are);
+      ("build_cpu_seconds", Json.Float r.Fig7b.build_cpu);
+    ]
+
+let fig7b ~wall_seconds (r : Fig7b.result) =
+  Json.Obj
+    [
+      ("circuit", Json.String r.Fig7b.circuit);
+      ("wall_seconds", Json.Float wall_seconds);
+      ("are_con", Json.Float r.Fig7b.are_con);
+      ("are_lin", Json.Float r.Fig7b.are_lin);
+      ("lin_coefficients", Json.Int r.Fig7b.lin_coefficients);
+      ("rows", Json.List (List.map fig7b_row r.Fig7b.rows));
+    ]
+
+let table1_errors (r : Table1.row) =
+  Json.Obj
+    [
+      ("are_con", Json.Float r.Table1.are_con);
+      ("are_lin", Json.Float r.Table1.are_lin);
+      ("are_add", Json.Float r.Table1.are_add);
+      ("are_con_ub", Json.Float r.Table1.are_con_ub);
+      ("are_add_ub", Json.Float r.Table1.are_add_ub);
+    ]
+
+let table1_row (r : Table1.row) =
+  Json.Obj
+    [
+      ("name", Json.String r.Table1.name);
+      ("inputs", Json.Int r.Table1.inputs);
+      ("gates", Json.Int r.Table1.gates);
+      ("errors", table1_errors r);
+      ("max_avg", Json.Int r.Table1.max_avg);
+      ("max_ub", Json.Int r.Table1.max_ub);
+      ("model_nodes", Json.Int r.Table1.model_nodes);
+      ("bound_nodes", Json.Int r.Table1.bound_nodes);
+      ("cache_hit_rate", Json.Float r.Table1.cache_hit_rate);
+      ("wall_seconds", Json.Float r.Table1.wall_seconds);
+      ("build_cpu_avg_seconds", Json.Float r.Table1.cpu_avg);
+      ("build_cpu_ub_seconds", Json.Float r.Table1.cpu_ub);
+    ]
+
+let table1 ~wall_seconds rows =
+  Json.Obj
+    [
+      ("wall_seconds", Json.Float wall_seconds);
+      ("rows", Json.List (List.map table1_row rows));
+    ]
+
+let model_errors ?fig7a:f7a ?fig7b:f7b ?table1:t1 () =
+  let members = ref [] in
+  (match t1 with
+  | Some rows ->
+    members :=
+      [
+        ( "table1",
+          Json.List
+            (List.map
+               (fun (r : Table1.row) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String r.Table1.name);
+                     ("errors", table1_errors r);
+                   ])
+               rows) );
+      ]
+  | None -> ());
+  (match f7b with
+  | Some r ->
+    members :=
+      ( "fig7b",
+        Json.Obj
+          [
+            ("are_con", Json.Float r.Fig7b.are_con);
+            ("are_lin", Json.Float r.Fig7b.are_lin);
+            ( "rows",
+              Json.List
+                (List.map
+                   (fun (row : Fig7b.row) ->
+                     Json.Obj
+                       [
+                         ("max_size", Json.Int row.Fig7b.max_size);
+                         ("are", Json.Float row.Fig7b.are);
+                       ])
+                   r.Fig7b.rows) );
+          ] )
+      :: !members
+  | None -> ());
+  (match f7a with
+  | Some r ->
+    members := ("fig7a", Json.List (List.map fig7a_row r.Fig7a.rows)) :: !members
+  | None -> ());
+  Json.Obj !members

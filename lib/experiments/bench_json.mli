@@ -1,0 +1,26 @@
+(** Machine-readable renderings of the experiment results.
+
+    The bench harness writes these into [BENCH_results.json] so CI can
+    archive a perf trajectory across PRs and diff the model errors of two
+    runs.  Everything here is deterministic: floats render via
+    {!Json.to_string}'s exact round-trip representation and member order
+    is fixed, so two runs with the same seeds produce byte-identical
+    output regardless of the pool's job count. *)
+
+val fig7a : wall_seconds:float -> Fig7a.result -> Json.t
+val fig7b : wall_seconds:float -> Fig7b.result -> Json.t
+
+val table1 : wall_seconds:float -> Table1.row list -> Json.t
+(** Per-circuit wall clock, node counts, apply-cache hit rates and model
+    errors, plus the whole-table wall clock. *)
+
+val model_errors :
+  ?fig7a:Fig7a.result ->
+  ?fig7b:Fig7b.result ->
+  ?table1:Table1.row list ->
+  unit ->
+  Json.t
+(** The deterministic subset only — every model-error figure, no
+    timings.  CI compares this object between a [CFPM_JOBS=1] and a
+    [CFPM_JOBS=4] run; any diff means the parallel engine changed a
+    result. *)

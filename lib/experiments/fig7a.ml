@@ -15,7 +15,7 @@ type result = {
 let default_sts = [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95 ]
 
 let run ?(vectors = 3000) ?(char_vectors = 3000) ?(seed = 7) ?(max_size = 500)
-    ?(sts = default_sts) ?(with_exact_size = false) () =
+    ?(sts = default_sts) ?(with_exact_size = false) ?jobs () =
   let entry = Circuits.Suite.case_study in
   let circuit = entry.Circuits.Suite.build () in
   let sim = Gatesim.Simulator.create circuit in
@@ -35,11 +35,16 @@ let run ?(vectors = 3000) ?(char_vectors = 3000) ?(seed = 7) ?(max_size = 500)
     ]
   in
   let grid = List.map (fun st -> { Sweep.sp = 0.5; st }) sts in
-  let results =
+  (* split a stream per point before dispatch: results are independent of
+     the execution order, so the pool cannot change them *)
+  let tasks =
     List.map
-      (fun point -> Sweep.run_point sim estimators prng ~vectors point)
+      (fun point ->
+        let prng = Stimulus.Prng.split prng in
+        fun () -> Sweep.run_point sim estimators prng ~vectors point)
       grid
   in
+  let results = Parallel.Pool.run ?jobs tasks in
   let abs_re r label =
     let est = List.assoc label r.Sweep.estimates in
     Float.abs

@@ -24,4 +24,7 @@ val default_sts : float list
 
 val run :
   ?vectors:int -> ?char_vectors:int -> ?seed:int -> ?max_size:int ->
-  ?sts:float list -> ?with_exact_size:bool -> unit -> result
+  ?sts:float list -> ?with_exact_size:bool -> ?jobs:int -> unit -> result
+(** The per-[st] evaluation runs execute on a {!Parallel.Pool} ([jobs]
+    workers); each point owns a pre-split PRNG stream, so the result is
+    identical for every job count. *)

@@ -20,7 +20,7 @@ type result = {
 let default_sizes = [ 3; 5; 10; 20; 50; 100; 200; 500; 1000 ]
 
 let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
-    ?(sizes = default_sizes) () =
+    ?(sizes = default_sizes) ?jobs () =
   let entry = Circuits.Suite.case_study in
   let circuit = entry.Circuits.Suite.build () in
   let sim = Gatesim.Simulator.create circuit in
@@ -31,8 +31,12 @@ let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
   in
   let con = Powermodel.Baselines.characterize_con sim char_seq in
   let lin = Powermodel.Baselines.characterize_lin sim char_seq in
+  (* one model build per size bound, each with its own BDD/ADD managers:
+     independent tasks, safe to build on the pool *)
   let models =
-    List.map (fun m -> (m, Powermodel.Model.build ~max_size:m circuit)) sizes
+    Parallel.Pool.map ?jobs
+      (fun m -> (m, Powermodel.Model.build ~max_size:m circuit))
+      sizes
   in
   let estimators =
     ("Con", Estimator.Characterized con)
@@ -42,7 +46,7 @@ let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
            (Printf.sprintf "ADD-%d" m, Estimator.Add_model model))
          models
   in
-  let results = Sweep.run_grid ~vectors ~seed:(seed + 1) sim estimators in
+  let results = Sweep.run_grid ~vectors ~seed:(seed + 1) ?jobs sim estimators in
   let rows =
     List.map
       (fun (m, model) ->

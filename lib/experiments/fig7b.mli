@@ -22,4 +22,7 @@ val default_sizes : int list
 
 val run :
   ?vectors:int -> ?char_vectors:int -> ?seed:int -> ?sizes:int list ->
-  unit -> result
+  ?jobs:int -> unit -> result
+(** The per-size model builds (each with its own managers) and the
+    evaluation sweep execute on a {!Parallel.Pool} ([jobs] workers);
+    results are identical for every job count. *)

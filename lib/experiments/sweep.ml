@@ -48,10 +48,22 @@ let run_point sim estimators prng ~vectors point =
     estimates;
   }
 
-let run_grid ?(grid = default_grid) ?(vectors = 2000) ?(seed = 2024) sim
+(* Every grid point gets its own stream split off a master PRNG *before*
+   dispatch, so results are a pure function of (seed, grid position) —
+   identical whether the points then run sequentially or on a pool.  The
+   simulator and the estimators are only read (their evaluation paths are
+   pure), so sharing them across worker domains is safe. *)
+let run_grid ?(grid = default_grid) ?(vectors = 2000) ?(seed = 2024) ?jobs sim
     estimators =
-  let prng = Stimulus.Prng.create seed in
-  List.map (fun point -> run_point sim estimators prng ~vectors point) grid
+  let master = Stimulus.Prng.create seed in
+  let tasks =
+    List.map
+      (fun point ->
+        let prng = Stimulus.Prng.split master in
+        fun () -> run_point sim estimators prng ~vectors point)
+      grid
+  in
+  Parallel.Pool.run ?jobs tasks
 
 (* Average relative error on average-power estimates: mean of |RE| over the
    grid, as in the paper's ARE. *)

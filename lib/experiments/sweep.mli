@@ -32,8 +32,12 @@ val run_point :
     statistics and evaluate every estimator on it. *)
 
 val run_grid :
-  ?grid:point list -> ?vectors:int -> ?seed:int ->
+  ?grid:point list -> ?vectors:int -> ?seed:int -> ?jobs:int ->
   Gatesim.Simulator.t -> (string * Estimator.t) list -> run_result list
+(** Runs the grid points on a {!Parallel.Pool} ([jobs] workers,
+    defaulting to {!Parallel.Pool.default_jobs}).  Each point draws from
+    its own PRNG stream split off the seed before dispatch, so the
+    results are identical for every job count. *)
 
 val are_average : run_result list -> string -> float
 (** ARE of the named estimator's average-power estimates over the runs. *)

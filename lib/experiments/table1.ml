@@ -1,5 +1,10 @@
 (* Table 1: every benchmark, average estimators (Con / Lin / ADD) and
-   conservative upper bounds (constant / pattern-dependent ADD). *)
+   conservative upper bounds (constant / pattern-dependent ADD).
+
+   Each row is completely self-contained — it builds its own circuit,
+   simulator, BDD/ADD managers and PRNG streams from the per-entry seed —
+   which is what lets [run] hand the rows to a {!Parallel.Pool} without
+   any cross-task state. *)
 
 type row = {
   name : string;
@@ -14,6 +19,10 @@ type row = {
   are_add_ub : float;
   max_ub : int;
   cpu_ub : float;
+  wall_seconds : float;
+  model_nodes : int;
+  bound_nodes : int;
+  cache_hit_rate : float;
 }
 
 type config = {
@@ -28,7 +37,8 @@ let default_config =
 
 let scaled scale m = max 3 (int_of_float (Float.round (scale *. float_of_int m)))
 
-let run_entry ?(config = default_config) (entry : Circuits.Suite.entry) =
+let run_entry ?(config = default_config) ?jobs (entry : Circuits.Suite.entry) =
+  let t0 = Unix.gettimeofday () in
   let circuit = entry.Circuits.Suite.build () in
   let sim = Gatesim.Simulator.create circuit in
   let bits = Netlist.Circuit.input_count circuit in
@@ -52,7 +62,7 @@ let run_entry ?(config = default_config) (entry : Circuits.Suite.entry) =
     ]
   in
   let results =
-    Sweep.run_grid ~vectors:config.vectors ~seed:(config.seed + 1) sim
+    Sweep.run_grid ~vectors:config.vectors ~seed:(config.seed + 1) ?jobs sim
       estimators
   in
   let constant_ub = Powermodel.Bounds.constant_bound ub_model in
@@ -69,13 +79,21 @@ let run_entry ?(config = default_config) (entry : Circuits.Suite.entry) =
     are_add_ub = Sweep.are_maximum results "ADD-ub";
     max_ub;
     cpu_ub = ub_model.Powermodel.Model.stats.cpu_seconds;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    model_nodes = Powermodel.Model.size avg_model;
+    bound_nodes = Powermodel.Model.size ub_model;
+    cache_hit_rate =
+      Dd.Perf.total_hit_rate
+        (Dd.Add.perf avg_model.Powermodel.Model.add_manager);
   }
 
-let run ?(config = default_config) ?names () =
+let run ?(config = default_config) ?names ?jobs () =
   let entries =
     match names with
     | None -> Circuits.Suite.all
     | Some names ->
       List.filter_map Circuits.Suite.find names
   in
-  List.map (fun entry -> run_entry ~config entry) entries
+  (* one pool task per circuit; a nested run_grid inside a worker executes
+     inline, so the worker count stays fixed at [jobs] *)
+  Parallel.Pool.map ?jobs (fun entry -> run_entry ~config ?jobs entry) entries

@@ -16,6 +16,14 @@ type row = {
   are_add_ub : float;  (** pattern-dependent bound's ARE on maxima *)
   max_ub : int;
   cpu_ub : float;
+  wall_seconds : float;
+      (** end-to-end wall clock of the row (build + characterize +
+          evaluate), for the bench JSON's perf trajectory *)
+  model_nodes : int;   (** final node count of the average model *)
+  bound_nodes : int;   (** final node count of the upper-bound model *)
+  cache_hit_rate : float;
+      (** aggregate ADD apply-cache hit rate of the average model's
+          construction ({!Dd.Perf.total_hit_rate}) *)
 }
 
 type config = {
@@ -28,7 +36,13 @@ type config = {
 
 val default_config : config
 
-val run_entry : ?config:config -> Circuits.Suite.entry -> row
+val run_entry : ?config:config -> ?jobs:int -> Circuits.Suite.entry -> row
+(** One row, self-contained: the entry builds its own managers,
+    simulator and PRNG streams, so concurrent [run_entry] calls share
+    nothing mutable. *)
 
-val run : ?config:config -> ?names:string list -> unit -> row list
-(** The full table (or a named subset), in suite order. *)
+val run : ?config:config -> ?names:string list -> ?jobs:int -> unit -> row list
+(** The full table (or a named subset), in suite order.  Rows execute on
+    a {!Parallel.Pool} with [jobs] workers (default
+    {!Parallel.Pool.default_jobs}); results are identical for every job
+    count. *)

@@ -1,0 +1,40 @@
+(** Minimal JSON: an AST, a deterministic printer and a parser.
+
+    The repo deliberately carries no third-party JSON dependency; this
+    module covers exactly what the bench harness and {!Dd.Perf} need —
+    machine-readable reports whose rendering is byte-for-byte reproducible
+    run-to-run, so CI can diff two [BENCH_results.json] files for the
+    parallel-determinism check.
+
+    Floats are printed with the shortest [%g] representation that parses
+    back to the identical bit pattern (falling back to [%.17g]), so
+    [of_string (to_string j)] round-trips numeric values exactly.
+    Non-finite floats have no JSON representation and are emitted as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Render to JSON text.  [pretty] (default [true]) indents with two
+    spaces; compact otherwise.  Object member order is preserved. *)
+
+val of_string : string -> (t, string) result
+(** Parse JSON text.  Numbers without [.], [e] or [E] parse as {!Int},
+    all others as {!Float}.  The error string carries a character
+    offset. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the first binding of [k], if any. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** {!Int} widens to float; {!Float} does not narrow to int. *)

@@ -1,0 +1,95 @@
+(* True on domains spawned by this pool: a nested [run] must execute
+   inline instead of spawning a second generation of domains. *)
+let worker_flag = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get worker_flag
+
+let default_jobs () =
+  match Sys.getenv_opt "CFPM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+type 'a outcome =
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let run_inline tasks = List.map (fun f -> f ()) tasks
+
+let run ?jobs tasks =
+  match tasks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ ->
+    let n = List.length tasks in
+    let jobs =
+      let requested = match jobs with Some j -> max 1 j | None -> default_jobs () in
+      min requested n
+    in
+    if jobs = 1 || in_worker () then run_inline tasks
+    else begin
+      let slots = Array.make n None in
+      let queue = Queue.create () in
+      List.iteri (fun i f -> Queue.add (i, f) queue) tasks;
+      let mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      let remaining = ref n in
+      let take () =
+        Mutex.lock mutex;
+        let job = Queue.take_opt queue in
+        Mutex.unlock mutex;
+        job
+      in
+      let finish () =
+        Mutex.lock mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock mutex
+      in
+      let worker () =
+        Domain.DLS.set worker_flag true;
+        let rec loop () =
+          match take () with
+          | None -> ()
+          | Some (i, f) ->
+            let outcome =
+              try Value (f ())
+              with e -> Raised (e, Printexc.get_raw_backtrace ())
+            in
+            (* distinct indices per task: no two domains write one slot *)
+            slots.(i) <- Some outcome;
+            finish ();
+            loop ()
+        in
+        loop ()
+      in
+      let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+      Mutex.lock mutex;
+      while !remaining > 0 do
+        Condition.wait all_done mutex
+      done;
+      Mutex.unlock mutex;
+      List.iter Domain.join domains;
+      (* joining the workers orders their slot writes before these reads *)
+      let outcomes =
+        Array.map
+          (function Some o -> o | None -> assert false (* remaining = 0 *))
+          slots
+      in
+      (* left-to-right: the earliest-index failure propagates *)
+      Array.iter
+        (function
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Value _ -> ())
+        outcomes;
+      Array.to_list
+        (Array.map
+           (function Value v -> v | Raised _ -> assert false)
+           outcomes)
+    end
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+
+let mapi ?jobs f xs = run ?jobs (List.mapi (fun i x () -> f i x) xs)

@@ -1,0 +1,38 @@
+(** A small fixed-size work pool over OCaml 5 domains.
+
+    The paper's evaluation is embarrassingly parallel: every benchmark
+    circuit builds its own BDD manager, ADD model and simulator with zero
+    shared state, so the experiment layer hands this pool one closure per
+    circuit (or per sweep point) and gets the results back {e in
+    submission order}, regardless of which worker finished first or when.
+    Pool parallelism therefore never changes a result — only wall-clock.
+
+    Mechanics: tasks go into a queue drained by a fixed set of worker
+    domains under a [Mutex]; the caller blocks on a [Condition] until the
+    last task completes, then joins the workers.  The worker count comes
+    from [?jobs], else the [CFPM_JOBS] environment variable, else
+    [Domain.recommended_domain_count ()].
+
+    Exceptions raised by a task are captured with their backtrace and
+    re-raised on the caller after the remaining tasks finish; when several
+    tasks fail, the one with the smallest submission index wins.
+
+    Nested calls degrade gracefully: a [run] issued from inside a worker
+    executes its tasks inline on that worker rather than spawning a second
+    generation of domains (OCaml's runtime degrades badly when domains are
+    oversubscribed).  Results are identical either way. *)
+
+val default_jobs : unit -> int
+(** [CFPM_JOBS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** Execute every thunk and return the results in submission order.
+    [jobs] (clamped to the task count, minimum 1) fixes the worker count;
+    [jobs:1] — and any call made from inside a worker — runs inline on
+    the calling domain with no domain spawned. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [run ~jobs (List.map (fun x () -> f x) xs)]. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

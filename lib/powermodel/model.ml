@@ -75,7 +75,9 @@ let build ?(strategy = Dd.Approx.Average)
   let purge_budget = 1_000_000 in
   let purge () =
     if Dd.Add.allocated !add_mgr > purge_budget then begin
-      let fresh = Dd.Add.manager () in
+      (* the fresh manager inherits the perf counters, so the finished
+         model's counter window covers the whole construction *)
+      let fresh = Dd.Add.manager ~perf:(Dd.Add.perf !add_mgr) () in
       cap := Dd.Add.migrate fresh !cap;
       add_mgr := fresh
     end

@@ -3,6 +3,8 @@ let () =
     [
       ("bdd", Test_bdd.suite);
       ("add", Test_add.suite);
+      ("perf", Test_perf.suite);
+      ("parallel", Test_parallel.suite);
       ("add-stats", Test_add_stats.suite);
       ("approx", Test_approx.suite);
       ("cell", Test_cell.suite);

@@ -1,0 +1,106 @@
+(* The domain pool: deterministic ordering, exception propagation, and
+   job-count invariance of a real experiment. *)
+
+let ordered_by_submission_index () =
+  let expected = List.init 64 (fun i -> i * i) in
+  let tasks =
+    List.init 64 (fun i () ->
+        (* stagger so later tasks tend to finish first *)
+        if i < 8 then Unix.sleepf 0.002;
+        i * i)
+  in
+  Alcotest.(check (list int)) "jobs:4" expected (Parallel.Pool.run ~jobs:4 tasks);
+  Alcotest.(check (list int))
+    "jobs:1" expected
+    (Parallel.Pool.run ~jobs:1 (List.init 64 (fun i () -> i * i)))
+
+let empty_task_list () =
+  let results : int list = Parallel.Pool.run ~jobs:4 [] in
+  Alcotest.(check (list int)) "empty" [] results;
+  Alcotest.(check (list int)) "map empty" [] (Parallel.Pool.map ~jobs:4 (fun x -> x) [])
+
+let worker_exception_propagates () =
+  Alcotest.check_raises "failure reaches the caller" (Failure "boom")
+    (fun () ->
+      ignore
+        (Parallel.Pool.run ~jobs:3
+           [
+             (fun () -> 1);
+             (fun () -> failwith "boom");
+             (fun () -> 3);
+             (fun () -> 4);
+           ]))
+
+let earliest_failure_wins () =
+  (* two failing tasks: the smaller submission index is the one re-raised,
+     independent of completion order *)
+  Alcotest.check_raises "first failure" (Failure "first") (fun () ->
+      ignore
+        (Parallel.Pool.run ~jobs:4
+           [
+             (fun () ->
+               Unix.sleepf 0.01;
+               failwith "first");
+             (fun () -> failwith "second");
+           ]))
+
+let mapi_indices () =
+  let results = Parallel.Pool.mapi ~jobs:4 (fun i x -> i + x) [ 10; 20; 30 ] in
+  Alcotest.(check (list int)) "mapi" [ 10; 21; 32 ] results
+
+let nested_run_is_inline () =
+  (* a run issued from inside a worker must not deadlock or spawn a second
+     generation of domains, and must still order results *)
+  let results =
+    Parallel.Pool.run ~jobs:2
+      (List.init 4 (fun i () ->
+           Parallel.Pool.run ~jobs:2 (List.init 3 (fun j () -> (10 * i) + j))))
+  in
+  Alcotest.(check (list (list int)))
+    "nested"
+    [ [ 0; 1; 2 ]; [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
+    results
+
+(* Job-count invariance on a real experiment: a Table 1 subset must be
+   bit-identical between jobs:1 and jobs:4 (only the wall clock and the
+   Sys.time-based CPU figures may differ). *)
+let table1_jobs_invariance () =
+  let config =
+    {
+      Experiments.Table1.default_config with
+      vectors = 150;
+      char_vectors = 150;
+    }
+  in
+  let run jobs =
+    Experiments.Table1.run ~config ~names:[ "decod"; "x2" ] ~jobs ()
+  in
+  let exact = Alcotest.float 0.0 in
+  List.iter2
+    (fun (a : Experiments.Table1.row) (b : Experiments.Table1.row) ->
+      Alcotest.(check string) "name" a.name b.name;
+      Alcotest.check exact "are_con" a.are_con b.are_con;
+      Alcotest.check exact "are_lin" a.are_lin b.are_lin;
+      Alcotest.check exact "are_add" a.are_add b.are_add;
+      Alcotest.check exact "are_con_ub" a.are_con_ub b.are_con_ub;
+      Alcotest.check exact "are_add_ub" a.are_add_ub b.are_add_ub;
+      Alcotest.(check int) "model_nodes" a.model_nodes b.model_nodes;
+      Alcotest.(check int) "bound_nodes" a.bound_nodes b.bound_nodes)
+    (run 1) (run 4)
+
+let default_jobs_positive () =
+  Alcotest.(check bool) "positive" true (Parallel.Pool.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "results ordered by submission index" `Quick
+      ordered_by_submission_index;
+    Alcotest.test_case "empty task list" `Quick empty_task_list;
+    Alcotest.test_case "worker exception propagates" `Quick
+      worker_exception_propagates;
+    Alcotest.test_case "earliest failure wins" `Quick earliest_failure_wins;
+    Alcotest.test_case "mapi indices" `Quick mapi_indices;
+    Alcotest.test_case "nested run is inline" `Quick nested_run_is_inline;
+    Alcotest.test_case "default jobs positive" `Quick default_jobs_positive;
+    Alcotest.test_case "table1 jobs:1 = jobs:4" `Slow table1_jobs_invariance;
+  ]
