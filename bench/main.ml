@@ -229,6 +229,7 @@ let bechamel_suite () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg [ instance ] test in
@@ -237,17 +238,19 @@ let bechamel_suite () =
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some [ ns ] ->
+            estimates := (name, ns) :: !estimates;
             if ns > 1e6 then Printf.printf "  %-28s %10.2f ms/run\n" name (ns /. 1e6)
             else if ns > 1e3 then Printf.printf "  %-28s %10.2f us/run\n" name (ns /. 1e3)
             else Printf.printf "  %-28s %10.1f ns/run\n" name ns
           | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
         results)
-    tests
+    tests;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !estimates
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report.                                            *)
 
-let write_json ~total_seconds ~fig7a ~fig7b ~table1 =
+let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
   let experiments =
     List.filter_map
       (fun x -> x)
@@ -279,6 +282,14 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 =
           | None -> Json.Null );
         ("total_seconds", Json.Float total_seconds);
         ("experiments", Json.Obj experiments);
+        (* Bechamel OLS estimates, ns per run, keyed by kernel name — the
+           machine-readable perf trajectory CI archives across PRs. *)
+        ( "kernels",
+          Json.Obj
+            (List.map
+               (fun (name, ns) ->
+                 (name, Json.Obj [ ("ns_per_run", Json.Float ns) ]))
+               kernels) );
         ( "model_errors",
           Experiments.Bench_json.model_errors
             ?fig7a:(Option.map fst fig7a)
@@ -311,8 +322,8 @@ let () =
   ablation_accumulation ();
   ablation_variable_pairing ();
   ablation_implementation_sensitivity ();
-  bechamel_suite ();
+  let kernels = bechamel_suite () in
   write_json
     ~total_seconds:(Unix.gettimeofday () -. t0)
-    ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1;
+    ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels;
   Printf.printf "\nDone.\n"

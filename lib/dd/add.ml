@@ -4,14 +4,48 @@ type t =
 
 type binop = Plus | Minus | Times | Min | Max
 
+(* Never returned (every probe checks its key first); placeholder for the
+   result slots of the direct-mapped caches and the unique table. *)
+let dummy = Leaf { id = -1; value = nan }
+
+let cache_bits = 16
+let ite_bits = 14
+let of_bdd_bits = 14
+
 type manager = {
   mutable next_id : int;
   leaves : (int64, t) Hashtbl.t; (* keyed by IEEE bits for exact sharing *)
-  unique : (int * int * int, t) Hashtbl.t;
-  apply_cache : (int, t) Hashtbl.t;
-      (* keyed by op tag and both operand ids packed into one int *)
-  ite_cache : (int * int * int, t) Hashtbl.t;
-  of_bdd_cache : (int * int64 * int64, t) Hashtbl.t;
+  (* Unique (hash-consing) table: open addressing with linear probing over
+     parallel int arrays keyed by the (var, low, high) triple; [u_var] = -1
+     marks an empty slot.  Power-of-two capacity, grown at 50% load and
+     rebuilt in place by {!sweep}. *)
+  mutable u_var : int array;
+  mutable u_low : int array;
+  mutable u_high : int array;
+  mutable u_node : t array;
+  mutable u_count : int;
+  (* Computed tables: fixed-size, direct-mapped, lossy. *)
+  cache : t Ct.cache;      (* binary ops, packed (op, a, b) *)
+  ite_cache : t Ct.cache2; (* (guard, g) packed + h *)
+  (* of_bdd memo, generation-stamped: entries are valid only while the
+     (one_value, zero_value) pair is unchanged; switching pairs bumps the
+     generation, invalidating every entry in O(1). *)
+  ob_key : int array; (* BDD node id; -1 = empty *)
+  ob_gen : int array;
+  ob_res : t array;
+  ob_mask : int;
+  mutable ob_generation : int;
+  mutable ob_one : int64;
+  mutable ob_zero : int64;
+  (* GC roots: id -> (refcount, node).  {!sweep} keeps exactly the nodes
+     reachable from here. *)
+  roots : (int, int * t) Hashtbl.t;
+  (* Size tracking: generation-stamped visit marks indexed by node id, so
+     size queries neither hash nor allocate; plus an exact-size memo per
+     root id for repeated queries. *)
+  mutable stamp : int array;
+  mutable stamp_gen : int;
+  size_memo : (int, int) Hashtbl.t;
   perf : Perf.t;
   (* apply counters indexed by op tag; fetched at creation so the hot
      loops never hash a counter name *)
@@ -22,15 +56,33 @@ type manager = {
 
 let op_names = [| "plus"; "minus"; "times"; "min"; "max" |]
 
+let initial_unique_bits = 12
+
 let manager ?perf () =
   let perf = match perf with Some p -> p | None -> Perf.create () in
+  let n = 1 lsl initial_unique_bits in
+  let obn = 1 lsl of_bdd_bits in
   {
     next_id = 0;
     leaves = Hashtbl.create 256;
-    unique = Hashtbl.create 4096;
-    apply_cache = Hashtbl.create 4096;
-    ite_cache = Hashtbl.create 1024;
-    of_bdd_cache = Hashtbl.create 1024;
+    u_var = Array.make n (-1);
+    u_low = Array.make n 0;
+    u_high = Array.make n 0;
+    u_node = Array.make n dummy;
+    u_count = 0;
+    cache = Ct.cache ~bits:cache_bits ~dummy;
+    ite_cache = Ct.cache2 ~bits:ite_bits ~dummy;
+    ob_key = Array.make obn (-1);
+    ob_gen = Array.make obn 0;
+    ob_res = Array.make obn dummy;
+    ob_mask = obn - 1;
+    ob_generation = 0;
+    ob_one = Int64.bits_of_float 1.0;
+    ob_zero = Int64.bits_of_float 0.0;
+    roots = Hashtbl.create 16;
+    stamp = Array.make 1024 0;
+    stamp_gen = 0;
+    size_memo = Hashtbl.create 64;
     perf;
     c_apply = Array.map (Perf.counter perf) op_names;
     c_ite = Perf.counter perf "ite";
@@ -38,14 +90,15 @@ let manager ?perf () =
   }
 
 let clear_caches m =
-  Hashtbl.reset m.apply_cache;
-  Hashtbl.reset m.ite_cache;
-  Hashtbl.reset m.of_bdd_cache;
+  Ct.clear m.cache;
+  Ct.clear2 m.ite_cache;
+  m.ob_generation <- m.ob_generation + 1;
+  Hashtbl.reset m.size_memo;
   Perf.reset m.perf
 
 let perf m = m.perf
 
-let unique_size m = Hashtbl.length m.unique
+let unique_size m = m.u_count
 
 let node_id = function Leaf l -> l.id | Node n -> n.id
 
@@ -54,54 +107,100 @@ let const m value =
   match Hashtbl.find_opt m.leaves bits with
   | Some l -> l
   | None ->
+    Ct.check_id m.next_id;
     let l = Leaf { id = m.next_id; value } in
     m.next_id <- m.next_id + 1;
     Hashtbl.add m.leaves bits l;
     l
 
+let uhash v l h = Ct.mix (v lxor (l * 0x85EBCA77) lxor (h * 0xC2B2AE3D))
+
+let grow_unique m =
+  let old_var = m.u_var
+  and old_low = m.u_low
+  and old_high = m.u_high
+  and old_node = m.u_node in
+  let n = 2 * Array.length old_var in
+  let mask = n - 1 in
+  let u_var = Array.make n (-1)
+  and u_low = Array.make n 0
+  and u_high = Array.make n 0
+  and u_node = Array.make n dummy in
+  for i = 0 to Array.length old_var - 1 do
+    let v = old_var.(i) in
+    if v >= 0 then begin
+      let j = ref (uhash v old_low.(i) old_high.(i) land mask) in
+      while u_var.(!j) >= 0 do
+        j := (!j + 1) land mask
+      done;
+      u_var.(!j) <- v;
+      u_low.(!j) <- old_low.(i);
+      u_high.(!j) <- old_high.(i);
+      u_node.(!j) <- old_node.(i)
+    end
+  done;
+  m.u_var <- u_var;
+  m.u_low <- u_low;
+  m.u_high <- u_high;
+  m.u_node <- u_node
+
 let mk m v low high =
   if low == high then low
   else begin
-    let key = (v, node_id low, node_id high) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n -> n
-    | None ->
-      let n = Node { id = m.next_id; var = v; low; high } in
-      m.next_id <- m.next_id + 1;
-      Hashtbl.add m.unique key n;
-      Perf.note_peak m.perf m.next_id;
-      n
+    let il = node_id low and ih = node_id high in
+    let mask = Array.length m.u_var - 1 in
+    let rec probe i =
+      let uv = m.u_var.(i) in
+      if uv < 0 then begin
+        Ct.check_id m.next_id;
+        let n = Node { id = m.next_id; var = v; low; high } in
+        m.next_id <- m.next_id + 1;
+        m.u_var.(i) <- v;
+        m.u_low.(i) <- il;
+        m.u_high.(i) <- ih;
+        m.u_node.(i) <- n;
+        m.u_count <- m.u_count + 1;
+        Perf.note_peak m.perf m.next_id;
+        if 2 * m.u_count >= Array.length m.u_var then grow_unique m;
+        n
+      end
+      else if uv = v && m.u_low.(i) = il && m.u_high.(i) = ih then m.u_node.(i)
+      else probe ((i + 1) land mask)
+    in
+    probe (uhash v il ih land mask)
   end
 
 let of_bdd m ?(one_value = 1.0) ?(zero_value = 0.0) b =
   let ov = Int64.bits_of_float one_value
   and zv = Int64.bits_of_float zero_value in
+  if not (Int64.equal ov m.ob_one && Int64.equal zv m.ob_zero) then begin
+    m.ob_generation <- m.ob_generation + 1;
+    m.ob_one <- ov;
+    m.ob_zero <- zv
+  end;
+  let gen = m.ob_generation in
   let rec go b =
     match b with
     | Bdd.False -> const m zero_value
     | Bdd.True -> const m one_value
-    | Bdd.Node n -> (
-      let key = (n.id, ov, zv) in
-      match Hashtbl.find_opt m.of_bdd_cache key with
-      | Some r ->
+    | Bdd.Node n ->
+      let i = Ct.mix n.id land m.ob_mask in
+      if m.ob_key.(i) = n.id && m.ob_gen.(i) = gen then begin
         Perf.hit m.c_of_bdd;
-        r
-      | None ->
+        m.ob_res.(i)
+      end
+      else begin
         Perf.miss m.c_of_bdd;
         let r = mk m n.var (go n.low) (go n.high) in
-        Hashtbl.add m.of_bdd_cache key r;
-        r)
+        m.ob_key.(i) <- n.id;
+        m.ob_gen.(i) <- gen;
+        m.ob_res.(i) <- r;
+        r
+      end
   in
   go b
 
 let op_tag = function Plus -> 0 | Minus -> 1 | Times -> 2 | Min -> 3 | Max -> 4
-
-(* pack (op, id1, id2) into a single int key: ids stay well below 2^30 in
-   any realistic session, and collisions would only cause wrong reuse, so
-   the packing asserts the bound *)
-let pack_key op ia ib =
-  assert (ia < 0x4000_0000 && ib < 0x4000_0000);
-  (op_tag op lsl 60) lxor (ia lsl 30) lxor ib
 
 let eval_op op a b =
   match op with
@@ -128,29 +227,36 @@ let cofactors f v =
   | Leaf _ | Node _ -> (f, f)
 
 let apply2 m op a b =
-  let ctr = m.c_apply.(op_tag op) in
+  let tag = op_tag op in
+  let ctr = m.c_apply.(tag) in
   let commutative = is_commutative op in
+  let cache = m.cache in
   let rec go a b =
-    match a, b with
-    | Leaf la, Leaf lb -> const m (eval_op op la.value lb.value)
-    | _ ->
-      let ia = node_id a and ib = node_id b in
-      (* Normalize commutative operand order for better cache hits. *)
-      let a, b, ia, ib =
-        if commutative && ia > ib then (b, a, ib, ia) else (a, b, ia, ib)
+    let ia = node_id a and ib = node_id b in
+    (* Normalize commutative operand order for better cache hits. *)
+    let a, b, ia, ib =
+      if commutative && ia > ib then (b, a, ib, ia) else (a, b, ia, ib)
+    in
+    let key = Ct.pack tag ia ib in
+    let i = Ct.slot cache key in
+    if cache.Ct.keys.(i) = key then begin
+      Perf.hit ctr;
+      cache.Ct.vals.(i)
+    end
+    else begin
+      Perf.miss ctr;
+      let r =
+        match a, b with
+        | Leaf la, Leaf lb -> const m (eval_op op la.value lb.value)
+        | _ ->
+          let v = top_var a b in
+          let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
+          mk m v (go a0 b0) (go a1 b1)
       in
-      let key = pack_key op ia ib in
-      (match Hashtbl.find_opt m.apply_cache key with
-      | Some r ->
-        Perf.hit ctr;
-        r
-      | None ->
-        Perf.miss ctr;
-        let v = top_var a b in
-        let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
-        let r = mk m v (go a0 b0) (go a1 b1) in
-        Hashtbl.add m.apply_cache key r;
-        r)
+      cache.Ct.keys.(i) <- key;
+      cache.Ct.vals.(i) <- r;
+      r
+    end
   in
   go a b
 
@@ -180,39 +286,36 @@ let scale m c t = if c = 1.0 then t else map_leaves m (fun v -> c *. v) t
 let offset m c t = if c = 0.0 then t else map_leaves m (fun v -> c +. v) t
 
 let ite m guard g h =
+  let cache = m.ite_cache in
   let rec go guard g h =
     match guard with
     | Bdd.True -> g
     | Bdd.False -> h
-    | Bdd.Node _ ->
+    | Bdd.Node nf ->
       if g == h then g
       else begin
-        let key = (Bdd.node_id guard, node_id g, node_id h) in
-        match Hashtbl.find_opt m.ite_cache key with
-        | Some r ->
+        let k1 = Ct.pack2 nf.id (node_id g) and k2 = node_id h in
+        let i = Ct.slot2 cache k1 k2 in
+        if cache.Ct.k1.(i) = k1 && cache.Ct.k2.(i) = k2 then begin
           Perf.hit m.c_ite;
-          r
-        | None ->
+          cache.Ct.vals2.(i)
+        end
+        else begin
           Perf.miss m.c_ite;
-          let vg =
-            Bdd.(match guard with Node n -> n.var | False | True -> max_int)
-          in
-          let v =
-            List.fold_left
-              (fun acc x ->
-                match x with Node n -> min acc n.var | Leaf _ -> acc)
-              vg [ g; h ]
-          in
+          let v = nf.var in
+          let v = match g with Node n when n.var < v -> n.var | _ -> v in
+          let v = match h with Node n when n.var < v -> n.var | _ -> v in
           let f0, f1 =
-            match guard with
-            | Bdd.Node n when n.var = v -> (n.low, n.high)
-            | Bdd.False | Bdd.True | Bdd.Node _ -> (guard, guard)
+            if nf.var = v then (nf.low, nf.high) else (guard, guard)
           in
           let g0, g1 = cofactors g v in
           let h0, h1 = cofactors h v in
           let r = mk m v (go f0 g0 h0) (go f1 g1 h1) in
-          Hashtbl.add m.ite_cache key r;
+          cache.Ct.k1.(i) <- k1;
+          cache.Ct.k2.(i) <- k2;
+          cache.Ct.vals2.(i) <- r;
           r
+        end
       end
   in
   go guard g h
@@ -247,6 +350,58 @@ let fold_nodes t ~init ~f =
 
 let size t = fold_nodes t ~init:0 ~f:(fun n _ -> n + 1)
 
+(* ------------------------------------------------------------------ *)
+(* Size tracking on the manager's visit stamps: no hashing, no
+   allocation, and an early exit for bounded queries. *)
+
+let ensure_stamp m =
+  if Array.length m.stamp < m.next_id then begin
+    let n = ref (2 * Array.length m.stamp) in
+    while !n < m.next_id do
+      n := 2 * !n
+    done;
+    let fresh = Array.make !n 0 in
+    Array.blit m.stamp 0 fresh 0 (Array.length m.stamp);
+    m.stamp <- fresh
+  end
+
+exception Size_over
+
+let stamp_count m t ~limit =
+  ensure_stamp m;
+  m.stamp_gen <- m.stamp_gen + 1;
+  let gen = m.stamp_gen and stamp = m.stamp in
+  let count = ref 0 in
+  let rec go t =
+    let id = node_id t in
+    if stamp.(id) <> gen then begin
+      stamp.(id) <- gen;
+      incr count;
+      if !count > limit then raise Size_over;
+      match t with
+      | Leaf _ -> ()
+      | Node n ->
+        go n.low;
+        go n.high
+    end
+  in
+  go t;
+  !count
+
+let size_under m t ~limit =
+  match stamp_count m t ~limit with
+  | n -> Some n
+  | exception Size_over -> None
+
+let size_in m t =
+  let id = node_id t in
+  match Hashtbl.find_opt m.size_memo id with
+  | Some n -> n
+  | None ->
+    let n = stamp_count m t ~limit:max_int in
+    Hashtbl.add m.size_memo id n;
+    n
+
 let internal_count t =
   fold_nodes t ~init:0 ~f:(fun n t ->
       match t with Leaf _ -> n | Node _ -> n + 1)
@@ -274,6 +429,93 @@ let max_value t =
 let make_node = mk
 
 let allocated m = m.next_id
+
+(* ------------------------------------------------------------------ *)
+(* Root-registered mark-and-sweep.  [protect]/[unprotect] maintain a
+   refcount per root; [sweep] keeps exactly the nodes reachable from the
+   live roots, rebuilding the unique table and the leaf table in place.
+   The computed tables are invalidated wholesale: a cached result that
+   died would otherwise be resurrected outside the unique table and break
+   hash-consing canonicity.  Node ids are never reused, so probes keyed by
+   dead ids can only miss.  Perf counters are deliberately left running —
+   a sweep is memory management, not a new measurement window. *)
+
+let protect m t =
+  let id = node_id t in
+  match Hashtbl.find_opt m.roots id with
+  | Some (n, _) -> Hashtbl.replace m.roots id (n + 1, t)
+  | None -> Hashtbl.replace m.roots id (1, t)
+
+let unprotect m t =
+  let id = node_id t in
+  match Hashtbl.find_opt m.roots id with
+  | Some (1, _) -> Hashtbl.remove m.roots id
+  | Some (n, x) -> Hashtbl.replace m.roots id (n - 1, x)
+  | None -> invalid_arg "Add.unprotect: diagram is not protected"
+
+let root_count m = Hashtbl.length m.roots
+
+let sweep m =
+  let live = Hashtbl.create (4 * (Hashtbl.length m.roots + 1)) in
+  let rec mark t =
+    let id = node_id t in
+    if not (Hashtbl.mem live id) then begin
+      Hashtbl.add live id ();
+      match t with
+      | Leaf _ -> ()
+      | Node n ->
+        mark n.low;
+        mark n.high
+    end
+  in
+  Hashtbl.iter (fun _ (_, t) -> mark t) m.roots;
+  (* collect surviving internal nodes, then rebuild the unique table at a
+     capacity fitted to them *)
+  let survivors = ref [] in
+  let survivor_count = ref 0 in
+  for i = 0 to Array.length m.u_var - 1 do
+    if m.u_var.(i) >= 0 && Hashtbl.mem live (node_id m.u_node.(i)) then begin
+      survivors := m.u_node.(i) :: !survivors;
+      incr survivor_count
+    end
+  done;
+  let capacity = ref (1 lsl initial_unique_bits) in
+  while !capacity < 4 * !survivor_count do
+    capacity := 2 * !capacity
+  done;
+  let n = !capacity in
+  let mask = n - 1 in
+  m.u_var <- Array.make n (-1);
+  m.u_low <- Array.make n 0;
+  m.u_high <- Array.make n 0;
+  m.u_node <- Array.make n dummy;
+  m.u_count <- !survivor_count;
+  List.iter
+    (fun node ->
+      match node with
+      | Leaf _ -> ()
+      | Node nd ->
+        let il = node_id nd.low and ih = node_id nd.high in
+        let j = ref (uhash nd.var il ih land mask) in
+        while m.u_var.(!j) >= 0 do
+          j := (!j + 1) land mask
+        done;
+        m.u_var.(!j) <- nd.var;
+        m.u_low.(!j) <- il;
+        m.u_high.(!j) <- ih;
+        m.u_node.(!j) <- node)
+    !survivors;
+  (* prune dead leaves *)
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun bits l -> if not (Hashtbl.mem live (node_id l)) then dead := bits :: !dead)
+    m.leaves;
+  List.iter (Hashtbl.remove m.leaves) !dead;
+  (* invalidate the computed tables and the size memo *)
+  Ct.clear m.cache;
+  Ct.clear2 m.ite_cache;
+  m.ob_generation <- m.ob_generation + 1;
+  Hashtbl.reset m.size_memo
 
 let migrate target t =
   let memo = Hashtbl.create 1024 in

@@ -26,9 +26,11 @@ val clear_caches : manager -> unit
 (** Drop the operation caches and reset the {!Perf} counters. *)
 
 val perf : manager -> Perf.t
-(** Apply-cache hits/misses per operation ({e plus}, {e minus},
+(** Computed-table hits/misses per operation ({e plus}, {e minus},
     {e times}, {e min}, {e max}, {e ite}, {e of_bdd}), peak allocated
-    node count, and {!Approx} collapse passes. *)
+    node count, and {!Approx} collapse passes.  The computed tables are
+    direct-mapped and lossy, so an evicted entry counts as a miss when
+    re-probed. *)
 
 val unique_size : manager -> int
 (** Current number of entries in the unique (hash-consing) table. *)
@@ -80,7 +82,20 @@ val eval : t -> bool array -> float
 
 val size : t -> int
 (** Number of distinct nodes reachable from the root, leaves included — the
-    paper's [add_size], and the quantity bounded by [MAX] in Fig. 6. *)
+    paper's [add_size], and the quantity bounded by [MAX] in Fig. 6.
+    Manager-free (hash-table traversal); the hot construction loop uses
+    {!size_under}/{!size_in} instead. *)
+
+val size_under : manager -> t -> limit:int -> int option
+(** [size_under m t ~limit] is [Some (size t)] when the size is at most
+    [limit], and [None] otherwise.  Visits at most [limit + 1] distinct
+    nodes using the manager's generation-stamped visit marks — no hashing,
+    no allocation — so checking a size bound costs O(limit) however large
+    the diagram is.  [t] must live in [m]. *)
+
+val size_in : manager -> t -> int
+(** Exact size via the manager's visit stamps, memoized per root id (O(1)
+    when asked again for the same root).  [t] must live in [m]. *)
 
 val internal_count : t -> int
 (** Number of non-leaf nodes. *)
@@ -111,12 +126,41 @@ val make_node : manager -> int -> t -> t -> t
     greater than [v] — used by {!Approx} to rebuild diagrams bottom-up. *)
 
 val allocated : manager -> int
-(** Total nodes ever hash-consed in this manager (they are never freed:
-    the unique table retains every intermediate result).  Long-running
-    constructions watch this and {!migrate} to a fresh manager when it
-    grows too large. *)
+(** Total nodes ever hash-consed in this manager.  Monotone: {!sweep}
+    frees memory but never reuses ids. *)
+
+(** {1 Memory management}
+
+    The unique table retains every intermediate result, so a long
+    construction would otherwise hold (and probe against) millions of dead
+    nodes.  Register the diagrams that must survive with {!protect}, then
+    {!sweep}: every unregistered node is dropped and the unique table is
+    rebuilt in place at a capacity fitted to the survivors.  Hash-consing
+    canonicity is preserved across a sweep — live nodes stay physically
+    equal, and the computed tables are invalidated so dead results cannot
+    resurface.  {!Perf} counters keep running across a sweep.
+
+    {!migrate} remains for {e cross-manager} composition (copying a model
+    into another manager's id space); within one manager, sweeping is
+    strictly cheaper than migrating because surviving nodes are not
+    re-allocated. *)
+
+val protect : manager -> t -> unit
+(** Register a diagram as a GC root (refcounted: protect twice, unprotect
+    twice). *)
+
+val unprotect : manager -> t -> unit
+(** Drop one protection.  Raises [Invalid_argument] if the diagram is not
+    currently protected. *)
+
+val root_count : manager -> int
+(** Number of distinct protected roots. *)
+
+val sweep : manager -> unit
+(** Mark-and-sweep: keep exactly the nodes reachable from the protected
+    roots, rebuild the unique and leaf tables in place, invalidate the
+    computed tables.  Unreachable nodes become garbage for the OCaml GC. *)
 
 val migrate : manager -> t -> t
-(** Structurally copy a diagram into another manager (e.g. a fresh one, to
-    shed a bloated unique table).  The result lives in [target]; the source
-    manager can then be dropped. *)
+(** Structurally copy a diagram into another manager.  The result lives in
+    [target]; the source manager can then be dropped. *)

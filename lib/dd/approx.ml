@@ -354,12 +354,12 @@ let search mgr plan max_size =
   in
   let k = if probe_size plan 0 <= max_size then 0 else bisect 0 total in
   let result = build_collapse mgr plan k in
-  if Add.size result <= max_size then result
+  if Add.size_in mgr result <= max_size then result
   else build_collapse mgr plan total
 
 let compress ?(weighting = default_weighting) mgr ~strategy ~max_size root =
   if max_size < 1 then invalid_arg "Approx.compress: max_size must be >= 1";
-  if Add.size root <= max_size then root
+  if Add.size_under mgr root ~limit:max_size <> None then root
   else begin
     Perf.note_collapse (Add.perf mgr);
     let plan = make_plan strategy weighting root in

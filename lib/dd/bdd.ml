@@ -3,15 +3,36 @@ type t =
   | True
   | Node of { id : int; var : int; low : t; high : t }
 
+(* Operation tags for the shared computed table; must stay < 16 so the
+   packed (op, id, id) key fits a non-negative OCaml int. *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_not = 3
+let op_exists = 4
+
+(* Cache geometry: fixed-size, direct-mapped, lossy (CUDD-style).  A
+   conflicting entry is overwritten; a lost entry only costs recomputation,
+   never correctness. *)
+let cache_bits = 16
+let ite_bits = 14
+let shift_bits = 13
+
 type manager = {
   mutable next_id : int;
-  unique : (int * int * int, t) Hashtbl.t;
-  not_cache : (int, t) Hashtbl.t;
-  and_cache : (int * int, t) Hashtbl.t;
-  or_cache : (int * int, t) Hashtbl.t;
-  xor_cache : (int * int, t) Hashtbl.t;
-  ite_cache : (int * int * int, t) Hashtbl.t;
-  exists_cache : (int, t) Hashtbl.t;
+  (* Unique (hash-consing) table: open addressing with linear probing over
+     parallel int arrays — the key is the (var, low, high) int triple
+     itself, so probing never hashes a boxed tuple.  [u_var] = -1 marks an
+     empty slot; capacity is a power of two, grown at 50% load. *)
+  mutable u_var : int array;
+  mutable u_low : int array;
+  mutable u_high : int array;
+  mutable u_node : t array;
+  mutable u_count : int;
+  (* Computed tables. *)
+  cache : t Ct.cache;      (* and/or/xor/not/exists, packed (op, a, b) *)
+  ite_cache : t Ct.cache2; (* (f, g) packed + h *)
+  shift_cache : t Ct.cache2; (* (node id, offset) *)
   perf : Perf.t;
   (* counters pre-fetched at creation so the operation loops never hash a
      name on the hot path *)
@@ -21,19 +42,24 @@ type manager = {
   c_xor : Perf.counter;
   c_ite : Perf.counter;
   c_exists : Perf.counter;
+  c_shift : Perf.counter;
 }
+
+let initial_unique_bits = 12
 
 let manager ?perf () =
   let perf = match perf with Some p -> p | None -> Perf.create () in
+  let n = 1 lsl initial_unique_bits in
   {
     next_id = 2;
-    unique = Hashtbl.create 4096;
-    not_cache = Hashtbl.create 1024;
-    and_cache = Hashtbl.create 4096;
-    or_cache = Hashtbl.create 4096;
-    xor_cache = Hashtbl.create 1024;
-    ite_cache = Hashtbl.create 1024;
-    exists_cache = Hashtbl.create 64;
+    u_var = Array.make n (-1);
+    u_low = Array.make n 0;
+    u_high = Array.make n 0;
+    u_node = Array.make n False;
+    u_count = 0;
+    cache = Ct.cache ~bits:cache_bits ~dummy:False;
+    ite_cache = Ct.cache2 ~bits:ite_bits ~dummy:False;
+    shift_cache = Ct.cache2 ~bits:shift_bits ~dummy:False;
     perf;
     c_not = Perf.counter perf "not";
     c_and = Perf.counter perf "and";
@@ -41,22 +67,20 @@ let manager ?perf () =
     c_xor = Perf.counter perf "xor";
     c_ite = Perf.counter perf "ite";
     c_exists = Perf.counter perf "exists";
+    c_shift = Perf.counter perf "shift";
   }
 
 let clear_caches m =
-  Hashtbl.reset m.not_cache;
-  Hashtbl.reset m.and_cache;
-  Hashtbl.reset m.or_cache;
-  Hashtbl.reset m.xor_cache;
-  Hashtbl.reset m.ite_cache;
-  Hashtbl.reset m.exists_cache;
+  Ct.clear m.cache;
+  Ct.clear2 m.ite_cache;
+  Ct.clear2 m.shift_cache;
   Perf.reset m.perf
 
 let node_count m = m.next_id - 2
 
 let perf m = m.perf
 
-let unique_size m = Hashtbl.length m.unique
+let unique_size m = m.u_count
 
 let node_id = function False -> 0 | True -> 1 | Node n -> n.id
 
@@ -65,27 +89,73 @@ let one = True
 
 let of_bool b = if b then True else False
 
+let uhash v l h = Ct.mix (v lxor (l * 0x85EBCA77) lxor (h * 0xC2B2AE3D))
+
+let grow_unique m =
+  let old_var = m.u_var
+  and old_low = m.u_low
+  and old_high = m.u_high
+  and old_node = m.u_node in
+  let n = 2 * Array.length old_var in
+  let mask = n - 1 in
+  let u_var = Array.make n (-1)
+  and u_low = Array.make n 0
+  and u_high = Array.make n 0
+  and u_node = Array.make n False in
+  for i = 0 to Array.length old_var - 1 do
+    let v = old_var.(i) in
+    if v >= 0 then begin
+      (* keys are unique, so reinsertion only needs an empty slot *)
+      let j = ref (uhash v old_low.(i) old_high.(i) land mask) in
+      while u_var.(!j) >= 0 do
+        j := (!j + 1) land mask
+      done;
+      u_var.(!j) <- v;
+      u_low.(!j) <- old_low.(i);
+      u_high.(!j) <- old_high.(i);
+      u_node.(!j) <- old_node.(i)
+    end
+  done;
+  m.u_var <- u_var;
+  m.u_low <- u_low;
+  m.u_high <- u_high;
+  m.u_node <- u_node
+
 (* Hash-consing constructor: enforces reduction (low != high) and sharing. *)
 let mk m v low high =
   if low == high then low
   else begin
-    let key = (v, node_id low, node_id high) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n -> n
-    | None ->
-      let n = Node { id = m.next_id; var = v; low; high } in
-      m.next_id <- m.next_id + 1;
-      Hashtbl.add m.unique key n;
-      Perf.note_peak m.perf (m.next_id - 2);
-      n
+    let il = node_id low and ih = node_id high in
+    let mask = Array.length m.u_var - 1 in
+    let rec probe i =
+      let uv = m.u_var.(i) in
+      if uv < 0 then begin
+        Ct.check_id m.next_id;
+        let n = Node { id = m.next_id; var = v; low; high } in
+        m.next_id <- m.next_id + 1;
+        m.u_var.(i) <- v;
+        m.u_low.(i) <- il;
+        m.u_high.(i) <- ih;
+        m.u_node.(i) <- n;
+        m.u_count <- m.u_count + 1;
+        Perf.note_peak m.perf (m.next_id - 2);
+        if 2 * m.u_count >= Array.length m.u_var then grow_unique m;
+        n
+      end
+      else if uv = v && m.u_low.(i) = il && m.u_high.(i) = ih then m.u_node.(i)
+      else probe ((i + 1) land mask)
+    in
+    probe (uhash v il ih land mask)
   end
 
 let var m i =
   if i < 0 then invalid_arg "Bdd.var: negative variable";
+  Ct.check_var i;
   mk m i False True
 
 let nvar m i =
   if i < 0 then invalid_arg "Bdd.nvar: negative variable";
+  Ct.check_var i;
   mk m i True False
 
 let top_var a b =
@@ -101,44 +171,53 @@ let cofactors f v =
   | False | True | Node _ -> (f, f)
 
 let bnot m f =
+  let cache = m.cache in
   let rec go f =
     match f with
     | False -> True
     | True -> False
-    | Node n -> (
-      match Hashtbl.find_opt m.not_cache n.id with
-      | Some r ->
+    | Node n ->
+      let key = Ct.pack op_not n.id 0 in
+      let i = Ct.slot cache key in
+      if cache.Ct.keys.(i) = key then begin
         Perf.hit m.c_not;
-        r
-      | None ->
+        cache.Ct.vals.(i)
+      end
+      else begin
         Perf.miss m.c_not;
         let r = mk m n.var (go n.low) (go n.high) in
-        Hashtbl.add m.not_cache n.id r;
-        r)
+        cache.Ct.keys.(i) <- key;
+        cache.Ct.vals.(i) <- r;
+        r
+      end
   in
   go f
 
 (* Symmetric binary operations share this skeleton; [terminal] decides the
-   base cases, [cache] memoizes on the (commutatively normalized) id pair
-   and [ctr] counts its hits/misses. *)
-let apply_comm m cache ctr terminal a b =
+   base cases, the shared computed table memoizes on the (commutatively
+   normalized) packed key and [ctr] counts its hits/misses. *)
+let apply_comm m op ctr terminal a b =
+  let cache = m.cache in
   let rec go a b =
     match terminal a b with
     | Some r -> r
     | None ->
       let ia = node_id a and ib = node_id b in
-      let key = if ia <= ib then (ia, ib) else (ib, ia) in
-      (match Hashtbl.find_opt cache key with
-      | Some r ->
+      let key = if ia <= ib then Ct.pack op ia ib else Ct.pack op ib ia in
+      let i = Ct.slot cache key in
+      if cache.Ct.keys.(i) = key then begin
         Perf.hit ctr;
-        r
-      | None ->
+        cache.Ct.vals.(i)
+      end
+      else begin
         Perf.miss ctr;
         let v = top_var a b in
         let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
         let r = mk m v (go a0 b0) (go a1 b1) in
-        Hashtbl.add cache key r;
-        r)
+        cache.Ct.keys.(i) <- key;
+        cache.Ct.vals.(i) <- r;
+        r
+      end
   in
   go a b
 
@@ -154,8 +233,8 @@ let or_terminal a b =
   | False, x | x, False -> Some x
   | Node na, Node nb -> if na.id = nb.id then Some a else None
 
-let band m a b = apply_comm m m.and_cache m.c_and and_terminal a b
-let bor m a b = apply_comm m m.or_cache m.c_or or_terminal a b
+let band m a b = apply_comm m op_and m.c_and and_terminal a b
+let bor m a b = apply_comm m op_or m.c_or or_terminal a b
 
 let bxor m a b =
   let terminal a b =
@@ -166,7 +245,7 @@ let bxor m a b =
       Some (bnot m x)
     | Node na, Node nb -> if na.id = nb.id then Some False else None
   in
-  apply_comm m m.xor_cache m.c_xor terminal a b
+  apply_comm m op_xor m.c_xor terminal a b
 
 let bnand m a b = bnot m (band m a b)
 let bnor m a b = bnot m (bor m a b)
@@ -174,33 +253,35 @@ let bxnor m a b = bnot m (bxor m a b)
 let bimply m a b = bor m (bnot m a) b
 
 let ite m f g h =
+  let cache = m.ite_cache in
   let rec go f g h =
     match f with
     | True -> g
     | False -> h
-    | Node _ ->
+    | Node nf ->
       if g == h then g
       else if g == True && h == False then f
       else begin
-        let key = (node_id f, node_id g, node_id h) in
-        match Hashtbl.find_opt m.ite_cache key with
-        | Some r ->
+        let k1 = Ct.pack2 nf.id (node_id g) and k2 = node_id h in
+        let i = Ct.slot2 cache k1 k2 in
+        if cache.Ct.k1.(i) = k1 && cache.Ct.k2.(i) = k2 then begin
           Perf.hit m.c_ite;
-          r
-        | None ->
+          cache.Ct.vals2.(i)
+        end
+        else begin
           Perf.miss m.c_ite;
-          let v =
-            List.fold_left
-              (fun acc x ->
-                match x with Node n -> min acc n.var | False | True -> acc)
-              max_int [ f; g; h ]
-          in
+          let v = nf.var in
+          let v = match g with Node n when n.var < v -> n.var | _ -> v in
+          let v = match h with Node n when n.var < v -> n.var | _ -> v in
           let f0, f1 = cofactors f v in
           let g0, g1 = cofactors g v in
           let h0, h1 = cofactors h v in
           let r = mk m v (go f0 g0 h0) (go f1 g1 h1) in
-          Hashtbl.add m.ite_cache key r;
+          cache.Ct.k1.(i) <- k1;
+          cache.Ct.k2.(i) <- k2;
+          cache.Ct.vals2.(i) <- r;
           r
+        end
       end
   in
   go f g h
@@ -227,29 +308,64 @@ let restrict m f ~var ~value =
 
 let exists m vars f =
   let vars = List.sort_uniq compare vars in
+  let cache = m.cache in
+  (* memoized on (variable, node), so the cache survives across the
+     quantified variables of one call and across calls *)
   let quantify_one v f =
-    Hashtbl.reset m.exists_cache;
     let rec go f =
       match f with
       | False | True -> f
       | Node n when n.var > v -> f
       | Node n when n.var = v -> bor m n.low n.high
-      | Node n -> (
-        match Hashtbl.find_opt m.exists_cache n.id with
-        | Some r ->
+      | Node n ->
+        let key = Ct.pack op_exists v n.id in
+        let i = Ct.slot cache key in
+        if cache.Ct.keys.(i) = key then begin
           Perf.hit m.c_exists;
-          r
-        | None ->
+          cache.Ct.vals.(i)
+        end
+        else begin
           Perf.miss m.c_exists;
           let r = mk m n.var (go n.low) (go n.high) in
-          Hashtbl.add m.exists_cache n.id r;
-          r)
+          cache.Ct.keys.(i) <- key;
+          cache.Ct.vals.(i) <- r;
+          r
+        end
     in
     go f
   in
   List.fold_left (fun acc v -> quantify_one v acc) f vars
 
 let forall m vars f = bnot m (exists m vars (bnot m f))
+
+let shift m k f =
+  if k = 0 then f
+  else begin
+    let cache = m.shift_cache in
+    let rec go f =
+      match f with
+      | False | True -> f
+      | Node n ->
+        let k1 = n.id and k2 = k in
+        let i = Ct.slot2 cache k1 k2 in
+        if cache.Ct.k1.(i) = k1 && cache.Ct.k2.(i) = k2 then begin
+          Perf.hit m.c_shift;
+          cache.Ct.vals2.(i)
+        end
+        else begin
+          Perf.miss m.c_shift;
+          let v = n.var + k in
+          if v < 0 then invalid_arg "Bdd.shift: negative shifted variable";
+          Ct.check_var v;
+          let r = mk m v (go n.low) (go n.high) in
+          cache.Ct.k1.(i) <- k1;
+          cache.Ct.k2.(i) <- k2;
+          cache.Ct.vals2.(i) <- r;
+          r
+        end
+    in
+    go f
+  end
 
 let equal a b = a == b
 let is_true f = f == True

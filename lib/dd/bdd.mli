@@ -35,9 +35,11 @@ val node_count : manager -> int
 (** Number of live hash-consed nodes ever created in this manager. *)
 
 val perf : manager -> Perf.t
-(** The manager's performance counters: apply-cache hits/misses per
-    operation ({e not}, {e and}, {e or}, {e xor}, {e ite}, {e exists})
-    and the peak node count. *)
+(** The manager's performance counters: computed-table hits/misses per
+    operation ({e not}, {e and}, {e or}, {e xor}, {e ite}, {e exists},
+    {e shift}) and the peak node count.  The computed tables are
+    direct-mapped and lossy, so an evicted entry counts as a miss when
+    re-probed. *)
 
 val unique_size : manager -> int
 (** Current number of entries in the unique (hash-consing) table. *)
@@ -79,9 +81,19 @@ val restrict : manager -> t -> var:int -> value:bool -> t
 (** Cofactor with respect to a literal. *)
 
 val exists : manager -> int list -> t -> t
-(** Existential quantification of the listed variables. *)
+(** Existential quantification of the listed variables.  Memoized on
+    (variable, node) in the manager's computed table, so the memo survives
+    across the variables of one call and across calls. *)
 
 val forall : manager -> int list -> t -> t
+
+val shift : manager -> int -> t -> t
+(** [shift m k f] renames every variable [v] of [f] to [v + k].  Adding a
+    constant preserves the variable order, so this is a single memoized
+    structural copy — no apply operations.  {!Powermodel.Model} uses it to
+    derive the final-copy node functions from the initial-copy ones
+    (interleaved numbering, offset 1) instead of re-evaluating the netlist.
+    Raises [Invalid_argument] if any shifted variable would be negative. *)
 
 (** {1 Queries} *)
 

@@ -44,12 +44,16 @@ let build ?(strategy = Dd.Approx.Average)
   let t0 = Sys.time () in
   let n = Netlist.Circuit.input_count circuit in
   let bdd_mgr = Dd.Bdd.manager () in
-  let add_mgr = ref (Dd.Add.manager ()) in
+  let add_mgr = Dd.Add.manager () in
   let logic = bdd_logic bdd_mgr in
   let env_i = Array.init n (fun j -> Dd.Bdd.var bdd_mgr (Vars.initial j)) in
-  let env_f = Array.init n (fun j -> Dd.Bdd.var bdd_mgr (Vars.final j)) in
   let values_i = Netlist.Circuit.eval_all logic circuit env_i in
-  let values_f = Netlist.Circuit.eval_all logic circuit env_f in
+  (* The final-copy node functions are the initial-copy ones with every
+     variable renamed 2j -> 2j+1 (interleaved numbering, see {!Vars}).
+     Renaming by a constant offset preserves the variable order, so
+     [Bdd.shift] derives them by a memoized structural copy instead of
+     re-evaluating the whole netlist symbolically. *)
+  let values_f = Array.map (Dd.Bdd.shift bdd_mgr 1) values_i in
   let loads =
     match loads with
     | Some loads ->
@@ -61,44 +65,49 @@ let build ?(strategy = Dd.Approx.Average)
       | None -> Netlist.Circuit.loads circuit
       | Some output_load -> Netlist.Circuit.loads ~output_load circuit)
   in
-  let cap = ref (Dd.Add.const !add_mgr 0.0) in
+  let cap = ref (Dd.Add.const add_mgr 0.0) in
   let approx_calls = ref 0 in
   let peak = ref 1 in
   let skipped = ref 0 in
   (* The unique table retains every intermediate node, so a long
-     construction would otherwise hold (and hash against) millions of dead
-     nodes: when the table outgrows a budget, the accumulator is migrated
-     into a fresh manager and the old one is dropped. *)
+     construction would otherwise hold (and probe against) millions of
+     dead nodes: when the table outgrows a budget, the accumulator is
+     protected as the sole GC root and the manager is swept in place.
+     Surviving nodes are not copied, the Perf counter window keeps
+     running, and the unique table shrinks back to the live set. *)
   let m_delta_bound () =
     match max_size with None -> max_int | Some m -> m / 8
   in
   let purge_budget = 1_000_000 in
   let purge () =
-    if Dd.Add.allocated !add_mgr > purge_budget then begin
-      (* the fresh manager inherits the perf counters, so the finished
-         model's counter window covers the whole construction *)
-      let fresh = Dd.Add.manager ~perf:(Dd.Add.perf !add_mgr) () in
-      cap := Dd.Add.migrate fresh !cap;
-      add_mgr := fresh
+    if Dd.Add.unique_size add_mgr > purge_budget then begin
+      Dd.Add.protect add_mgr !cap;
+      Dd.Add.sweep add_mgr;
+      Dd.Add.unprotect add_mgr !cap
     end
   in
   (* Intermediate results may exceed MAX by up to a third before a
      collapse brings them back to MAX — Fig. 6 semantics with hysteresis,
      saving most of the collapse invocations on large circuits.  A final
-     clamp (below) restores the strict bound on the finished model. *)
+     clamp (below) restores the strict bound on the finished model.
+     [size_under] makes the per-gate bound check O(trigger) — visiting at
+     most trigger + 1 nodes on the manager's visit stamps — instead of a
+     full hash-table traversal of the accumulator per gate. *)
   let clamp ?(slack = true) ?bound add =
     match max_size with
     | None -> add
     | Some m ->
       let m = match bound with None -> m | Some b -> min m b in
-      let sz = Dd.Add.size add in
-      if sz > !peak then peak := sz;
       let trigger = if slack then m + (m / 3) else m in
-      if sz <= trigger then add
-      else begin
+      (match Dd.Add.size_under add_mgr add ~limit:trigger with
+      | Some sz ->
+        if sz > !peak then peak := sz;
+        add
+      | None ->
+        let sz = Dd.Add.size_in add_mgr add in
+        if sz > !peak then peak := sz;
         incr approx_calls;
-        Dd.Approx.compress ~weighting !add_mgr ~strategy ~max_size:m add
-      end
+        Dd.Approx.compress ~weighting add_mgr ~strategy ~max_size:m add)
   in
   Array.iter
     (fun (g : Netlist.Circuit.gate) ->
@@ -112,18 +121,18 @@ let build ?(strategy = Dd.Approx.Average)
         in
         (* of_bdd with the load as the one-value fuses the paper's
            bdd-to-ADD conversion and add_times into one traversal. *)
-        let delta = Dd.Add.of_bdd !add_mgr ~one_value:load rising in
+        let delta = Dd.Add.of_bdd add_mgr ~one_value:load rising in
         (* per-gate contributions are bounded much harder than the
            accumulator: the cost of adding a delta is the size of the
            cross product, and the accumulator's own clamp dominates the
            final accuracy anyway *)
         let delta = clamp ~bound:(max 64 (m_delta_bound ())) delta in
-        cap := clamp (Dd.Add.add !add_mgr !cap delta);
+        cap := clamp (Dd.Add.add add_mgr !cap delta);
         purge ()
       end)
     circuit.Netlist.Circuit.gates;
   cap := clamp ~slack:false !cap;
-  let final_size = Dd.Add.size !cap in
+  let final_size = Dd.Add.size_in add_mgr !cap in
   if final_size > !peak then peak := final_size;
   let stats =
     {
@@ -142,14 +151,14 @@ let build ?(strategy = Dd.Approx.Average)
     strategy;
     weighting;
     max_size;
-    add_manager = !add_mgr;
+    add_manager = add_mgr;
     cap = !cap;
     stats;
   }
 
 let is_exact t = t.stats.approx_calls = 0
 
-let size t = Dd.Add.size t.cap
+let size t = Dd.Add.size_in t.add_manager t.cap
 
 let switched_capacitance t ~x_i ~x_f =
   if Array.length x_i <> t.inputs || Array.length x_f <> t.inputs then

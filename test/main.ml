@@ -4,6 +4,7 @@ let () =
       ("bdd", Test_bdd.suite);
       ("add", Test_add.suite);
       ("perf", Test_perf.suite);
+      ("kernel", Test_kernel.suite);
       ("parallel", Test_parallel.suite);
       ("add-stats", Test_add_stats.suite);
       ("approx", Test_approx.suite);
