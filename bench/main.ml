@@ -13,7 +13,16 @@
      CFPM_ONLY           comma-separated Table 1 circuit subset
      CFPM_JOBS           worker domains for the parallel engine
                          (default: Domain.recommended_domain_count)
-     CFPM_BENCH_JSON     JSON report path (default BENCH_results.json) *)
+     CFPM_BENCH_JSON     JSON report path (default BENCH_results.json)
+     CFPM_TASK_DEADLINE  per-circuit wall-clock budget in seconds for the
+                         Table 1 runs (cooperative; default: none)
+     CFPM_FORCE_FAIL     comma-separated circuits whose Table 1 builds are
+                         deterministically failed (fault-isolation drill)
+
+   Experiments run fault-isolated: a circuit that exhausts its budget or
+   dies on an exception becomes a {"status": "error"} entry in the JSON
+   report, the remaining circuits are unaffected, and the harness still
+   exits 0.  Only a failure of the harness itself is fatal. *)
 
 let vectors =
   match Sys.getenv_opt "CFPM_VECTORS" with
@@ -30,6 +39,23 @@ let json_path =
   | Some p -> p
   | None -> "BENCH_results.json"
 
+let task_deadline =
+  match Sys.getenv_opt "CFPM_TASK_DEADLINE" with
+  | None -> None
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some d when d > 0.0 && Float.is_finite d -> Some d
+    | _ ->
+      Printf.eprintf
+        "bench: ignoring invalid CFPM_TASK_DEADLINE=%S (expected seconds > 0)\n"
+        s;
+      None)
+
+let force_fail =
+  match Sys.getenv_opt "CFPM_FORCE_FAIL" with
+  | None -> []
+  | Some s -> List.filter (fun n -> n <> "") (String.split_on_char ',' s)
+
 let heading title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
@@ -45,20 +71,36 @@ let timed label f =
 (* ------------------------------------------------------------------ *)
 (* Experiment reproductions (one per paper table/figure).              *)
 
+(* Fault isolation for a whole experiment: any escaping exception becomes
+   a classified Guard.Error instead of killing the harness. *)
+let protected f =
+  match f () with
+  | r -> Ok r
+  | exception e -> Error (Guard.Error.of_exn e)
+
+let report_failure label err =
+  Printf.printf "%s FAILED: %s\n" label (Guard.Error.to_string err)
+
 let run_fig7a () =
   heading "Experiment E1: Fig. 7a — RE vs transition probability (cm85)";
   let r, dt =
-    timed "fig7a" (fun () -> Experiments.Fig7a.run ~vectors ~char_vectors ())
+    timed "fig7a" (fun () ->
+        protected (fun () -> Experiments.Fig7a.run ~vectors ~char_vectors ()))
   in
-  print_string (Experiments.Report.fig7a r);
+  (match r with
+  | Ok r -> print_string (Experiments.Report.fig7a r)
+  | Error err -> report_failure "fig7a" err);
   (r, dt)
 
 let run_fig7b () =
   heading "Experiment E2: Fig. 7b — accuracy/size trade-off (cm85)";
   let r, dt =
-    timed "fig7b" (fun () -> Experiments.Fig7b.run ~vectors ~char_vectors ())
+    timed "fig7b" (fun () ->
+        protected (fun () -> Experiments.Fig7b.run ~vectors ~char_vectors ()))
   in
-  print_string (Experiments.Report.fig7b r);
+  (match r with
+  | Ok r -> print_string (Experiments.Report.fig7b r)
+  | Error err -> report_failure "fig7b" err);
   (r, dt)
 
 let table1_names () =
@@ -69,14 +111,27 @@ let table1_names () =
 let run_table1 () =
   heading "Experiment E3/E4: Table 1 — all benchmarks";
   let config =
-    { Experiments.Table1.default_config with vectors; char_vectors }
+    {
+      Experiments.Table1.default_config with
+      vectors;
+      char_vectors;
+      deadline_seconds = task_deadline;
+      force_fail;
+    }
   in
-  let rows, dt =
+  let outcomes, dt =
     timed "table1" (fun () ->
-        Experiments.Table1.run ~config ?names:(table1_names ()) ())
+        Experiments.Table1.run_isolated ~config ?names:(table1_names ()) ())
   in
-  print_string (Experiments.Report.table1 rows);
-  (rows, dt)
+  let ok_rows = List.filter_map (fun (_, r) -> Result.to_option r) outcomes in
+  print_string (Experiments.Report.table1 ok_rows);
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Ok _ -> ()
+      | Error err -> report_failure name err)
+    outcomes;
+  (outcomes, dt)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                          *)
@@ -251,28 +306,38 @@ let bechamel_suite () =
 (* Machine-readable report.                                            *)
 
 let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
+  let outcome_json render (outcome, dt) =
+    match outcome with
+    | Ok r -> render ~wall_seconds:dt r
+    | Error err -> Experiments.Bench_json.experiment_error ~wall_seconds:dt err
+  in
   let experiments =
     List.filter_map
       (fun x -> x)
       [
         Option.map
-          (fun (r, dt) ->
-            ("fig7a", Experiments.Bench_json.fig7a ~wall_seconds:dt r))
+          (fun o -> ("fig7a", outcome_json Experiments.Bench_json.fig7a o))
           fig7a;
         Option.map
-          (fun (r, dt) ->
-            ("fig7b", Experiments.Bench_json.fig7b ~wall_seconds:dt r))
+          (fun o -> ("fig7b", outcome_json Experiments.Bench_json.fig7b o))
           fig7b;
         Option.map
-          (fun (rows, dt) ->
-            ("table1", Experiments.Bench_json.table1 ~wall_seconds:dt rows))
+          (fun (outcomes, dt) ->
+            ( "table1",
+              Experiments.Bench_json.table1_isolated ~wall_seconds:dt outcomes ))
           table1;
       ]
+  in
+  let surviving_rows =
+    Option.map
+      (fun (outcomes, _) ->
+        List.filter_map (fun (_, r) -> Result.to_option r) outcomes)
+      table1
   in
   let json =
     Json.Obj
       [
-        ("schema", Json.String "cfpm-bench/1");
+        ("schema", Json.String "cfpm-bench/2");
         ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
         ("vectors", Json.Int vectors);
         ("char_vectors", Json.Int char_vectors);
@@ -280,6 +345,8 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
           match Sys.getenv_opt "CFPM_ONLY" with
           | Some s -> Json.String s
           | None -> Json.Null );
+        ( "force_fail",
+          Json.List (List.map (fun n -> Json.String n) force_fail) );
         ("total_seconds", Json.Float total_seconds);
         ("experiments", Json.Obj experiments);
         (* Bechamel OLS estimates, ns per run, keyed by kernel name — the
@@ -290,11 +357,14 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
                (fun (name, ns) ->
                  (name, Json.Obj [ ("ns_per_run", Json.Float ns) ]))
                kernels) );
+        (* surviving circuits only: failed entries are reported under
+           [experiments] with status "error", never here, so the
+           determinism diff compares like with like *)
         ( "model_errors",
           Experiments.Bench_json.model_errors
-            ?fig7a:(Option.map fst fig7a)
-            ?fig7b:(Option.map fst fig7b)
-            ?table1:(Option.map fst table1) () );
+            ?fig7a:(Option.bind fig7a (fun (r, _) -> Result.to_option r))
+            ?fig7b:(Option.bind fig7b (fun (r, _) -> Result.to_option r))
+            ?table1:surviving_rows () );
       ]
   in
   Out_channel.with_open_text json_path (fun oc ->

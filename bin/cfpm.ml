@@ -47,6 +47,62 @@ let jobs_arg =
 
 let jobs_opt jobs = if jobs <= 0 then None else Some jobs
 
+(* Resource-budget flags shared by the model-building subcommands.  A zero
+   value (the default) means "no such ceiling"; any combination composes
+   into one Guard.Budget enforced cooperatively during construction. *)
+let budget_term =
+  let deadline_arg =
+    let doc =
+      "Wall-clock budget for model construction, in seconds (0: none)."
+    in
+    Arg.(value & opt float 0.0 & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_nodes_arg =
+    let doc =
+      "Ceiling on live decision-diagram nodes during construction (0: \
+       none).  Under pressure the build degrades — sweeps dead nodes, \
+       then escalates collapsing — before giving up."
+    in
+    Arg.(value & opt int 0 & info [ "max-nodes" ] ~docv:"N" ~doc)
+  in
+  let max_collapses_arg =
+    let doc = "Ceiling on node-collapse invocations (0: none)." in
+    Arg.(value & opt int 0 & info [ "max-collapses" ] ~docv:"N" ~doc)
+  in
+  let make deadline max_nodes max_collapses =
+    if deadline <= 0.0 && max_nodes <= 0 && max_collapses <= 0 then None
+    else
+      Some
+        (Guard.Budget.create
+           ?wall_seconds:(if deadline > 0.0 then Some deadline else None)
+           ?node_ceiling:(if max_nodes > 0 then Some max_nodes else None)
+           ?collapse_ceiling:
+             (if max_collapses > 0 then Some max_collapses else None)
+           ())
+  in
+  Cmdliner.Term.(const make $ deadline_arg $ max_nodes_arg $ max_collapses_arg)
+
+(* Errors exit through the Guard taxonomy: 3 parse, 4 validation,
+   5 resource exhaustion, 6 internal. *)
+let fail_with err =
+  Printf.eprintf "cfpm: %s\n" (Guard.Error.to_string err);
+  exit (Guard.Error.exit_code err)
+
+let build_or_exit ?budget ?strategy ?weighting ?max_size c =
+  match Powermodel.Model.build_checked ?budget ?strategy ?weighting ?max_size c with
+  | Ok model -> model
+  | Error { Powermodel.Model.error; partial } ->
+    (match partial with
+    | Some s ->
+      Printf.eprintf
+        "cfpm: construction aborted after %d/%d gates (peak %d nodes, %d \
+         degrade steps, %.2fs)\n"
+        s.Powermodel.Model.gates_done s.Powermodel.Model.gates
+        s.Powermodel.Model.peak_size s.Powermodel.Model.degrade_steps
+        s.Powermodel.Model.wall_seconds
+    | None -> ());
+    fail_with error
+
 let strategy_arg =
   let doc = "Approximation strategy: average, upper or lower." in
   let strategies =
@@ -104,15 +160,18 @@ let info_cmd =
     Term.(const run $ circuit_arg)
 
 let build_cmd =
-  let run name max_size strategy weighting vectors seed =
+  let run name max_size strategy weighting vectors seed budget =
     let c = find_circuit name in
     let max_size = if max_size <= 0 then None else Some max_size in
-    let model = Powermodel.Model.build ~strategy ~weighting ?max_size c in
+    let model = build_or_exit ?budget ~strategy ~weighting ?max_size c in
     let s = model.Powermodel.Model.stats in
     Printf.printf
       "model for %s: %d nodes (peak %d), %d approximations, %d BDD nodes, \
        %.2fs\n"
-      name s.final_size s.peak_size s.approx_calls s.bdd_nodes s.cpu_seconds;
+      name s.final_size s.peak_size s.approx_calls s.bdd_nodes s.wall_seconds;
+    if s.degrade_steps > 0 then
+      Printf.printf "  budget pressure: effective MAX halved %d time(s)\n"
+        s.degrade_steps;
     Printf.printf "  exact: %b  avg capacitance %.2f fF  max %.2f fF\n"
       (Powermodel.Model.is_exact model)
       (Powermodel.Model.average_capacitance model)
@@ -128,7 +187,7 @@ let build_cmd =
        ~doc:"Build a power model and evaluate it against the simulator.")
     Term.(
       const run $ circuit_arg $ max_size_arg $ strategy_arg $ weighting_arg
-      $ vectors_arg $ seed_arg)
+      $ vectors_arg $ seed_arg $ budget_term)
 
 let fig7a_cmd =
   let run vectors seed jobs =
@@ -191,15 +250,13 @@ let import_cmd =
     let doc = "BLIF file describing the combinational macro." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file max_size strategy weighting =
+  let run file max_size strategy weighting budget =
     match Netlist.Blif.parse_file file with
-    | Error msg ->
-      Printf.eprintf "BLIF error: %s\n" msg;
-      exit 1
+    | Error err -> fail_with err
     | Ok c ->
       Format.printf "%a@." Netlist.Circuit.pp c;
       let max_size = if max_size <= 0 then None else Some max_size in
-      let model = Powermodel.Model.build ~strategy ~weighting ?max_size c in
+      let model = build_or_exit ?budget ~strategy ~weighting ?max_size c in
       Printf.printf
         "model: %d nodes (exact: %b), avg %.2f fF, worst case %.2f fF\n"
         (Powermodel.Model.size model)
@@ -210,7 +267,9 @@ let import_cmd =
   Cmd.v
     (Cmd.info "import"
        ~doc:"Parse a BLIF netlist, map it onto the cell library and model it.")
-    Term.(const run $ file_arg $ max_size_arg $ strategy_arg $ weighting_arg)
+    Term.(
+      const run $ file_arg $ max_size_arg $ strategy_arg $ weighting_arg
+      $ budget_term)
 
 let worst_cmd =
   let run name max_size =

@@ -49,9 +49,9 @@ let () =
   let circuit =
     match Netlist.Blif.parse source with
     | Ok c -> c
-    | Error msg ->
-      Printf.eprintf "BLIF error: %s\n" msg;
-      exit 1
+    | Error err ->
+      Printf.eprintf "BLIF error: %s\n" (Guard.Error.to_string err);
+      exit (Guard.Error.exit_code err)
   in
   Format.printf "parsed: %a@." Netlist.Circuit.pp circuit;
 
@@ -78,8 +78,8 @@ let () =
   let cm85 = Circuits.Comparator.cm85 () in
   let text = Netlist.Blif.to_string cm85 in
   (match Netlist.Blif.parse text with
-  | Error msg ->
-    Printf.eprintf "round-trip failed: %s\n" msg;
+  | Error err ->
+    Printf.eprintf "round-trip failed: %s\n" (Guard.Error.to_string err);
     exit 1
   | Ok reparsed ->
     let sim1 = Gatesim.Simulator.create cm85 in

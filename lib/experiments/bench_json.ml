@@ -10,6 +10,7 @@ let fig7a_row (r : Fig7a.row) =
 let fig7a ~wall_seconds (r : Fig7a.result) =
   Json.Obj
     [
+      ("status", Json.String "ok");
       ("circuit", Json.String r.Fig7a.circuit);
       ("wall_seconds", Json.Float wall_seconds);
       ("add_size", Json.Int r.Fig7a.add_size);
@@ -27,11 +28,13 @@ let fig7b_row (r : Fig7b.row) =
       ("actual_size", Json.Int r.Fig7b.actual_size);
       ("are", Json.Float r.Fig7b.are);
       ("build_cpu_seconds", Json.Float r.Fig7b.build_cpu);
+      ("build_wall_seconds", Json.Float r.Fig7b.build_wall);
     ]
 
 let fig7b ~wall_seconds (r : Fig7b.result) =
   Json.Obj
     [
+      ("status", Json.String "ok");
       ("circuit", Json.String r.Fig7b.circuit);
       ("wall_seconds", Json.Float wall_seconds);
       ("are_con", Json.Float r.Fig7b.are_con);
@@ -54,6 +57,7 @@ let table1_row (r : Table1.row) =
   Json.Obj
     [
       ("name", Json.String r.Table1.name);
+      ("status", Json.String "ok");
       ("inputs", Json.Int r.Table1.inputs);
       ("gates", Json.Int r.Table1.gates);
       ("errors", table1_errors r);
@@ -65,6 +69,8 @@ let table1_row (r : Table1.row) =
       ("wall_seconds", Json.Float r.Table1.wall_seconds);
       ("build_cpu_avg_seconds", Json.Float r.Table1.cpu_avg);
       ("build_cpu_ub_seconds", Json.Float r.Table1.cpu_ub);
+      ("build_wall_avg_seconds", Json.Float r.Table1.build_wall_avg);
+      ("build_wall_ub_seconds", Json.Float r.Table1.build_wall_ub);
     ]
 
 let table1 ~wall_seconds rows =
@@ -73,6 +79,28 @@ let table1 ~wall_seconds rows =
       ("wall_seconds", Json.Float wall_seconds);
       ("rows", Json.List (List.map table1_row rows));
     ]
+
+let error_members err =
+  [
+    ("status", Json.String "error");
+    ("reason", Json.String (Guard.Error.to_string err));
+    ("error", Guard.Error.to_json err);
+  ]
+
+let table1_isolated ~wall_seconds outcomes =
+  let entry (name, outcome) =
+    match outcome with
+    | Ok row -> table1_row row
+    | Error err -> Json.Obj (("name", Json.String name) :: error_members err)
+  in
+  Json.Obj
+    [
+      ("wall_seconds", Json.Float wall_seconds);
+      ("rows", Json.List (List.map entry outcomes));
+    ]
+
+let experiment_error ~wall_seconds err =
+  Json.Obj (error_members err @ [ ("wall_seconds", Json.Float wall_seconds) ])
 
 let model_errors ?fig7a:f7a ?fig7b:f7b ?table1:t1 () =
   let members = ref [] in

@@ -12,7 +12,22 @@ val fig7b : wall_seconds:float -> Fig7b.result -> Json.t
 
 val table1 : wall_seconds:float -> Table1.row list -> Json.t
 (** Per-circuit wall clock, node counts, apply-cache hit rates and model
-    errors, plus the whole-table wall clock. *)
+    errors, plus the whole-table wall clock.  Every row carries
+    [status = "ok"]. *)
+
+val table1_isolated :
+  wall_seconds:float ->
+  (string * (Table1.row, Guard.Error.t) result) list ->
+  Json.t
+(** {!table1} over fault-isolated outcomes: a failed circuit becomes a
+    row of [{"name", "status": "error", "reason", "error"}] (the [error]
+    member is {!Guard.Error.to_json}) instead of aborting the report. *)
+
+val experiment_error : wall_seconds:float -> Guard.Error.t -> Json.t
+(** A whole experiment that failed:
+    [{"status": "error", "reason", "error", "wall_seconds"}] — same
+    shape the per-circuit errors use, so consumers check [status]
+    uniformly. *)
 
 val model_errors :
   ?fig7a:Fig7a.result ->

@@ -7,6 +7,7 @@ type row = {
   actual_size : int;
   are : float;
   build_cpu : float;
+  build_wall : float;
 }
 
 type result = {
@@ -55,6 +56,7 @@ let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
           actual_size = Powermodel.Model.size model;
           are = Sweep.are_average results (Printf.sprintf "ADD-%d" m);
           build_cpu = model.Powermodel.Model.stats.cpu_seconds;
+          build_wall = model.Powermodel.Model.stats.wall_seconds;
         })
       models
   in

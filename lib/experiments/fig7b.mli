@@ -8,6 +8,9 @@ type row = {
   actual_size : int;  (** nodes of the model actually built *)
   are : float;
   build_cpu : float;
+      (** process-wide CPU ([Sys.time]) — inflated when other domains run
+          concurrently; prefer [build_wall] for reporting *)
+  build_wall : float; (** monotonic wall clock of the build *)
 }
 
 type result = {

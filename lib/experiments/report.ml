@@ -63,7 +63,7 @@ let fig7b (r : Fig7b.result) =
           string_of_int row.Fig7b.max_size;
           string_of_int row.Fig7b.actual_size;
           pct row.Fig7b.are;
-          Printf.sprintf "%.2f" row.Fig7b.build_cpu;
+          Printf.sprintf "%.2f" row.Fig7b.build_wall;
         ])
       r.Fig7b.rows
   in
@@ -72,7 +72,7 @@ let fig7b (r : Fig7b.result) =
      references: Con ARE = %s%%, Lin ARE = %s%% (%d fitted coefficients)\n\n%s"
     r.Fig7b.circuit (pct r.Fig7b.are_con) (pct r.Fig7b.are_lin)
     r.Fig7b.lin_coefficients
-    (render ~header:[ "MAX"; "size"; "ARE"; "CPU(s)" ] rows)
+    (render ~header:[ "MAX"; "size"; "ARE"; "build(s)" ] rows)
 
 let table1 rows =
   let body =
@@ -86,11 +86,11 @@ let table1 rows =
           pct row.Table1.are_lin;
           pct row.Table1.are_add;
           string_of_int row.Table1.max_avg;
-          Printf.sprintf "%.1f" row.Table1.cpu_avg;
+          Printf.sprintf "%.1f" row.Table1.build_wall_avg;
           pct row.Table1.are_con_ub;
           pct row.Table1.are_add_ub;
           string_of_int row.Table1.max_ub;
-          Printf.sprintf "%.1f" row.Table1.cpu_ub;
+          Printf.sprintf "%.1f" row.Table1.build_wall_ub;
         ])
       rows
   in
@@ -99,7 +99,7 @@ let table1 rows =
   ^ render
       ~header:
         [
-          "name"; "n"; "N"; "Con"; "Lin"; "ADD"; "MAX"; "CPU";
-          "Con-ub"; "ADD-ub"; "MAX-ub"; "CPU-ub";
+          "name"; "n"; "N"; "Con"; "Lin"; "ADD"; "MAX"; "build";
+          "Con-ub"; "ADD-ub"; "MAX-ub"; "build-ub";
         ]
       body

@@ -15,10 +15,12 @@ type row = {
   are_add : float;
   max_avg : int;
   cpu_avg : float;
+  build_wall_avg : float;
   are_con_ub : float;
   are_add_ub : float;
   max_ub : int;
   cpu_ub : float;
+  build_wall_ub : float;
   wall_seconds : float;
   model_nodes : int;
   bound_nodes : int;
@@ -30,10 +32,21 @@ type config = {
   char_vectors : int;  (* characterization sample length *)
   seed : int;
   max_scale : float;   (* scales the Table 1 MAX bounds, for quick runs *)
+  deadline_seconds : float option;  (* per-circuit wall-clock budget *)
+  force_fail : string list;
+  (* circuits whose model build gets an impossible node ceiling — a
+     deterministic failure injection for exercising fault isolation *)
 }
 
 let default_config =
-  { vectors = 2000; char_vectors = 3000; seed = 5; max_scale = 1.0 }
+  {
+    vectors = 2000;
+    char_vectors = 3000;
+    seed = 5;
+    max_scale = 1.0;
+    deadline_seconds = None;
+    force_fail = [];
+  }
 
 let scaled scale m = max 3 (int_of_float (Float.round (scale *. float_of_int m)))
 
@@ -51,8 +64,15 @@ let run_entry ?(config = default_config) ?jobs (entry : Circuits.Suite.entry) =
   let lin = Powermodel.Baselines.characterize_lin sim char_seq in
   let max_avg = scaled config.max_scale entry.Circuits.Suite.max_avg in
   let max_ub = scaled config.max_scale entry.Circuits.Suite.max_ub in
-  let avg_model = Powermodel.Model.build ~max_size:max_avg circuit in
-  let ub_model = Powermodel.Bounds.build ~max_size:max_ub circuit in
+  (* failure injection: an unsatisfiable node ceiling aborts the build
+     deterministically (unlike a deadline, which would race the clock) *)
+  let budget =
+    if List.mem entry.Circuits.Suite.name config.force_fail then
+      Some (Guard.Budget.create ~node_ceiling:1 ())
+    else None
+  in
+  let avg_model = Powermodel.Model.build ?budget ~max_size:max_avg circuit in
+  let ub_model = Powermodel.Bounds.build ?budget ~max_size:max_ub circuit in
   let estimators =
     [
       ("Con", Estimator.Characterized con);
@@ -75,10 +95,12 @@ let run_entry ?(config = default_config) ?jobs (entry : Circuits.Suite.entry) =
     are_add = Sweep.are_average results "ADD";
     max_avg;
     cpu_avg = avg_model.Powermodel.Model.stats.cpu_seconds;
+    build_wall_avg = avg_model.Powermodel.Model.stats.wall_seconds;
     are_con_ub = Sweep.are_constant_maximum results constant_ub;
     are_add_ub = Sweep.are_maximum results "ADD-ub";
     max_ub;
     cpu_ub = ub_model.Powermodel.Model.stats.cpu_seconds;
+    build_wall_ub = ub_model.Powermodel.Model.stats.wall_seconds;
     wall_seconds = Unix.gettimeofday () -. t0;
     model_nodes = Powermodel.Model.size avg_model;
     bound_nodes = Powermodel.Model.size ub_model;
@@ -87,13 +109,24 @@ let run_entry ?(config = default_config) ?jobs (entry : Circuits.Suite.entry) =
         (Dd.Add.perf avg_model.Powermodel.Model.add_manager);
   }
 
+let selected_entries names =
+  match names with
+  | None -> Circuits.Suite.all
+  | Some names -> List.filter_map Circuits.Suite.find names
+
 let run ?(config = default_config) ?names ?jobs () =
-  let entries =
-    match names with
-    | None -> Circuits.Suite.all
-    | Some names ->
-      List.filter_map Circuits.Suite.find names
-  in
   (* one pool task per circuit; a nested run_grid inside a worker executes
      inline, so the worker count stays fixed at [jobs] *)
-  Parallel.Pool.map ?jobs (fun entry -> run_entry ~config ?jobs entry) entries
+  Parallel.Pool.map ?jobs
+    (fun entry -> run_entry ~config ?jobs entry)
+    (selected_entries names)
+
+let run_isolated ?(config = default_config) ?names ?jobs () =
+  let entries = selected_entries names in
+  let results =
+    Parallel.Pool.run_isolated ?jobs ?deadline:config.deadline_seconds
+      (List.map (fun entry () -> run_entry ~config ?jobs entry) entries)
+  in
+  List.map2
+    (fun entry result -> (entry.Circuits.Suite.name, result))
+    entries results

@@ -12,10 +12,14 @@ type row = {
   are_add : float;
   max_avg : int;
   cpu_avg : float;
+      (** [Sys.time]-based build time — process-wide CPU, inflated under
+          parallel runs; prefer [build_wall_avg] *)
+  build_wall_avg : float;  (** monotonic wall clock of the average build *)
   are_con_ub : float;  (** constant worst-case estimator's ARE on maxima *)
   are_add_ub : float;  (** pattern-dependent bound's ARE on maxima *)
   max_ub : int;
   cpu_ub : float;
+  build_wall_ub : float;   (** monotonic wall clock of the bound build *)
   wall_seconds : float;
       (** end-to-end wall clock of the row (build + characterize +
           evaluate), for the bench JSON's perf trajectory *)
@@ -32,6 +36,13 @@ type config = {
   seed : int;
   max_scale : float;
       (** multiplies the Table 1 MAX bounds; < 1 for quicker runs *)
+  deadline_seconds : float option;
+      (** per-circuit wall-clock budget, enforced cooperatively by
+          {!run_isolated} (ignored by {!run} and {!run_entry}) *)
+  force_fail : string list;
+      (** circuits whose builds get an unsatisfiable node ceiling: a
+          deterministic failure injection for exercising fault isolation
+          (same outcome for every job count, unlike a deadline) *)
 }
 
 val default_config : config
@@ -45,4 +56,15 @@ val run : ?config:config -> ?names:string list -> ?jobs:int -> unit -> row list
 (** The full table (or a named subset), in suite order.  Rows execute on
     a {!Parallel.Pool} with [jobs] workers (default
     {!Parallel.Pool.default_jobs}); results are identical for every job
-    count. *)
+    count.  A failing circuit propagates its exception — use
+    {!run_isolated} when partial results matter. *)
+
+val run_isolated :
+  ?config:config -> ?names:string list -> ?jobs:int -> unit ->
+  (string * (row, Guard.Error.t) result) list
+(** Fault-isolated variant: one [(name, outcome)] pair per requested
+    circuit, in suite order.  A circuit that exhausts its budget (see
+    [config.deadline_seconds], [config.force_fail]) or dies on an
+    exception yields [Error] with the classified {!Guard.Error}; the
+    remaining circuits are unaffected, and their rows are identical to
+    what {!run} would produce — for every job count. *)

@@ -1,0 +1,93 @@
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+type t = {
+  started : float;               (* monotonic seconds at creation *)
+  deadline : float option;       (* absolute monotonic seconds *)
+  wall_seconds : float option;   (* the requested span, for messages *)
+  node_ceiling : int option;
+  collapse_ceiling : int option;
+}
+
+let create ?wall_seconds ?node_ceiling ?collapse_ceiling () =
+  (match wall_seconds with
+  | Some s when (not (Float.is_finite s)) || s < 0.0 ->
+    invalid_arg "Budget.create: wall_seconds must be finite and >= 0"
+  | Some _ | None -> ());
+  (match node_ceiling with
+  | Some n when n < 1 -> invalid_arg "Budget.create: node_ceiling must be >= 1"
+  | Some _ | None -> ());
+  (match collapse_ceiling with
+  | Some n when n < 1 ->
+    invalid_arg "Budget.create: collapse_ceiling must be >= 1"
+  | Some _ | None -> ());
+  let started = now () in
+  {
+    started;
+    deadline = Option.map (fun s -> started +. s) wall_seconds;
+    wall_seconds;
+    node_ceiling;
+    collapse_ceiling;
+  }
+
+type verdict =
+  | Within
+  | Node_pressure of { nodes : int; ceiling : int }
+  | Exhausted of Error.t
+
+let elapsed_seconds t = now () -. t.started
+let remaining_seconds t = Option.map (fun d -> d -. now ()) t.deadline
+let node_ceiling t = t.node_ceiling
+let collapse_ceiling t = t.collapse_ceiling
+let deadline_seconds t = t.wall_seconds
+
+let secs s = Printf.sprintf "%.3f" s
+
+let exhausted_deadline t =
+  Error.resource "wall-clock deadline exceeded"
+    ~context:
+      [
+        ("deadline_seconds", secs (Option.value t.wall_seconds ~default:0.0));
+        ("elapsed_seconds", secs (elapsed_seconds t));
+      ]
+
+let exhausted_collapses t ~collapses =
+  Error.resource "collapse-call ceiling exceeded"
+    ~context:
+      [
+        ("collapse_ceiling",
+         string_of_int (Option.value t.collapse_ceiling ~default:0));
+        ("collapse_calls", string_of_int collapses);
+      ]
+
+let exhausted_nodes t ~nodes =
+  Error.resource "node ceiling exceeded"
+    ~context:
+      [
+        ("node_ceiling", string_of_int (Option.value t.node_ceiling ~default:0));
+        ("nodes", string_of_int nodes);
+        ("elapsed_seconds", secs (elapsed_seconds t));
+      ]
+
+let check ?nodes ?collapses t =
+  match t.deadline with
+  | Some d when now () > d -> Exhausted (exhausted_deadline t)
+  | _ -> (
+    match (t.collapse_ceiling, collapses) with
+    | Some ceiling, Some calls when calls > ceiling ->
+      Exhausted (exhausted_collapses t ~collapses:calls)
+    | _ -> (
+      match (t.node_ceiling, nodes) with
+      | Some ceiling, Some n when n > ceiling ->
+        Node_pressure { nodes = n; ceiling }
+      | _ -> Within))
+
+(* Per-domain ambient slot.  DLS rather than a global: worker domains of a
+   pool each isolate their own task's budget. *)
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let ambient () = Domain.DLS.get ambient_key
+
+let with_ambient budget f =
+  let saved = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key (Some budget);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key saved) f

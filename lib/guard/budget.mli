@@ -1,0 +1,68 @@
+(** Resource budgets with cooperative checkpoints.
+
+    A budget caps three things a hostile netlist can blow up: wall-clock
+    time (monotonic, immune to NTP steps), decision-diagram nodes (BDD +
+    ADD combined, the real memory driver), and collapse invocations (each
+    one is a full-diagram rebuild, the real CPU driver beyond the node
+    count).  All three are optional; an empty budget never trips.
+
+    Enforcement is {e cooperative}: long-running loops call {!check} at
+    natural step boundaries (one gate of Fig. 6's construction, one task
+    of a pool) and act on the verdict.  Node pressure is reported
+    separately from hard exhaustion because the caller may be able to
+    {e degrade} — collapse harder, free garbage — instead of giving up;
+    deadline and collapse-ceiling hits are final.
+
+    The {e ambient} budget is a per-domain slot ({!with_ambient} /
+    {!ambient}) that lets a fault-isolation boundary (e.g.
+    {!Parallel.Pool.run_isolated} with a per-task deadline) impose a
+    budget on code it calls through opaque closures: budget-aware callees
+    ({!Powermodel.Model.build}) pick it up as their default. *)
+
+type t
+
+val create :
+  ?wall_seconds:float ->
+  ?node_ceiling:int ->
+  ?collapse_ceiling:int ->
+  unit ->
+  t
+(** The wall clock starts now.  [wall_seconds] must be finite and
+    non-negative; ceilings must be positive ([Invalid_argument]
+    otherwise). *)
+
+type verdict =
+  | Within
+  | Node_pressure of { nodes : int; ceiling : int }
+      (** over the node ceiling; the caller may degrade and re-check *)
+  | Exhausted of Error.t
+      (** deadline or collapse ceiling hit — [Resource] error, final *)
+
+val check : ?nodes:int -> ?collapses:int -> t -> verdict
+(** The cooperative checkpoint.  Checks, in order: deadline, collapse
+    ceiling, node ceiling.  Counters the caller does not pass are not
+    checked. *)
+
+val exhausted_nodes : t -> nodes:int -> Error.t
+(** The [Resource] error for a node ceiling the caller failed to degrade
+    under — used to convert a final [Node_pressure] into a failure. *)
+
+val elapsed_seconds : t -> float
+
+val remaining_seconds : t -> float option
+(** [None] when no deadline was set; can be negative once overrun. *)
+
+val node_ceiling : t -> int option
+val collapse_ceiling : t -> int option
+val deadline_seconds : t -> float option
+
+val now : unit -> float
+(** The monotonic clock, in seconds from an arbitrary origin.  Exposed so
+    other layers can report wall durations on the same clock. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install a budget as the calling domain's ambient budget for the
+    duration of the thunk (restored on exit, exceptions included). *)
+
+val ambient : unit -> t option
+(** The calling domain's ambient budget, if inside [with_ambient]. *)

@@ -1,0 +1,80 @@
+type kind = Parse | Validation | Resource | Internal
+
+type t = {
+  kind : kind;
+  what : string;
+  context : (string * string) list;
+}
+
+exception Guarded of t
+
+let make kind ?(context = []) what = { kind; what; context }
+let parse ?context what = make Parse ?context what
+let validation ?context what = make Validation ?context what
+let resource ?context what = make Resource ?context what
+let internal ?context what = make Internal ?context what
+let raise_ e = raise (Guarded e)
+let with_context pairs e = { e with context = e.context @ pairs }
+let context_value e key = List.assoc_opt key e.context
+
+let kind_name = function
+  | Parse -> "parse"
+  | Validation -> "validation"
+  | Resource -> "resource"
+  | Internal -> "internal"
+
+let to_string e =
+  let ctx =
+    match e.context with
+    | [] -> ""
+    | pairs ->
+      " ("
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs)
+      ^ ")"
+  in
+  Printf.sprintf "%s error: %s%s" (kind_name e.kind) e.what ctx
+
+let to_json e =
+  Json.Obj
+    [
+      ("kind", Json.String (kind_name e.kind));
+      ("what", Json.String e.what);
+      ( "context",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) e.context) );
+    ]
+
+let exit_code e =
+  match e.kind with
+  | Parse -> 3
+  | Validation -> 4
+  | Resource -> 5
+  | Internal -> 6
+
+(* Handlers are registered at module-initialisation time (before any worker
+   domain exists) and only read afterwards; the Atomic keeps the rare
+   concurrent registration safe anyway. *)
+let handlers : (exn -> t option) list Atomic.t = Atomic.make []
+
+let register_exn_handler h =
+  let rec loop () =
+    let old = Atomic.get handlers in
+    if not (Atomic.compare_and_set handlers old (h :: old)) then loop ()
+  in
+  loop ()
+
+let of_exn exn =
+  match exn with
+  | Guarded e -> e
+  | _ -> (
+    let custom =
+      List.find_map (fun h -> h exn) (Atomic.get handlers)
+    in
+    match custom with
+    | Some e -> e
+    | None -> (
+      match exn with
+      | Invalid_argument msg -> validation msg
+      | Failure msg -> internal msg
+      | Out_of_memory -> internal "out of memory"
+      | Stack_overflow -> internal "stack overflow"
+      | e -> internal (Printexc.to_string e)))

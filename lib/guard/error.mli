@@ -1,0 +1,78 @@
+(** The typed error hierarchy of the pipeline.
+
+    Every recoverable failure in the system is classified into one of four
+    kinds and carried as a value — not as an ad-hoc exception string — so
+    that callers can decide per kind whether to retry, degrade, skip the
+    work item, or abort, and so that reports (bench JSON, CLI exit codes)
+    stay machine-readable.
+
+    Exceptions are kept only at module-internal boundaries: a module may
+    [raise_] a {!t} to unwind its own construction loop, but its public
+    entry points catch the escape and return a [result].  {!of_exn} is the
+    single funnel that converts anything escaping a fault-isolation
+    boundary (e.g. a {!Parallel.Pool.run_isolated} task) into a {!t}. *)
+
+type kind =
+  | Parse  (** malformed input text: BLIF syntax, bad numbers, oversized files *)
+  | Validation
+      (** well-formed input violating a semantic rule: undefined signals,
+          combinational cycles, width mismatches, out-of-range parameters *)
+  | Resource
+      (** a {!Budget} was exhausted: wall-clock deadline, DD node ceiling,
+          or collapse-call ceiling *)
+  | Internal  (** a broken invariant of our own — always a bug *)
+
+type t = {
+  kind : kind;
+  what : string;  (** human-readable one-liner, no trailing newline *)
+  context : (string * string) list;
+      (** structured key/value details: ["line"], ["circuit"],
+          ["gates_done"], ["node_ceiling"], ... *)
+}
+
+exception Guarded of t
+(** The module-internal escape hatch.  Public APIs never let it out;
+    fault-isolation boundaries convert it with {!of_exn}. *)
+
+val make : kind -> ?context:(string * string) list -> string -> t
+
+val parse : ?context:(string * string) list -> string -> t
+val validation : ?context:(string * string) list -> string -> t
+val resource : ?context:(string * string) list -> string -> t
+val internal : ?context:(string * string) list -> string -> t
+
+val raise_ : t -> 'a
+(** [raise_ e] is [raise (Guarded e)]. *)
+
+val with_context : (string * string) list -> t -> t
+(** Append context pairs (outer frames add detail without losing inner). *)
+
+val context_value : t -> string -> string option
+
+val kind_name : kind -> string
+(** ["parse" | "validation" | "resource" | "internal"] — stable, used in
+    the bench JSON [status] entries. *)
+
+val to_string : t -> string
+(** ["<kind> error: <what> (k=v, k=v)"]. *)
+
+val to_json : t -> Json.t
+(** [{"kind": ..., "what": ..., "context": {...}}], deterministic member
+    order. *)
+
+val exit_code : t -> int
+(** Process exit code for the CLI: Parse 3, Validation 4, Resource 5,
+    Internal 6.  (0 is success; 1/2 and 123–125 are left to cmdliner and
+    argument handling.) *)
+
+val register_exn_handler : (exn -> t option) -> unit
+(** Teach {!of_exn} about a library-specific exception (e.g.
+    [Powermodel.Model.Build_aborted]).  Handlers run most-recent first.
+    Registration normally happens at module-initialisation time, before
+    any worker domain spawns. *)
+
+val of_exn : exn -> t
+(** Classify an arbitrary exception: [Guarded] unwraps; registered
+    handlers get the next say; [Invalid_argument] becomes [Validation];
+    [Failure], [Out_of_memory], [Stack_overflow] and everything else
+    become [Internal] carrying the exception text. *)

@@ -12,7 +12,20 @@ type ast = {
   nodes : sop_node list;
 }
 
-(* --- Lexing: strip comments, join '\' continuations, split on blanks. --- *)
+(* --- Input-size limits.
+
+   The parser is a front door for untrusted netlists, so it refuses
+   pathological inputs up front instead of degrading into minutes of
+   list-appending: a byte cap on the whole text, and a cap on the signal
+   count of one .names block (the SOP mapper instantiates gates per
+   literal, so cube width is the amplification lever). --- *)
+
+let max_input_bytes = 16 * 1024 * 1024
+let max_names_signals = 1024
+
+(* --- Lexing: strip comments, join '\' continuations, split on blanks.
+   Each logical line keeps the 1-based number of its first physical line
+   for diagnostics. --- *)
 
 let logical_lines text =
   let raw = String.split_on_char '\n' text in
@@ -21,46 +34,61 @@ let logical_lines text =
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let rec join acc pending = function
-    | [] -> List.rev (match pending with None -> acc | Some p -> p :: acc)
+  (* pending: Some (first physical line, merged text so far) *)
+  let rec join acc pending lineno = function
+    | [] ->
+      List.rev (match pending with None -> acc | Some p -> p :: acc)
     | line :: rest ->
       let line = strip_comment line in
       let line = String.trim line in
-      let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+      let continued =
+        String.length line > 0 && line.[String.length line - 1] = '\\'
+      in
       let body =
         if continued then String.sub line 0 (String.length line - 1) else line
       in
-      let merged =
-        match pending with None -> body | Some p -> p ^ " " ^ body
+      let start, merged =
+        match pending with
+        | None -> (lineno, body)
+        | Some (start, p) -> (start, p ^ " " ^ body)
       in
-      if continued then join acc (Some merged) rest
-      else if String.trim merged = "" then join acc None rest
-      else join (String.trim merged :: acc) None rest
+      if continued then join acc (Some (start, merged)) (lineno + 1) rest
+      else if String.trim merged = "" then join acc None (lineno + 1) rest
+      else join ((start, String.trim merged) :: acc) None (lineno + 1) rest
   in
-  join [] None raw
+  join [] None 1 raw
 
 let tokens line =
   String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
 
-(* --- Parsing into the AST. --- *)
+(* --- Parsing into the AST.  Every diagnostic is a typed Guard.Error
+   carrying the 1-based line number of the offending logical line. --- *)
 
 type parse_state = {
   mutable p_model : string option;
   mutable p_inputs : string list;
   mutable p_outputs : string list;
   mutable p_nodes : sop_node list; (* reversed *)
-  mutable current : (string list * string * (Mapper.cube * bool) list) option;
+  mutable current :
+    (string list * string * (Mapper.cube * bool) list * int) option;
+      (* inputs, output, reversed rows, line of the .names directive *)
 }
+
+let parse_error ~line what =
+  Guard.Error.parse ~context:[ ("line", string_of_int line) ] what
 
 let flush_current st =
   match st.current with
   | None -> Ok ()
-  | Some (ins, out, rows) ->
+  | Some (ins, out, rows, names_line) ->
     st.current <- None;
     let rows = List.rev rows in
-    let on_rows = List.for_all snd rows and off_rows = List.for_all (fun (_, v) -> not v) rows in
+    let on_rows = List.for_all snd rows
+    and off_rows = List.for_all (fun (_, v) -> not v) rows in
     if rows <> [] && (not on_rows) && not off_rows then
-      Error (Printf.sprintf "node %s mixes on-set and off-set rows" out)
+      Error
+        (parse_error ~line:names_line
+           (Printf.sprintf "node %s mixes on-set and off-set rows" out))
     else begin
       let cubes = List.map fst rows in
       let on_set = rows = [] || on_rows in
@@ -75,17 +103,19 @@ let parse_ast text =
   let st =
     { p_model = None; p_inputs = []; p_outputs = []; p_nodes = []; current = None }
   in
+  let finish () =
+    let* () = flush_current st in
+    Ok
+      {
+        model = Option.value st.p_model ~default:"unnamed";
+        ast_inputs = st.p_inputs;
+        ast_outputs = st.p_outputs;
+        nodes = List.rev st.p_nodes;
+      }
+  in
   let rec loop = function
-    | [] ->
-      let* () = flush_current st in
-      Ok
-        {
-          model = Option.value st.p_model ~default:"unnamed";
-          ast_inputs = st.p_inputs;
-          ast_outputs = st.p_outputs;
-          nodes = List.rev st.p_nodes;
-        }
-    | line :: rest -> (
+    | [] -> finish ()
+    | (line_no, line) :: rest -> (
       match tokens line with
       | [] -> loop rest
       | ".model" :: name ->
@@ -100,7 +130,12 @@ let parse_ast text =
         let* () = flush_current st in
         st.p_outputs <- st.p_outputs @ names;
         loop rest
-      | [ ".names" ] -> Error ".names with no signals"
+      | [ ".names" ] -> Error (parse_error ~line:line_no ".names with no signals")
+      | ".names" :: signals when List.length signals > max_names_signals ->
+        Error
+          (parse_error ~line:line_no
+             (Printf.sprintf ".names with %d signals exceeds the limit of %d"
+                (List.length signals) max_names_signals))
       | ".names" :: signals ->
         let* () = flush_current st in
         let rec split_last acc = function
@@ -109,23 +144,20 @@ let parse_ast text =
           | x :: rest -> split_last (x :: acc) rest
         in
         let ins, out = split_last [] signals in
-        st.current <- Some (ins, out, []);
+        st.current <- Some (ins, out, [], line_no);
         loop rest
-      | [ ".end" ] ->
-        let* () = flush_current st in
-        Ok
-          {
-            model = Option.value st.p_model ~default:"unnamed";
-            ast_inputs = st.p_inputs;
-            ast_outputs = st.p_outputs;
-            nodes = List.rev st.p_nodes;
-          }
+      | [ ".end" ] -> finish ()
       | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
-        Error (Printf.sprintf "unsupported BLIF construct: %s" directive)
+        Error
+          (parse_error ~line:line_no
+             (Printf.sprintf "unsupported BLIF construct: %s" directive))
       | row -> (
         match st.current with
-        | None -> Error (Printf.sprintf "cube row outside .names: %s" line)
-        | Some (ins, out, rows) -> (
+        | None ->
+          Error
+            (parse_error ~line:line_no
+               (Printf.sprintf "cube row outside .names: %s" line))
+        | Some (ins, out, rows, names_line) -> (
           let width = List.length ins in
           let pattern, value =
             match row with
@@ -135,40 +167,65 @@ let parse_ast text =
           in
           let value_ok = value = "0" || value = "1" in
           if (not value_ok) || String.length pattern <> width then
-            Error (Printf.sprintf "malformed cube row in node %s: %s" out line)
+            Error
+              (parse_error ~line:line_no
+                 (Printf.sprintf "malformed cube row in node %s: %s" out line))
           else
             match Mapper.cube_of_string pattern with
-            | None -> Error (Printf.sprintf "bad cube %s in node %s" pattern out)
+            | None ->
+              Error
+                (parse_error ~line:line_no
+                   (Printf.sprintf "bad cube %s in node %s" pattern out))
             | Some cube ->
-              st.current <- Some (ins, out, (cube, value = "1") :: rows);
+              st.current <- Some (ins, out, (cube, value = "1") :: rows, names_line);
               loop rest)))
   in
   loop (logical_lines text)
 
-(* --- Elaboration: dependency-ordered instantiation via Builder. --- *)
+(* --- Elaboration: dependency-ordered instantiation via Builder.  Errors
+   here are Validation-kind: the text was well-formed BLIF, but the
+   netlist it describes is not a combinational circuit we can map. --- *)
 
 let elaborate ast =
   let b = Builder.create ~name:ast.model in
   let nets : (string, Circuit.net) Hashtbl.t = Hashtbl.create 64 in
   let defs : (string, sop_node) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace defs n.node_output n) ast.nodes;
-  List.iter
-    (fun name ->
-      if Hashtbl.mem nets name then
-        invalid_arg (Printf.sprintf "duplicate input %s" name)
-      else Hashtbl.replace nets name (Builder.input b name))
-    ast.ast_inputs;
+  let validation ?signal what =
+    let context =
+      ("model", ast.model)
+      :: (match signal with None -> [] | Some s -> [ ("signal", s) ])
+    in
+    Guard.Error.validation ~context what
+  in
+  let exception Elab_error of Guard.Error.t in
+  let register_inputs () =
+    List.iter
+      (fun name ->
+        if Hashtbl.mem nets name then
+          raise
+            (Elab_error
+               (validation ~signal:name
+                  (Printf.sprintf "duplicate input %s" name)))
+        else Hashtbl.replace nets name (Builder.input b name))
+      ast.ast_inputs
+  in
   let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let exception Elab_error of string in
   let rec net_of name =
     match Hashtbl.find_opt nets name with
     | Some n -> n
     | None ->
       if Hashtbl.mem in_progress name then
-        raise (Elab_error (Printf.sprintf "combinational cycle through %s" name));
+        raise
+          (Elab_error
+             (validation ~signal:name
+                (Printf.sprintf "combinational cycle through %s" name)));
       (match Hashtbl.find_opt defs name with
       | None ->
-        raise (Elab_error (Printf.sprintf "undefined signal %s" name))
+        raise
+          (Elab_error
+             (validation ~signal:name
+                (Printf.sprintf "undefined signal %s" name)))
       | Some node ->
         Hashtbl.replace in_progress name ();
         let ins = Array.of_list (List.map net_of node.node_inputs) in
@@ -179,25 +236,48 @@ let elaborate ast =
         out)
   in
   try
+    register_inputs ();
     List.iter
       (fun name -> Builder.output b name (net_of name))
       ast.ast_outputs;
     Ok (Builder.finish b)
   with
-  | Elab_error msg -> Error msg
-  | Invalid_argument msg -> Error msg
+  | Elab_error err -> Error err
+  | Invalid_argument msg -> Error (validation msg)
 
 let parse text =
-  match parse_ast text with
-  | Error _ as e -> e
-  | Ok ast -> elaborate ast
+  if String.length text > max_input_bytes then
+    Error
+      (Guard.Error.parse
+         ~context:
+           [
+             ("bytes", string_of_int (String.length text));
+             ("max_bytes", string_of_int max_input_bytes);
+           ]
+         "BLIF input exceeds the size limit")
+  else
+    match parse_ast text with
+    | Error _ as e -> e
+    | Ok ast -> elaborate ast
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse text
+  match
+    In_channel.with_open_bin path (fun ic ->
+        let len = In_channel.length ic in
+        if len > Int64.of_int max_input_bytes then None
+        else Some (really_input_string ic (Int64.to_int len)))
+  with
+  | exception Sys_error msg ->
+    Error (Guard.Error.parse ~context:[ ("file", path) ] msg)
+  | None ->
+    Error
+      (Guard.Error.parse
+         ~context:[ ("file", path); ("max_bytes", string_of_int max_input_bytes) ]
+         "BLIF file exceeds the size limit")
+  | Some text -> (
+    match parse text with
+    | Error e -> Error (Guard.Error.with_context [ ("file", path) ] e)
+    | Ok _ as ok -> ok)
 
 (* --- Writer. --- *)
 

@@ -9,11 +9,26 @@
     Parsed nodes are technology-mapped onto the {!Cell} library with
     {!Mapper}, so a parsed circuit is immediately usable as a golden model. *)
 
-val parse : string -> (Circuit.t, string) result
-(** Parse and elaborate BLIF text.  Node order in the file is free; cyclic
-    or undefined signals are reported as [Error]. *)
+val max_input_bytes : int
+(** Hard cap on accepted BLIF text size (16 MiB): larger inputs are
+    rejected up front with a [Parse]-kind error. *)
 
-val parse_file : string -> (Circuit.t, string) result
+val max_names_signals : int
+(** Hard cap on the signal count of one [.names] block (1024). *)
+
+val parse : string -> (Circuit.t, Guard.Error.t) result
+(** Parse and elaborate BLIF text.  Node order in the file is free.
+    Failures are classified: syntax problems are [Parse]-kind errors
+    carrying a [line] context entry (1-based, the first physical line of
+    the offending logical line); structural problems — duplicate inputs,
+    combinational cycles, undefined signals — are [Validation]-kind with
+    [model]/[signal] context.  Oversized inputs (see {!max_input_bytes},
+    {!max_names_signals}) are rejected before any work is done. *)
+
+val parse_file : string -> (Circuit.t, Guard.Error.t) result
+(** {!parse} on a file's contents; every error gains a [file] context
+    entry, and I/O failures ([Sys_error]) are mapped to [Parse]-kind
+    errors instead of escaping as exceptions. *)
 
 val to_string : Circuit.t -> string
 (** Emit a circuit as BLIF, one [.names] block per gate.  [parse] of the

@@ -4,12 +4,24 @@ let worker_flag = Domain.DLS.new_key (fun () -> false)
 
 let in_worker () = Domain.DLS.get worker_flag
 
+(* A malformed CFPM_JOBS used to fall back silently; warn once per process
+   so a typo ("4x", "0") cannot masquerade as a deliberate setting. *)
+let warned_bad_jobs = Atomic.make false
+
 let default_jobs () =
   match Sys.getenv_opt "CFPM_JOBS" with
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | Some _ | None -> Domain.recommended_domain_count ())
+    | Some _ | None ->
+      let fallback = Domain.recommended_domain_count () in
+      if not (Atomic.exchange warned_bad_jobs true) then
+        Printf.eprintf
+          "cfpm: ignoring invalid CFPM_JOBS=%S (expected a positive \
+           integer); using %d worker domains\n\
+           %!"
+          s fallback;
+      fallback)
   | None -> Domain.recommended_domain_count ()
 
 type 'a outcome =
@@ -93,3 +105,27 @@ let run ?jobs tasks =
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
 
 let mapi ?jobs f xs = run ?jobs (List.mapi (fun i x () -> f i x) xs)
+
+(* Fault isolation: every task's outcome is captured in its own slot, so a
+   crashed or budget-exhausted task costs exactly one Error entry and the
+   neighbours' results survive.  The per-task deadline is imposed through
+   the domain's ambient budget: budget-aware callees (Model.build)
+   checkpoint against it, so a hostile circuit times out cooperatively
+   instead of wedging the worker forever. *)
+let isolate ?deadline f () =
+  let guarded () =
+    try Ok (f ()) with e -> Error (Guard.Error.of_exn e)
+  in
+  match deadline with
+  | None -> guarded ()
+  | Some seconds ->
+    (* created here, on the worker, so the clock measures task runtime and
+       not time spent queued behind other tasks *)
+    let budget = Guard.Budget.create ~wall_seconds:seconds () in
+    Guard.Budget.with_ambient budget guarded
+
+let run_isolated ?jobs ?deadline tasks =
+  run ?jobs (List.map (fun f -> isolate ?deadline f) tasks)
+
+let map_isolated ?jobs ?deadline f xs =
+  run_isolated ?jobs ?deadline (List.map (fun x () -> f x) xs)

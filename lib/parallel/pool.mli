@@ -24,7 +24,9 @@
 
 val default_jobs : unit -> int
 (** [CFPM_JOBS] if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+    [Domain.recommended_domain_count ()].  A malformed value (["4x"],
+    ["0"]) falls back to the domain count with a one-time warning on
+    stderr. *)
 
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** Execute every thunk and return the results in submission order.
@@ -36,3 +38,31 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [run ~jobs (List.map (fun x () -> f x) xs)]. *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** {1 Fault isolation}
+
+    [run] re-raises the earliest task failure and discards every other
+    result — the right default for all-or-nothing computations, and the
+    wrong one for a long evaluation run where one hostile circuit should
+    cost one table row, not the whole run.  The [_isolated] variants give
+    every task its own [result] slot instead. *)
+
+val run_isolated :
+  ?jobs:int ->
+  ?deadline:float ->
+  (unit -> 'a) list ->
+  ('a, Guard.Error.t) result list
+(** Execute every thunk; a task that raises yields [Error] (classified by
+    {!Guard.Error.of_exn}) in its own submission-order slot and the other
+    tasks run to completion.  [deadline] (seconds, per task) installs an
+    ambient {!Guard.Budget} around each task — measured from task start,
+    not submission — which budget-aware callees such as
+    [Powermodel.Model.build] enforce cooperatively; a task that exhausts
+    it surfaces as [Error] with kind [Resource]. *)
+
+val map_isolated :
+  ?jobs:int ->
+  ?deadline:float ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, Guard.Error.t) result list

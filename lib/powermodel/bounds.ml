@@ -5,8 +5,8 @@
    (conservative) constant worst-case estimator — the "Con" bound column of
    Table 1 uses exactly this value. *)
 
-let build ?weighting ?max_size ?output_load circuit =
-  Model.build ~strategy:Dd.Approx.Upper_bound ?weighting ?max_size
+let build ?budget ?weighting ?max_size ?output_load circuit =
+  Model.build ?budget ~strategy:Dd.Approx.Upper_bound ?weighting ?max_size
     ?output_load circuit
 
 let constant_bound model =

@@ -6,9 +6,11 @@
     max-strategy model over-approximates every transition by construction. *)
 
 val build :
+  ?budget:Guard.Budget.t ->
   ?weighting:Dd.Approx.weighting ->
   ?max_size:int -> ?output_load:float -> Netlist.Circuit.t -> Model.t
-(** [Model.build] with the {!Dd.Approx.Upper_bound} strategy. *)
+(** [Model.build] with the {!Dd.Approx.Upper_bound} strategy (budget
+    semantics included — see {!Model.build}). *)
 
 val constant_bound : Model.t -> float
 (** The model's largest terminal — a conservative constant worst-case

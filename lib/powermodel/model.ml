@@ -1,11 +1,14 @@
 type build_stats = {
   gates : int;
+  gates_done : int;
   skipped : int;
   approx_calls : int;
   peak_size : int;
   final_size : int;
   bdd_nodes : int;
   cpu_seconds : float;
+  wall_seconds : float;
+  degrade_steps : int;
 }
 
 type t = {
@@ -29,19 +32,49 @@ let bdd_logic mgr =
     lxor_ = Dd.Bdd.bxor mgr;
   }
 
+exception Build_aborted of Guard.Error.t * build_stats
+
+(* Teach the generic fault-isolation funnel (Pool.run_isolated) about our
+   abort exception, so a budget-exhausted build surfaces as its structured
+   Resource error rather than an Internal catch-all. *)
+let () =
+  Guard.Error.register_exn_handler (function
+    | Build_aborted (e, _) -> Some e
+    | _ -> None)
+
+(* How far the degradation ladder may tighten the effective MAX before
+   node pressure becomes a hard failure: below this many nodes the model
+   is a near-constant and halving again cannot meaningfully shrink the
+   manager. *)
+let degrade_floor = 8
+
 (* The iterative construction of Fig. 6: for each gate j,
      deltaC(x_i, x_f) = NOT g_j(x_i) AND g_j(x_f), weighted by C_j,
    accumulated into C with the size bound MAX enforced by node collapsing
    after each step.  Both the partial contribution and the accumulator are
    approximated with the same strategy, which stays globally sound because
-   avg(a) + avg(b) = avg(a + b) and max(a) + max(b) >= max(a + b). *)
-let build ?(strategy = Dd.Approx.Average)
+   avg(a) + avg(b) = avg(a + b) and max(a) + max(b) >= max(a + b).
+
+   Resource governance: when a [budget] is given (explicitly or ambiently,
+   e.g. by [Pool.run_isolated ~deadline]), the gate loop checkpoints it
+   once per gate.  Deadline or collapse-ceiling hits abort immediately;
+   node pressure first triggers graceful degradation — sweep the dead
+   nodes, then progressively halve the effective MAX (escalating collapse)
+   down to [degrade_floor] — and only aborts when even the maximally
+   collapsed model cannot fit the ceiling.  Aborts raise {!Build_aborted}
+   carrying the partial [build_stats], so callers can report how far the
+   construction got. *)
+let build ?budget ?(strategy = Dd.Approx.Average)
     ?(weighting = Dd.Approx.default_weighting) ?max_size ?output_load ?loads
     circuit =
   (match max_size with
   | Some m when m < 1 -> invalid_arg "Model.build: max_size must be >= 1"
   | Some _ | None -> ());
+  let budget =
+    match budget with Some _ -> budget | None -> Guard.Budget.ambient ()
+  in
   let t0 = Sys.time () in
+  let w0 = Guard.Budget.now () in
   let n = Netlist.Circuit.input_count circuit in
   let bdd_mgr = Dd.Bdd.manager () in
   let add_mgr = Dd.Add.manager () in
@@ -69,6 +102,37 @@ let build ?(strategy = Dd.Approx.Average)
   let approx_calls = ref 0 in
   let peak = ref 1 in
   let skipped = ref 0 in
+  let gates_done = ref 0 in
+  let degrade_steps = ref 0 in
+  (* the budget ladder may tighten this below the requested max_size *)
+  let effective_max = ref max_size in
+  let mk_stats () =
+    {
+      gates = Netlist.Circuit.gate_count circuit;
+      gates_done = !gates_done;
+      skipped = !skipped;
+      approx_calls = !approx_calls;
+      peak_size = !peak;
+      final_size = Dd.Add.size_in add_mgr !cap;
+      bdd_nodes = Dd.Bdd.node_count bdd_mgr;
+      cpu_seconds = Sys.time () -. t0;
+      wall_seconds = Guard.Budget.now () -. w0;
+      degrade_steps = !degrade_steps;
+    }
+  in
+  let abort err =
+    let err =
+      Guard.Error.with_context
+        [
+          ("circuit", circuit.Netlist.Circuit.name);
+          ("gates_done", string_of_int !gates_done);
+          ("gates", string_of_int (Netlist.Circuit.gate_count circuit));
+          ("degrade_steps", string_of_int !degrade_steps);
+        ]
+        err
+    in
+    raise (Build_aborted (err, mk_stats ()))
+  in
   (* The unique table retains every intermediate node, so a long
      construction would otherwise hold (and probe against) millions of
      dead nodes: when the table outgrows a budget, the accumulator is
@@ -76,15 +140,16 @@ let build ?(strategy = Dd.Approx.Average)
      Surviving nodes are not copied, the Perf counter window keeps
      running, and the unique table shrinks back to the live set. *)
   let m_delta_bound () =
-    match max_size with None -> max_int | Some m -> m / 8
+    match !effective_max with None -> max_int | Some m -> m / 8
+  in
+  let sweep_keep_cap () =
+    Dd.Add.protect add_mgr !cap;
+    Dd.Add.sweep add_mgr;
+    Dd.Add.unprotect add_mgr !cap
   in
   let purge_budget = 1_000_000 in
   let purge () =
-    if Dd.Add.unique_size add_mgr > purge_budget then begin
-      Dd.Add.protect add_mgr !cap;
-      Dd.Add.sweep add_mgr;
-      Dd.Add.unprotect add_mgr !cap
-    end
+    if Dd.Add.unique_size add_mgr > purge_budget then sweep_keep_cap ()
   in
   (* Intermediate results may exceed MAX by up to a third before a
      collapse brings them back to MAX — Fig. 6 semantics with hysteresis,
@@ -94,7 +159,7 @@ let build ?(strategy = Dd.Approx.Average)
      most trigger + 1 nodes on the manager's visit stamps — instead of a
      full hash-table traversal of the accumulator per gate. *)
   let clamp ?(slack = true) ?bound add =
-    match max_size with
+    match !effective_max with
     | None -> add
     | Some m ->
       let m = match bound with None -> m | Some b -> min m b in
@@ -109,8 +174,58 @@ let build ?(strategy = Dd.Approx.Average)
         incr approx_calls;
         Dd.Approx.compress ~weighting add_mgr ~strategy ~max_size:m add)
   in
+  (* The cooperative checkpoint, called once per gate.  Node accounting
+     covers both managers: the BDD side is a fixed cost once the node
+     functions exist, so only the ADD side can be recovered — if the BDD
+     alone busts the ceiling, the ladder bottoms out and aborts. *)
+  let total_nodes () =
+    Dd.Add.unique_size add_mgr + Dd.Bdd.unique_size bdd_mgr
+  in
+  let degrade b =
+    (* step 0 of the ladder is free: sweeping drops dead intermediates
+       without touching accuracy, and often clears the pressure alone *)
+    sweep_keep_cap ();
+    let rec ladder () =
+      match Guard.Budget.check b ~nodes:(total_nodes ()) with
+      | Guard.Budget.Within -> ()
+      | Guard.Budget.Exhausted err -> abort err (* deadline during ladder *)
+      | Guard.Budget.Node_pressure { nodes; _ } ->
+        let current =
+          match !effective_max with
+          | Some m -> m
+          | None -> Dd.Add.size_in add_mgr !cap
+        in
+        if current <= degrade_floor then
+          abort (Guard.Budget.exhausted_nodes b ~nodes)
+        else begin
+          let next = max degrade_floor (current / 2) in
+          effective_max := Some next;
+          incr degrade_steps;
+          incr approx_calls;
+          cap :=
+            Dd.Approx.compress ~weighting add_mgr ~strategy ~max_size:next
+              !cap;
+          sweep_keep_cap ();
+          ladder ()
+        end
+    in
+    ladder ()
+  in
+  let checkpoint () =
+    match budget with
+    | None -> ()
+    | Some b -> (
+      match
+        Guard.Budget.check b ~nodes:(total_nodes ())
+          ~collapses:!approx_calls
+      with
+      | Guard.Budget.Within -> ()
+      | Guard.Budget.Exhausted err -> abort err
+      | Guard.Budget.Node_pressure _ -> degrade b)
+  in
   Array.iter
     (fun (g : Netlist.Circuit.gate) ->
+      checkpoint ();
       let load = loads.(g.out) in
       if load = 0.0 then incr skipped
       else begin
@@ -129,22 +244,15 @@ let build ?(strategy = Dd.Approx.Average)
         let delta = clamp ~bound:(max 64 (m_delta_bound ())) delta in
         cap := clamp (Dd.Add.add add_mgr !cap delta);
         purge ()
-      end)
+      end;
+      incr gates_done)
     circuit.Netlist.Circuit.gates;
+  (* the last gate may have pushed past a ceiling *)
+  checkpoint ();
   cap := clamp ~slack:false !cap;
   let final_size = Dd.Add.size_in add_mgr !cap in
   if final_size > !peak then peak := final_size;
-  let stats =
-    {
-      gates = Netlist.Circuit.gate_count circuit;
-      skipped = !skipped;
-      approx_calls = !approx_calls;
-      peak_size = !peak;
-      final_size;
-      bdd_nodes = Dd.Bdd.node_count bdd_mgr;
-      cpu_seconds = Sys.time () -. t0;
-    }
-  in
+  let stats = mk_stats () in
   {
     circuit_name = circuit.Netlist.Circuit.name;
     inputs = n;
@@ -155,6 +263,25 @@ let build ?(strategy = Dd.Approx.Average)
     cap = !cap;
     stats;
   }
+
+type build_failure = { error : Guard.Error.t; partial : build_stats option }
+
+(* The Result-returning entry point: every exception the construction can
+   produce — budget exhaustion, argument validation, broken internal
+   invariants — comes back as a classified Guard.Error, with the partial
+   build statistics attached when the gate loop got far enough to have
+   any. *)
+let build_checked ?budget ?strategy ?weighting ?max_size ?output_load ?loads
+    circuit =
+  match build ?budget ?strategy ?weighting ?max_size ?output_load ?loads
+          circuit
+  with
+  | model -> Ok model
+  | exception Build_aborted (error, stats) ->
+    Error { error; partial = Some stats }
+  | exception ((Invalid_argument _ | Failure _ | Guard.Error.Guarded _) as e)
+    ->
+    Error { error = Guard.Error.of_exn e; partial = None }
 
 let is_exact t = t.stats.approx_calls = 0
 

@@ -17,13 +17,20 @@
     simulation pattern by pattern, for any input statistics. *)
 
 type build_stats = {
-  gates : int;          (** gates visited *)
+  gates : int;          (** gates in the circuit *)
+  gates_done : int;     (** gates fully accumulated — < [gates] iff aborted *)
   skipped : int;        (** zero-load gates contributing nothing *)
   approx_calls : int;   (** node-collapsing invocations (Fig. 6 [add_approx]) *)
   peak_size : int;      (** largest intermediate ADD observed *)
   final_size : int;
   bdd_nodes : int;      (** BDD nodes allocated for the node functions *)
   cpu_seconds : float;
+      (** [Sys.time]-based, i.e. process-wide CPU: misleading under
+          parallel domains — prefer [wall_seconds] for reporting *)
+  wall_seconds : float; (** monotonic wall clock of this build *)
+  degrade_steps : int;
+      (** times the budget ladder halved the effective MAX under node
+          pressure (0 when unbudgeted or within budget) *)
 }
 
 type t = {
@@ -38,7 +45,16 @@ type t = {
   stats : build_stats;
 }
 
+exception Build_aborted of Guard.Error.t * build_stats
+(** Raised by {!build} on budget exhaustion: a [Resource]-kind error plus
+    the statistics of the partial construction (how many gates were
+    accumulated, peak sizes, elapsed time).  {!Guard.Error.of_exn} knows
+    this exception, so fault-isolation boundaries recover the structured
+    error automatically; use {!build_checked} to avoid the exception
+    entirely. *)
+
 val build :
+  ?budget:Guard.Budget.t ->
   ?strategy:Dd.Approx.strategy ->
   ?weighting:Dd.Approx.weighting ->
   ?max_size:int ->
@@ -51,7 +67,35 @@ val build :
     to the statistics-robust default ({!Dd.Approx.default_weighting});
     [output_load] is forwarded to {!Netlist.Circuit.loads}, or [loads]
     (per-net, full length) replaces the derived back-annotation
-    entirely. *)
+    entirely.
+
+    [budget] (default: the ambient {!Guard.Budget}, if any) is enforced
+    cooperatively, one checkpoint per gate.  Under node pressure the
+    construction {e degrades} before it fails: dead nodes are swept, then
+    the effective [max_size] is halved (escalating collapse) step by step
+    down to a small floor.  Only when the maximally collapsed model still
+    cannot fit the ceiling — or on a deadline / collapse-ceiling hit,
+    which admit no degradation — does it raise {!Build_aborted}. *)
+
+type build_failure = {
+  error : Guard.Error.t;
+  partial : build_stats option;
+      (** statistics of the partial construction, when the gate loop
+          started (budget aborts); [None] for argument validation *)
+}
+
+val build_checked :
+  ?budget:Guard.Budget.t ->
+  ?strategy:Dd.Approx.strategy ->
+  ?weighting:Dd.Approx.weighting ->
+  ?max_size:int ->
+  ?output_load:float ->
+  ?loads:float array ->
+  Netlist.Circuit.t ->
+  (t, build_failure) result
+(** {!build} with every failure mode — budget exhaustion, argument
+    validation, internal invariants — returned as a classified
+    {!Guard.Error} instead of an exception. *)
 
 val is_exact : t -> bool
 (** True when no approximation was ever applied. *)

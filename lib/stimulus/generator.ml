@@ -12,30 +12,69 @@
 
 let feasible_st ~sp st = Float.min st (2.0 *. Float.min sp (1.0 -. sp))
 
+(* Statistics validation, shared by the raising and the checked entry
+   points.  Validation-kind Guard errors carry the offending values. *)
+let check_stats ~sp ~st =
+  let bad what =
+    Error
+      (Guard.Error.validation
+         ~context:[ ("sp", string_of_float sp); ("st", string_of_float st) ]
+         what)
+  in
+  if not (Float.is_finite sp && sp > 0.0 && sp < 1.0) then
+    bad "sp must be strictly between 0 and 1"
+  else if not (Float.is_finite st && st >= 0.0 && st <= 1.0) then
+    bad "st must be in [0, 1]"
+  else Ok ()
+
+let check_shape ~bits ~length =
+  let bad what =
+    Error
+      (Guard.Error.validation
+         ~context:
+           [ ("bits", string_of_int bits); ("length", string_of_int length) ]
+         what)
+  in
+  if length < 1 then bad "length must be >= 1"
+  else if bits < 1 then bad "bits must be >= 1"
+  else Ok ()
+
+let rates_checked ~sp ~st =
+  match check_stats ~sp ~st with
+  | Error _ as e -> e
+  | Ok () ->
+    let st = feasible_st ~sp st in
+    let p01 = st /. (2.0 *. (1.0 -. sp)) in
+    let p10 = st /. (2.0 *. sp) in
+    Ok (Float.min 1.0 p01, Float.min 1.0 p10)
+
 let rates ~sp ~st =
-  if sp <= 0.0 || sp >= 1.0 then
-    invalid_arg "Generator.rates: sp must be strictly between 0 and 1";
-  if st < 0.0 || st > 1.0 then
-    invalid_arg "Generator.rates: st must be in [0, 1]";
-  let st = feasible_st ~sp st in
-  let p01 = st /. (2.0 *. (1.0 -. sp)) in
-  let p10 = st /. (2.0 *. sp) in
-  (Float.min 1.0 p01, Float.min 1.0 p10)
+  match rates_checked ~sp ~st with
+  | Ok r -> r
+  | Error err -> invalid_arg ("Generator.rates: " ^ err.Guard.Error.what)
+
+let sequence_checked prng ~bits ~length ~sp ~st =
+  match check_shape ~bits ~length with
+  | Error _ as e -> e
+  | Ok () -> (
+    match rates_checked ~sp ~st with
+    | Error _ as e -> e
+    | Ok (p01, p10) ->
+      let first = Array.init bits (fun _ -> Prng.bool prng ~p:sp) in
+      let vectors = Array.make length first in
+      for k = 1 to length - 1 do
+        let prev = vectors.(k - 1) in
+        vectors.(k) <-
+          Array.init bits (fun i ->
+              if prev.(i) then not (Prng.bool prng ~p:p10)
+              else Prng.bool prng ~p:p01)
+      done;
+      Ok vectors)
 
 let sequence prng ~bits ~length ~sp ~st =
-  if length < 1 then invalid_arg "Generator.sequence: length must be >= 1";
-  if bits < 1 then invalid_arg "Generator.sequence: bits must be >= 1";
-  let p01, p10 = rates ~sp ~st in
-  let first = Array.init bits (fun _ -> Prng.bool prng ~p:sp) in
-  let vectors = Array.make length first in
-  for k = 1 to length - 1 do
-    let prev = vectors.(k - 1) in
-    vectors.(k) <-
-      Array.init bits (fun i ->
-          if prev.(i) then not (Prng.bool prng ~p:p10)
-          else Prng.bool prng ~p:p01)
-  done;
-  vectors
+  match sequence_checked prng ~bits ~length ~sp ~st with
+  | Ok vectors -> vectors
+  | Error err -> invalid_arg ("Generator.sequence: " ^ err.Guard.Error.what)
 
 let uniform_pair prng ~bits =
   let v () = Array.init bits (fun _ -> Prng.bool prng ~p:0.5) in

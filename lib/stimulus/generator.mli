@@ -14,10 +14,23 @@ val rates : sp:float -> st:float -> float * float
 (** [(p01, p10)] Markov transition rates realizing (sp, st); raises
     [Invalid_argument] for [sp] outside (0, 1) or [st] outside [0, 1]. *)
 
+val rates_checked :
+  sp:float -> st:float -> (float * float, Guard.Error.t) result
+(** {!rates} with bad statistics reported as a [Validation]-kind
+    {!Guard.Error} (carrying the offending [sp]/[st]) instead of an
+    exception. *)
+
 val sequence :
   Prng.t -> bits:int -> length:int -> sp:float -> st:float ->
   bool array array
 (** A stationary random stream of [length] vectors of [bits] bits. *)
+
+val sequence_checked :
+  Prng.t -> bits:int -> length:int -> sp:float -> st:float ->
+  (bool array array, Guard.Error.t) result
+(** {!sequence} with every invalid request — non-positive shape, [sp]
+    outside (0, 1), [st] outside [0, 1], NaNs — returned as a
+    [Validation]-kind {!Guard.Error}. *)
 
 val uniform_pair : Prng.t -> bits:int -> bool array * bool array
 (** Two independent uniform vectors (one transition), for spot checks. *)

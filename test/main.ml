@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "cfpm"
     [
+      ("guard", Test_guard.suite);
       ("bdd", Test_bdd.suite);
       ("add", Test_add.suite);
       ("perf", Test_perf.suite);
@@ -11,6 +12,7 @@ let () =
       ("cell", Test_cell.suite);
       ("circuit", Test_circuit.suite);
       ("blif", Test_blif.suite);
+      ("netlist-errors", Test_netlist_errors.suite);
       ("sim", Test_sim.suite);
       ("stimulus", Test_stimulus.suite);
       ("linalg", Test_linalg.suite);

@@ -3,7 +3,8 @@
 let parse_ok text =
   match Netlist.Blif.parse text with
   | Ok c -> c
-  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+  | Error err ->
+    Alcotest.failf "unexpected parse error: %s" (Guard.Error.to_string err)
 
 let simple_and () =
   let c = parse_ok ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n" in
@@ -74,7 +75,8 @@ let suite_errors () =
   let expect_error text fragment =
     match Netlist.Blif.parse text with
     | Ok _ -> Alcotest.failf "expected failure (%s)" fragment
-    | Error msg ->
+    | Error err ->
+      let msg = Guard.Error.to_string err in
       Alcotest.(check bool)
         (Printf.sprintf "error mentions %s (got %S)" fragment msg)
         true (contains msg fragment)
@@ -101,7 +103,8 @@ let roundtrip_suite () =
       let c = entry.Circuits.Suite.build () in
       let text = Netlist.Blif.to_string c in
       match Netlist.Blif.parse text with
-      | Error msg -> Alcotest.failf "%s roundtrip: %s" name msg
+      | Error err ->
+        Alcotest.failf "%s roundtrip: %s" name (Guard.Error.to_string err)
       | Ok c' ->
         let n = Netlist.Circuit.input_count c in
         Alcotest.(check int)
@@ -170,8 +173,9 @@ let every_cell_roundtrips () =
         Netlist.Builder.output b "y" (Netlist.Builder.gate b kind ins);
         let c = Netlist.Builder.finish b in
         match Netlist.Blif.parse (Netlist.Blif.to_string c) with
-        | Error msg ->
-          Alcotest.failf "%s: %s" (Netlist.Cell.name kind) msg
+        | Error err ->
+          Alcotest.failf "%s: %s" (Netlist.Cell.name kind)
+            (Guard.Error.to_string err)
         | Ok c' ->
           List.iter
             (fun env ->

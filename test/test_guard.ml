@@ -1,0 +1,169 @@
+(* The guard subsystem: error taxonomy, classification funnel, budgets. *)
+
+let kind_t =
+  Alcotest.testable
+    (fun fmt k -> Format.pp_print_string fmt (Guard.Error.kind_name k))
+    ( = )
+
+let taxonomy () =
+  let e =
+    Guard.Error.parse ~context:[ ("line", "7") ] "unsupported BLIF construct"
+  in
+  Alcotest.check kind_t "kind" Guard.Error.Parse e.Guard.Error.kind;
+  Alcotest.(check string)
+    "rendering" "parse error: unsupported BLIF construct (line=7)"
+    (Guard.Error.to_string e);
+  Alcotest.(check (option string))
+    "context lookup" (Some "7")
+    (Guard.Error.context_value e "line");
+  Alcotest.(check (option string))
+    "missing key" None
+    (Guard.Error.context_value e "circuit");
+  List.iter
+    (fun (k, name, code) ->
+      Alcotest.(check string) "kind name" name (Guard.Error.kind_name k);
+      Alcotest.(check int)
+        "exit code" code
+        (Guard.Error.exit_code (Guard.Error.make k "x")))
+    [
+      (Guard.Error.Parse, "parse", 3);
+      (Guard.Error.Validation, "validation", 4);
+      (Guard.Error.Resource, "resource", 5);
+      (Guard.Error.Internal, "internal", 6);
+    ]
+
+let context_accumulates () =
+  let e = Guard.Error.resource ~context:[ ("nodes", "900" ) ] "node ceiling" in
+  let e = Guard.Error.with_context [ ("circuit", "cm85") ] e in
+  Alcotest.(check (option string))
+    "inner kept" (Some "900")
+    (Guard.Error.context_value e "nodes");
+  Alcotest.(check (option string))
+    "outer added" (Some "cm85")
+    (Guard.Error.context_value e "circuit");
+  Alcotest.(check string)
+    "order inner-first" "resource error: node ceiling (nodes=900, circuit=cm85)"
+    (Guard.Error.to_string e)
+
+let to_json_shape () =
+  let e = Guard.Error.validation ~context:[ ("signal", "y") ] "undefined" in
+  match Guard.Error.to_json e with
+  | Json.Obj
+      [
+        ("kind", Json.String "validation");
+        ("what", Json.String "undefined");
+        ("context", Json.Obj [ ("signal", Json.String "y") ]);
+      ] -> ()
+  | j -> Alcotest.failf "unexpected json shape: %s" (Json.to_string j)
+
+exception Local_failure of int
+
+let of_exn_classifies () =
+  let kind e = (Guard.Error.of_exn e).Guard.Error.kind in
+  Alcotest.check kind_t "guarded unwraps" Guard.Error.Parse
+    (kind (Guard.Error.Guarded (Guard.Error.parse "x")));
+  Alcotest.check kind_t "invalid_arg" Guard.Error.Validation
+    (kind (Invalid_argument "bad width"));
+  Alcotest.check kind_t "failure" Guard.Error.Internal (kind (Failure "boom"));
+  Alcotest.check kind_t "arbitrary" Guard.Error.Internal (kind Exit);
+  (* a registered handler takes precedence over the default classification *)
+  Guard.Error.register_exn_handler (function
+    | Local_failure n ->
+      Some
+        (Guard.Error.resource
+           ~context:[ ("n", string_of_int n) ]
+           "local failure")
+    | _ -> None);
+  let e = Guard.Error.of_exn (Local_failure 3) in
+  Alcotest.check kind_t "handled" Guard.Error.Resource e.Guard.Error.kind;
+  Alcotest.(check (option string))
+    "handler context" (Some "3")
+    (Guard.Error.context_value e "n")
+
+let budget_validation () =
+  Alcotest.check_raises "negative wall"
+    (Invalid_argument "Budget.create: wall_seconds must be finite and >= 0")
+    (fun () -> ignore (Guard.Budget.create ~wall_seconds:(-1.0) ()));
+  Alcotest.check_raises "zero ceiling"
+    (Invalid_argument "Budget.create: node_ceiling must be >= 1")
+    (fun () -> ignore (Guard.Budget.create ~node_ceiling:0 ()));
+  Alcotest.check_raises "zero collapses"
+    (Invalid_argument "Budget.create: collapse_ceiling must be >= 1")
+    (fun () -> ignore (Guard.Budget.create ~collapse_ceiling:0 ()))
+
+let empty_budget_never_trips () =
+  let b = Guard.Budget.create () in
+  (match Guard.Budget.check ~nodes:max_int ~collapses:max_int b with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "empty budget tripped");
+  Alcotest.(check (option (float 0.0))) "no deadline" None
+    (Guard.Budget.remaining_seconds b)
+
+let deadline_trips () =
+  let b = Guard.Budget.create ~wall_seconds:0.0 () in
+  (* elapsed is > 0 by the time we check, so a zero deadline always trips *)
+  match Guard.Budget.check b with
+  | Guard.Budget.Exhausted e ->
+    Alcotest.check kind_t "resource" Guard.Error.Resource e.Guard.Error.kind;
+    Alcotest.(check bool) "mentions deadline" true
+      (Guard.Error.context_value e "deadline_seconds" <> None)
+  | _ -> Alcotest.fail "expired deadline did not trip"
+
+let node_ceiling_reports_pressure () =
+  let b = Guard.Budget.create ~node_ceiling:100 () in
+  (match Guard.Budget.check ~nodes:99 b with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "under ceiling must be Within");
+  (match Guard.Budget.check ~nodes:101 b with
+  | Guard.Budget.Node_pressure { nodes; ceiling } ->
+    Alcotest.(check int) "nodes" 101 nodes;
+    Alcotest.(check int) "ceiling" 100 ceiling
+  | _ -> Alcotest.fail "over ceiling must report pressure");
+  (* unchecked when the counter is not passed *)
+  (match Guard.Budget.check b with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "no counter, no verdict");
+  let e = Guard.Budget.exhausted_nodes b ~nodes:101 in
+  Alcotest.check kind_t "hard failure" Guard.Error.Resource e.Guard.Error.kind
+
+let collapse_ceiling_trips () =
+  let b = Guard.Budget.create ~collapse_ceiling:5 () in
+  (match Guard.Budget.check ~collapses:5 b with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "at ceiling is still within");
+  match Guard.Budget.check ~collapses:6 b with
+  | Guard.Budget.Exhausted e ->
+    Alcotest.check kind_t "resource" Guard.Error.Resource e.Guard.Error.kind
+  | _ -> Alcotest.fail "over collapse ceiling must be final"
+
+let ambient_scoping () =
+  Alcotest.(check bool) "empty outside" true (Guard.Budget.ambient () = None);
+  let b = Guard.Budget.create ~node_ceiling:7 () in
+  let seen =
+    Guard.Budget.with_ambient b (fun () ->
+        match Guard.Budget.ambient () with
+        | Some b' -> Guard.Budget.node_ceiling b' = Some 7
+        | None -> false)
+  in
+  Alcotest.(check bool) "visible inside" true seen;
+  Alcotest.(check bool) "restored after" true (Guard.Budget.ambient () = None);
+  (* restored even when the thunk raises *)
+  (try
+     Guard.Budget.with_ambient b (fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check bool) "restored after raise" true
+    (Guard.Budget.ambient () = None)
+
+let suite =
+  [
+    Alcotest.test_case "error taxonomy" `Quick taxonomy;
+    Alcotest.test_case "context accumulates" `Quick context_accumulates;
+    Alcotest.test_case "json shape" `Quick to_json_shape;
+    Alcotest.test_case "of_exn classification" `Quick of_exn_classifies;
+    Alcotest.test_case "budget validation" `Quick budget_validation;
+    Alcotest.test_case "empty budget" `Quick empty_budget_never_trips;
+    Alcotest.test_case "deadline trips" `Quick deadline_trips;
+    Alcotest.test_case "node pressure" `Quick node_ceiling_reports_pressure;
+    Alcotest.test_case "collapse ceiling" `Quick collapse_ceiling_trips;
+    Alcotest.test_case "ambient budget" `Quick ambient_scoping;
+  ]

@@ -327,9 +327,100 @@ let compose_guards () =
                ~input_map:[| 0; 1; 2; 3; 9 |];
            ]))
 
+(* --- Resource-governed construction. --- *)
+
+let resource_kind e =
+  Alcotest.(check string) "resource kind" "resource"
+    (Guard.Error.kind_name e.Guard.Error.kind)
+
+let budget_hard_failure_keeps_partial_stats () =
+  let circuit = Circuits.Decoder.decod () in
+  let budget = Guard.Budget.create ~node_ceiling:1 () in
+  match Powermodel.Model.build_checked ~budget ~max_size:200 circuit with
+  | Ok _ -> Alcotest.fail "a 1-node ceiling cannot be satisfiable"
+  | Error { Powermodel.Model.error; partial } ->
+    resource_kind error;
+    Alcotest.(check (option string))
+      "circuit context" (Some "decod")
+      (Guard.Error.context_value error "circuit");
+    let s = Option.get partial in
+    Alcotest.(check bool) "aborted before the end" true
+      (s.Powermodel.Model.gates_done < s.Powermodel.Model.gates);
+    Alcotest.(check bool) "tried to degrade first" true
+      (s.Powermodel.Model.degrade_steps > 0);
+    (* the exception carries the same payload as the checked API *)
+    (match Powermodel.Model.build ~budget ~max_size:200 circuit with
+    | exception Powermodel.Model.Build_aborted (e, s') ->
+      resource_kind e;
+      Alcotest.(check int) "same abort point" s.Powermodel.Model.gates_done
+        s'.Powermodel.Model.gates_done
+    | _ -> Alcotest.fail "build must raise Build_aborted");
+    (* and of_exn recovers the structured error for isolation boundaries *)
+    (match Guard.Error.of_exn (Powermodel.Model.Build_aborted (error, s)) with
+    | e -> resource_kind e)
+
+let budget_degrades_before_failing () =
+  let circuit = Circuits.Decoder.decod () in
+  let reference = Powermodel.Model.build ~max_size:200 circuit in
+  let bdd_nodes = reference.Powermodel.Model.stats.bdd_nodes in
+  (* a ceiling just above the incompressible BDD working set: the ADD side
+     must degrade (halve its effective MAX) but can still finish *)
+  let budget = Guard.Budget.create ~node_ceiling:(bdd_nodes + 60) () in
+  let model = Powermodel.Model.build ~budget ~max_size:200 circuit in
+  let s = model.Powermodel.Model.stats in
+  Alcotest.(check int) "all gates accumulated" s.Powermodel.Model.gates
+    s.Powermodel.Model.gates_done;
+  Alcotest.(check bool) "degradation happened" true
+    (s.Powermodel.Model.degrade_steps > 0);
+  Alcotest.(check bool) "wall clock measured" true
+    (s.Powermodel.Model.wall_seconds >= 0.0);
+  (* a degraded model is still a model: finite estimates of sane sign *)
+  Alcotest.(check bool) "still usable" true
+    (Powermodel.Model.average_capacitance model >= 0.0)
+
+let budget_collapse_ceiling () =
+  (* a tiny MAX forces many ordinary clamping collapses; the ceiling
+     turns the second one into exhaustion at the next checkpoint *)
+  let circuit = Circuits.Decoder.decod () in
+  let unbudgeted = Powermodel.Model.build ~max_size:8 circuit in
+  Alcotest.(check bool) "premise: several collapses happen" true
+    (unbudgeted.Powermodel.Model.stats.approx_calls > 1);
+  let budget = Guard.Budget.create ~collapse_ceiling:1 () in
+  match Powermodel.Model.build_checked ~budget ~max_size:8 circuit with
+  | Ok _ -> Alcotest.fail "collapse ceiling must abort the build"
+  | Error { Powermodel.Model.error; _ } -> resource_kind error
+
+let budget_expired_deadline () =
+  let circuit = Circuits.Decoder.decod () in
+  let budget = Guard.Budget.create ~wall_seconds:0.0 () in
+  match Powermodel.Model.build_checked ~budget circuit with
+  | Ok _ -> Alcotest.fail "an expired deadline must abort the build"
+  | Error { Powermodel.Model.error; partial } ->
+    resource_kind error;
+    Alcotest.(check bool) "partial stats present" true (partial <> None)
+
+let build_checked_validation () =
+  let circuit = Circuits.Decoder.decod () in
+  match
+    Powermodel.Model.build_checked ~loads:[| 1.0 |] circuit
+  with
+  | Ok _ -> Alcotest.fail "short loads array must be rejected"
+  | Error { Powermodel.Model.error; partial } ->
+    Alcotest.(check string) "validation kind" "validation"
+      (Guard.Error.kind_name error.Guard.Error.kind);
+    Alcotest.(check bool) "no partial stats" true (partial = None)
+
 let suite =
   [
     Alcotest.test_case "paper Fig. 3 model" `Quick paper_fig3_model;
+    Alcotest.test_case "budget hard failure" `Quick
+      budget_hard_failure_keeps_partial_stats;
+    Alcotest.test_case "budget degrades first" `Quick
+      budget_degrades_before_failing;
+    Alcotest.test_case "budget collapse ceiling" `Quick budget_collapse_ceiling;
+    Alcotest.test_case "budget expired deadline" `Quick budget_expired_deadline;
+    Alcotest.test_case "build_checked validation" `Quick
+      build_checked_validation;
     Alcotest.test_case "exact == simulator (exhaustive)" `Slow
       exact_model_matches_simulator_exhaustive;
     Alcotest.test_case "bounded model respects MAX" `Quick

@@ -1,0 +1,146 @@
+(* BLIF front-end hardening: typed diagnostics with line numbers, size
+   limits, and crash-freedom on corrupted or truncated input. *)
+
+(* dune runtest executes in the test directory; `dune exec test/main.exe`
+   in the workspace root — accept both *)
+let mult2_path () =
+  List.find Sys.file_exists
+    [ "../examples/data/mult2.blif"; "examples/data/mult2.blif" ]
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let kind_t =
+  Alcotest.testable
+    (fun fmt k -> Format.pp_print_string fmt (Guard.Error.kind_name k))
+    ( = )
+
+let expect_error ?kind ?line text label =
+  match Netlist.Blif.parse text with
+  | Ok _ -> Alcotest.failf "%s: expected an error" label
+  | Error e ->
+    Option.iter
+      (fun k -> Alcotest.check kind_t (label ^ " kind") k e.Guard.Error.kind)
+      kind;
+    Option.iter
+      (fun n ->
+        Alcotest.(check (option string))
+          (label ^ " line") (Some (string_of_int n))
+          (Guard.Error.context_value e "line"))
+      line;
+    e
+
+let combinational_cycle () =
+  let e =
+    expect_error ~kind:Guard.Error.Validation
+      ".model m\n.inputs a\n.outputs y\n.names y t\n1 1\n.names t y\n1 1\n.end\n"
+      "cycle"
+  in
+  Alcotest.(check bool) "names the signal" true
+    (Guard.Error.context_value e "signal" <> None)
+
+let undefined_signal () =
+  let e =
+    expect_error ~kind:Guard.Error.Validation
+      ".model m\n.inputs a\n.outputs y\n.end\n" "undefined output"
+  in
+  Alcotest.(check (option string)) "signal" (Some "y")
+    (Guard.Error.context_value e "signal")
+
+let duplicate_input () =
+  ignore
+    (expect_error ~kind:Guard.Error.Validation
+       ".model m\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end\n"
+       "duplicate input")
+
+let line_numbers () =
+  (* the unsupported directive sits on physical line 4 *)
+  ignore
+    (expect_error ~kind:Guard.Error.Parse ~line:4
+       ".model m\n.inputs a\n.outputs y\n.latch a y\n.end\n" "latch line");
+  (* a continued .names starts at line 4; the bad cube row is line 6 *)
+  ignore
+    (expect_error ~kind:Guard.Error.Parse ~line:6
+       ".model m\n.inputs a b\n.outputs y\n.names a \\\nb y\n1 1\n.end\n"
+       "bad cube after continuation");
+  (* mixed on/off rows are reported at the .names line (line 4) *)
+  ignore
+    (expect_error ~kind:Guard.Error.Parse ~line:4
+       ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n"
+       "mixed cover")
+
+let size_limits () =
+  let signals =
+    String.concat " "
+      (List.init (Netlist.Blif.max_names_signals + 1) (Printf.sprintf "s%d"))
+  in
+  ignore
+    (expect_error ~kind:Guard.Error.Parse
+       (".model m\n.inputs a\n.outputs y\n.names " ^ signals ^ " y\n.end\n")
+       "names width limit");
+  let huge = String.make (Netlist.Blif.max_input_bytes + 1) ' ' in
+  let e = expect_error ~kind:Guard.Error.Parse huge "byte limit" in
+  Alcotest.(check bool) "reports the limit" true
+    (Guard.Error.context_value e "max_bytes" <> None)
+
+let parse_file_errors () =
+  (match Netlist.Blif.parse_file "no/such/file.blif" with
+  | Ok _ -> Alcotest.fail "missing file parsed"
+  | Error e ->
+    Alcotest.check kind_t "io is parse-kind" Guard.Error.Parse e.Guard.Error.kind;
+    Alcotest.(check (option string))
+      "file context" (Some "no/such/file.blif")
+      (Guard.Error.context_value e "file"));
+  match Netlist.Blif.parse_file (mult2_path ()) with
+  | Ok c -> Alcotest.(check int) "mult2 inputs" 4 (Netlist.Circuit.input_count c)
+  | Error e -> Alcotest.failf "mult2: %s" (Guard.Error.to_string e)
+
+(* Crash-freedom properties: no input derived from the reference netlist
+   by truncation or single-character corruption may raise or hang — every
+   outcome must be a plain Ok/Error. *)
+
+let truncations_never_crash () =
+  let text = read_file (mult2_path ()) in
+  for len = 0 to String.length text do
+    let prefix = String.sub text 0 len in
+    match Netlist.Blif.parse prefix with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "prefix of %d bytes raised %s" len (Printexc.to_string e)
+  done
+
+let mutations_never_crash () =
+  let text = read_file (mult2_path ()) in
+  (* 1-based line number of each byte, to separate the benign region (the
+     comment and the model name, where a corruption can still parse) from
+     the strict one (everywhere else a '%' must surface as an error) *)
+  let line = ref 1 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then incr line
+      else begin
+        let corrupted = Bytes.of_string text in
+        Bytes.set corrupted i '%';
+        let corrupted = Bytes.to_string corrupted in
+        match Netlist.Blif.parse corrupted with
+        | Ok _ when !line <= 2 -> ()
+        | Ok _ ->
+          Alcotest.failf "corruption at byte %d (line %d) parsed cleanly" i
+            !line
+        | Error _ -> ()
+        | exception e ->
+          Alcotest.failf "corruption at byte %d raised %s" i
+            (Printexc.to_string e)
+      end)
+    text
+
+let suite =
+  [
+    Alcotest.test_case "combinational cycle" `Quick combinational_cycle;
+    Alcotest.test_case "undefined signal" `Quick undefined_signal;
+    Alcotest.test_case "duplicate input" `Quick duplicate_input;
+    Alcotest.test_case "line numbers" `Quick line_numbers;
+    Alcotest.test_case "size limits" `Quick size_limits;
+    Alcotest.test_case "parse_file errors" `Quick parse_file_errors;
+    Alcotest.test_case "truncations never crash" `Quick truncations_never_crash;
+    Alcotest.test_case "mutation fuzz" `Quick mutations_never_crash;
+  ]

@@ -91,6 +91,69 @@ let table1_jobs_invariance () =
 let default_jobs_positive () =
   Alcotest.(check bool) "positive" true (Parallel.Pool.default_jobs () >= 1)
 
+(* --- Fault isolation. --- *)
+
+let run_isolated_keeps_survivors () =
+  let results =
+    Parallel.Pool.run_isolated ~jobs:3
+      [
+        (fun () -> 1);
+        (fun () -> failwith "boom");
+        (fun () -> 3);
+        (fun () -> invalid_arg "bad width");
+        (fun () -> 5);
+      ]
+  in
+  match results with
+  | [ Ok 1; Error e1; Ok 3; Error e2; Ok 5 ] ->
+    Alcotest.(check string) "failure is internal" "internal"
+      (Guard.Error.kind_name e1.Guard.Error.kind);
+    Alcotest.(check string) "invalid_arg is validation" "validation"
+      (Guard.Error.kind_name e2.Guard.Error.kind)
+  | _ -> Alcotest.fail "isolated results lost ordering or outcomes"
+
+let map_isolated_matches_map () =
+  let xs = List.init 20 Fun.id in
+  let isolated =
+    Parallel.Pool.map_isolated ~jobs:4 (fun x -> x * x) xs
+    |> List.map (function Ok v -> v | Error _ -> -1)
+  in
+  Alcotest.(check (list int))
+    "same results" (List.map (fun x -> x * x) xs)
+    isolated
+
+let isolated_guarded_error_passes_through () =
+  let err = Guard.Error.resource ~context:[ ("k", "v") ] "synthetic" in
+  match
+    Parallel.Pool.run_isolated ~jobs:2 [ (fun () -> Guard.Error.raise_ err) ]
+  with
+  | [ Error e ] ->
+    Alcotest.(check string) "same error" (Guard.Error.to_string err)
+      (Guard.Error.to_string e)
+  | _ -> Alcotest.fail "expected one error"
+
+let isolated_deadline_reaches_model_build () =
+  (* the per-task deadline travels through the ambient budget into a
+     budget-aware callee the pool knows nothing about *)
+  let circuit = Circuits.Decoder.decod () in
+  let results =
+    Parallel.Pool.run_isolated ~jobs:2 ~deadline:0.0
+      [ (fun () -> Powermodel.Model.size (Powermodel.Model.build circuit)) ]
+  in
+  (match results with
+  | [ Error e ] ->
+    Alcotest.(check string) "resource kind" "resource"
+      (Guard.Error.kind_name e.Guard.Error.kind)
+  | [ Ok _ ] -> Alcotest.fail "an expired deadline must abort the task"
+  | _ -> Alcotest.fail "expected one result");
+  (* without a deadline the same task runs to completion *)
+  match
+    Parallel.Pool.run_isolated ~jobs:2
+      [ (fun () -> Powermodel.Model.size (Powermodel.Model.build circuit)) ]
+  with
+  | [ Ok n ] -> Alcotest.(check bool) "built" true (n > 0)
+  | _ -> Alcotest.fail "undeadlined task must succeed"
+
 let suite =
   [
     Alcotest.test_case "results ordered by submission index" `Quick
@@ -102,5 +165,13 @@ let suite =
     Alcotest.test_case "mapi indices" `Quick mapi_indices;
     Alcotest.test_case "nested run is inline" `Quick nested_run_is_inline;
     Alcotest.test_case "default jobs positive" `Quick default_jobs_positive;
+    Alcotest.test_case "run_isolated keeps survivors" `Quick
+      run_isolated_keeps_survivors;
+    Alcotest.test_case "map_isolated matches map" `Quick
+      map_isolated_matches_map;
+    Alcotest.test_case "guarded error passes through" `Quick
+      isolated_guarded_error_passes_through;
+    Alcotest.test_case "isolated deadline reaches build" `Quick
+      isolated_deadline_reaches_model_build;
     Alcotest.test_case "table1 jobs:1 = jobs:4" `Slow table1_jobs_invariance;
   ]
