@@ -18,11 +18,24 @@
                          Table 1 runs (cooperative; default: none)
      CFPM_FORCE_FAIL     comma-separated circuits whose Table 1 builds are
                          deterministically failed (fault-isolation drill)
+     CFPM_RETRIES        supervised retries per task after the first
+                         attempt (default 2)
+     CFPM_BACKOFF_MS     base retry backoff in milliseconds (default 50)
+     CFPM_RESUME         journal path: completed tasks are appended there
+                         (write-then-fsync) and a relaunched run recovers
+                         the journal and skips tasks already on disk
+     CFPM_FAULT_SPEC     fault-injection clauses (see Guard.Fault), e.g.
+                         "model_build:fail:0.3:seed=7" — chaos drills only
 
-   Experiments run fault-isolated: a circuit that exhausts its budget or
-   dies on an exception becomes a {"status": "error"} entry in the JSON
-   report, the remaining circuits are unaffected, and the harness still
-   exits 0.  Only a failure of the harness itself is fatal. *)
+   Experiments run supervised and fault-isolated: a transient failure is
+   retried with deterministic backoff, a circuit still failing after the
+   retry budget becomes a {"status": "quarantined"} entry in the JSON
+   report, a non-retryable one {"status": "error"}; the remaining
+   circuits are unaffected and the harness still exits 0.  With
+   CFPM_RESUME set, rows read back from the journal are marked
+   {"status": "recovered"} and are byte-identical under [model_errors]
+   to freshly computed ones.  Only a failure of the harness itself is
+   fatal. *)
 
 let vectors =
   match Sys.getenv_opt "CFPM_VECTORS" with
@@ -56,6 +69,45 @@ let force_fail =
   | None -> []
   | Some s -> List.filter (fun n -> n <> "") (String.split_on_char ',' s)
 
+let resume_path = Sys.getenv_opt "CFPM_RESUME"
+
+let supervision_policy =
+  let env_int name =
+    match Sys.getenv_opt name with
+    | None -> None
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> Some v
+      | _ ->
+        Printf.eprintf "bench: ignoring invalid %s=%S (expected int >= 0)\n"
+          name s;
+        None)
+  in
+  let env_float name =
+    match Sys.getenv_opt name with
+    | None -> None
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v >= 0.0 && Float.is_finite v -> Some v
+      | _ ->
+        Printf.eprintf "bench: ignoring invalid %s=%S (expected ms >= 0)\n"
+          name s;
+        None)
+  in
+  Parallel.Pool.Supervisor.policy
+    ?max_retries:(env_int "CFPM_RETRIES")
+    ?base_backoff_ms:(env_float "CFPM_BACKOFF_MS")
+    ()
+
+let durable_options ?deadline () =
+  {
+    Experiments.Durable.default_options with
+    journal = resume_path;
+    resume = resume_path <> None;
+    policy = supervision_policy;
+    deadline;
+  }
+
 let heading title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
@@ -81,14 +133,27 @@ let protected f =
 let report_failure label err =
   Printf.printf "%s FAILED: %s\n" label (Guard.Error.to_string err)
 
+let report_outcome label render outcome =
+  match outcome with
+  | Experiments.Durable.Fresh (r, _) -> print_string (render r)
+  | Experiments.Durable.Recovered (r, n) ->
+    Printf.printf "[%s: recovered from journal, %d attempt(s)]\n" label n;
+    print_string (render r)
+  | Experiments.Durable.Quarantined (err, n) ->
+    Printf.printf "%s QUARANTINED after %d attempt(s): %s\n" label n
+      (Guard.Error.to_string err)
+  | Experiments.Durable.Failed (err, _) -> report_failure label err
+
 let run_fig7a () =
   heading "Experiment E1: Fig. 7a — RE vs transition probability (cm85)";
   let r, dt =
     timed "fig7a" (fun () ->
-        protected (fun () -> Experiments.Fig7a.run ~vectors ~char_vectors ()))
+        protected (fun () ->
+            Experiments.Durable.fig7a ~options:(durable_options ()) ~vectors
+              ~char_vectors ()))
   in
   (match r with
-  | Ok r -> print_string (Experiments.Report.fig7a r)
+  | Ok o -> report_outcome "fig7a" Experiments.Report.fig7a o
   | Error err -> report_failure "fig7a" err);
   (r, dt)
 
@@ -96,10 +161,12 @@ let run_fig7b () =
   heading "Experiment E2: Fig. 7b — accuracy/size trade-off (cm85)";
   let r, dt =
     timed "fig7b" (fun () ->
-        protected (fun () -> Experiments.Fig7b.run ~vectors ~char_vectors ()))
+        protected (fun () ->
+            Experiments.Durable.fig7b ~options:(durable_options ()) ~vectors
+              ~char_vectors ()))
   in
   (match r with
-  | Ok r -> print_string (Experiments.Report.fig7b r)
+  | Ok o -> report_outcome "fig7b" Experiments.Report.fig7b o
   | Error err -> report_failure "fig7b" err);
   (r, dt)
 
@@ -121,15 +188,24 @@ let run_table1 () =
   in
   let outcomes, dt =
     timed "table1" (fun () ->
-        Experiments.Table1.run_isolated ~config ?names:(table1_names ()) ())
+        Experiments.Durable.table1
+          ~options:(durable_options ?deadline:task_deadline ())
+          ~config ?names:(table1_names ()) ())
   in
-  let ok_rows = List.filter_map (fun (_, r) -> Result.to_option r) outcomes in
+  let ok_rows =
+    List.filter_map (fun (_, o) -> Experiments.Durable.survivor o) outcomes
+  in
   print_string (Experiments.Report.table1 ok_rows);
   List.iter
-    (fun (name, r) ->
-      match r with
-      | Ok _ -> ()
-      | Error err -> report_failure name err)
+    (fun (name, o) ->
+      match o with
+      | Experiments.Durable.Fresh _ -> ()
+      | Experiments.Durable.Recovered (_, n) ->
+        Printf.printf "[%s: recovered from journal, %d attempt(s)]\n" name n
+      | Experiments.Durable.Quarantined (err, n) ->
+        Printf.printf "%s QUARANTINED after %d attempt(s): %s\n" name n
+          (Guard.Error.to_string err)
+      | Experiments.Durable.Failed (err, _) -> report_failure name err)
     outcomes;
   (outcomes, dt)
 
@@ -308,7 +384,7 @@ let bechamel_suite () =
 let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
   let outcome_json render (outcome, dt) =
     match outcome with
-    | Ok r -> render ~wall_seconds:dt r
+    | Ok o -> render ~wall_seconds:dt o
     | Error err -> Experiments.Bench_json.experiment_error ~wall_seconds:dt err
   in
   let experiments =
@@ -316,28 +392,34 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
       (fun x -> x)
       [
         Option.map
-          (fun o -> ("fig7a", outcome_json Experiments.Bench_json.fig7a o))
+          (fun o ->
+            ("fig7a", outcome_json Experiments.Bench_json.fig7a_durable o))
           fig7a;
         Option.map
-          (fun o -> ("fig7b", outcome_json Experiments.Bench_json.fig7b o))
+          (fun o ->
+            ("fig7b", outcome_json Experiments.Bench_json.fig7b_durable o))
           fig7b;
         Option.map
           (fun (outcomes, dt) ->
             ( "table1",
-              Experiments.Bench_json.table1_isolated ~wall_seconds:dt outcomes ))
+              Experiments.Bench_json.table1_durable ~wall_seconds:dt outcomes ))
           table1;
       ]
+  in
+  let surviving result =
+    Option.bind result (fun (r, _) ->
+        Option.bind (Result.to_option r) Experiments.Durable.survivor)
   in
   let surviving_rows =
     Option.map
       (fun (outcomes, _) ->
-        List.filter_map (fun (_, r) -> Result.to_option r) outcomes)
+        List.filter_map (fun (_, o) -> Experiments.Durable.survivor o) outcomes)
       table1
   in
   let json =
     Json.Obj
       [
-        ("schema", Json.String "cfpm-bench/2");
+        ("schema", Json.String "cfpm-bench/3");
         ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
         ("vectors", Json.Int vectors);
         ("char_vectors", Json.Int char_vectors);
@@ -347,6 +429,17 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
           | None -> Json.Null );
         ( "force_fail",
           Json.List (List.map (fun n -> Json.String n) force_fail) );
+        ( "retries",
+          Json.Int supervision_policy.Parallel.Pool.Supervisor.max_retries );
+        ( "backoff_ms",
+          Json.Float supervision_policy.Parallel.Pool.Supervisor.base_backoff_ms
+        );
+        ( "resume",
+          match resume_path with Some p -> Json.String p | None -> Json.Null );
+        ( "fault_spec",
+          match Sys.getenv_opt "CFPM_FAULT_SPEC" with
+          | Some s -> Json.String s
+          | None -> Json.Null );
         ("total_seconds", Json.Float total_seconds);
         ("experiments", Json.Obj experiments);
         (* Bechamel OLS estimates, ns per run, keyed by kernel name — the
@@ -357,18 +450,16 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
                (fun (name, ns) ->
                  (name, Json.Obj [ ("ns_per_run", Json.Float ns) ]))
                kernels) );
-        (* surviving circuits only: failed entries are reported under
-           [experiments] with status "error", never here, so the
-           determinism diff compares like with like *)
+        (* surviving circuits only: quarantined/failed entries are
+           reported under [experiments], never here, so the determinism
+           diff compares like with like *)
         ( "model_errors",
-          Experiments.Bench_json.model_errors
-            ?fig7a:(Option.bind fig7a (fun (r, _) -> Result.to_option r))
-            ?fig7b:(Option.bind fig7b (fun (r, _) -> Result.to_option r))
-            ?table1:surviving_rows () );
+          Experiments.Bench_json.model_errors ?fig7a:(surviving fig7a)
+            ?fig7b:(surviving fig7b) ?table1:surviving_rows () );
       ]
   in
-  Out_channel.with_open_text json_path (fun oc ->
-      Out_channel.output_string oc (Json.to_string json));
+  (* atomic: a crash mid-emit leaves the previous complete report *)
+  Journal.write_atomic json_path (Json.to_string json);
   Printf.printf "\n[wrote %s]\n" json_path
 
 let () =

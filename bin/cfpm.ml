@@ -207,6 +207,41 @@ let fig7b_cmd =
     (Cmd.info "fig7b" ~doc:"Reproduce Fig. 7b (ARE vs model size for cm85).")
     Term.(const run $ vectors_arg $ seed_arg $ jobs_arg)
 
+(* Supervision flags shared with the bench harness's environment knobs:
+   retries with deterministic backoff, and an optional resume journal. *)
+let supervision_term =
+  let retries_arg =
+    let doc =
+      "Supervised retries per circuit after the first attempt; a circuit \
+       still failing afterwards is quarantined (negative: default 2)."
+    in
+    Arg.(value & opt int (-1) & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc =
+      "Base retry backoff in milliseconds (capped exponential with \
+       deterministic jitter; negative: default 50)."
+    in
+    Arg.(value & opt float (-1.0) & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Journal path: every completed circuit is appended there \
+       (write-then-fsync), and a relaunched run recovers the journal and \
+       skips circuits already on disk."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "resume" ] ~docv:"JOURNAL" ~doc)
+  in
+  let make retries backoff resume =
+    ( Parallel.Pool.Supervisor.policy
+        ?max_retries:(if retries < 0 then None else Some retries)
+        ?base_backoff_ms:(if backoff < 0.0 then None else Some backoff)
+        (),
+      resume )
+  in
+  Term.(const make $ retries_arg $ backoff_arg $ resume_arg)
+
 let table1_cmd =
   let names_arg =
     let doc = "Circuits to include (default: all 13 rows)." in
@@ -216,7 +251,7 @@ let table1_cmd =
     let doc = "Scale factor applied to the Table 1 MAX bounds." in
     Arg.(value & opt float 1.0 & info [ "max-scale" ] ~docv:"S" ~doc)
   in
-  let run vectors seed names max_scale jobs =
+  let run vectors seed names max_scale jobs (policy, resume) =
     let config =
       {
         Experiments.Table1.default_config with
@@ -226,13 +261,54 @@ let table1_cmd =
       }
     in
     let names = match names with [] -> None | l -> Some l in
-    let rows = Experiments.Table1.run ~config ?names ?jobs:(jobs_opt jobs) () in
-    print_string (Experiments.Report.table1 rows)
+    let options =
+      {
+        Experiments.Durable.default_options with
+        journal = resume;
+        resume = resume <> None;
+        policy;
+        jobs = jobs_opt jobs;
+      }
+    in
+    match Experiments.Durable.table1 ~options ~config ?names () with
+    | exception Guard.Error.Guarded e -> fail_with e
+    | outcomes ->
+      let rows =
+        List.filter_map (fun (_, o) -> Experiments.Durable.survivor o) outcomes
+      in
+      print_string (Experiments.Report.table1 rows);
+      List.iter
+        (fun (name, o) ->
+          match o with
+          | Experiments.Durable.Recovered (_, n) ->
+            Printf.printf "(%s recovered from journal, %d attempt(s))\n" name n
+          | _ -> ())
+        outcomes;
+      let failures =
+        List.filter_map
+          (fun (name, o) ->
+            match o with
+            | Experiments.Durable.Quarantined (e, n) -> Some (name, "quarantined", e, n)
+            | Experiments.Durable.Failed (e, n) -> Some (name, "failed", e, n)
+            | Experiments.Durable.Fresh _ | Experiments.Durable.Recovered _ ->
+              None)
+          outcomes
+      in
+      (match failures with
+      | [] -> ()
+      | (_, _, first, _) :: _ ->
+        List.iter
+          (fun (name, what, e, n) ->
+            Printf.eprintf "cfpm: %s %s after %d attempt(s): %s\n" name what n
+              (Guard.Error.to_string e))
+          failures;
+        exit (Guard.Error.exit_code first))
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (all benchmarks).")
     Term.(
-      const run $ vectors_arg $ seed_arg $ names_arg $ scale_arg $ jobs_arg)
+      const run $ vectors_arg $ seed_arg $ names_arg $ scale_arg $ jobs_arg
+      $ supervision_term)
 
 let dot_cmd =
   let run name max_size strategy weighting =

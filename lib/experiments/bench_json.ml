@@ -80,18 +80,76 @@ let table1 ~wall_seconds rows =
       ("rows", Json.List (List.map table1_row rows));
     ]
 
-let error_members err =
+let failure_members ~status err =
   [
-    ("status", Json.String "error");
+    ("status", Json.String status);
     ("reason", Json.String (Guard.Error.to_string err));
     ("error", Guard.Error.to_json err);
   ]
+
+let error_members err = failure_members ~status:"error" err
 
 let table1_isolated ~wall_seconds outcomes =
   let entry (name, outcome) =
     match outcome with
     | Ok row -> table1_row row
     | Error err -> Json.Obj (("name", Json.String name) :: error_members err)
+  in
+  Json.Obj
+    [
+      ("wall_seconds", Json.Float wall_seconds);
+      ("rows", Json.List (List.map entry outcomes));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Durable outcomes: same shapes as above, with a [status] of
+   "ok" / "recovered" / "quarantined" / "error" and an [attempts] count
+   so a report shows which rows came off the journal or needed retries.
+   Crucially the data members of Fresh and Recovered rows are identical
+   — the status/attempts annotations live outside model_errors, so the
+   determinism diff is oblivious to how a row was obtained. *)
+
+let status_of_outcome = function
+  | Durable.Fresh _ -> "ok"
+  | Durable.Recovered _ -> "recovered"
+  | Durable.Quarantined _ -> "quarantined"
+  | Durable.Failed _ -> "error"
+
+let with_status status members =
+  List.map
+    (fun (k, v) -> if k = "status" then (k, Json.String status) else (k, v))
+    members
+
+let durable render ~wall_seconds outcome =
+  let attempts = ("attempts", Json.Int (Durable.attempts outcome)) in
+  match outcome with
+  | Durable.Fresh (r, _) | Durable.Recovered (r, _) -> (
+    match render ~wall_seconds r with
+    | Json.Obj members ->
+      Json.Obj (with_status (status_of_outcome outcome) members @ [ attempts ])
+    | j -> j)
+  | Durable.Quarantined (err, _) | Durable.Failed (err, _) ->
+    Json.Obj
+      (failure_members ~status:(status_of_outcome outcome) err
+      @ [ attempts; ("wall_seconds", Json.Float wall_seconds) ])
+
+let fig7a_durable = durable fig7a
+let fig7b_durable = durable fig7b
+
+let table1_durable ~wall_seconds outcomes =
+  let entry (name, outcome) =
+    let attempts = ("attempts", Json.Int (Durable.attempts outcome)) in
+    match outcome with
+    | Durable.Fresh (row, _) | Durable.Recovered (row, _) -> (
+      match table1_row row with
+      | Json.Obj members ->
+        Json.Obj (with_status (status_of_outcome outcome) members @ [ attempts ])
+      | j -> j)
+    | Durable.Quarantined (err, _) | Durable.Failed (err, _) ->
+      Json.Obj
+        (("name", Json.String name)
+         :: failure_members ~status:(status_of_outcome outcome) err
+        @ [ attempts ])
   in
   Json.Obj
     [

@@ -23,6 +23,17 @@ val table1_isolated :
     row of [{"name", "status": "error", "reason", "error"}] (the [error]
     member is {!Guard.Error.to_json}) instead of aborting the report. *)
 
+val fig7a_durable : wall_seconds:float -> Fig7a.result Durable.outcome -> Json.t
+val fig7b_durable : wall_seconds:float -> Fig7b.result Durable.outcome -> Json.t
+
+val table1_durable :
+  wall_seconds:float -> (string * Table1.row Durable.outcome) list -> Json.t
+(** Durable variants of the above: the [status] member becomes
+    ["ok"] / ["recovered"] / ["quarantined"] / ["error"] and every entry
+    gains an [attempts] count.  The data members of fresh and recovered
+    entries are identical, so resuming never perturbs the determinism
+    diff over [model_errors]. *)
+
 val experiment_error : wall_seconds:float -> Guard.Error.t -> Json.t
 (** A whole experiment that failed:
     [{"status": "error", "reason", "error", "wall_seconds"}] — same

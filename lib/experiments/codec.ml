@@ -1,0 +1,49 @@
+(* Decoding helpers for journal payloads.
+
+   Journal recovery hands back [Json.t] values that were produced by our
+   own encoders, so decoding failures are not user errors — they mean
+   the journal was written by a different code version (or a CRC
+   collision slipped through, which it will not).  The helpers raise
+   [Guard.Error.Guarded] with Parse kind; [decode] is the single
+   catch-point turning that into a [result] so callers can fall back to
+   recomputing the task. *)
+
+let fail what = Guard.Error.raise_ (Guard.Error.parse what)
+
+let mem name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail (Printf.sprintf "journal payload: missing member %S" name)
+
+let int_ name j =
+  match Json.to_int (mem name j) with
+  | Some i -> i
+  | None -> fail (Printf.sprintf "journal payload: %S is not an int" name)
+
+let float_ name j =
+  match Json.to_float (mem name j) with
+  | Some f -> f
+  | None -> fail (Printf.sprintf "journal payload: %S is not a number" name)
+
+let string_ name j =
+  match mem name j with
+  | Json.String s -> s
+  | _ -> fail (Printf.sprintf "journal payload: %S is not a string" name)
+
+let list_ name j =
+  match mem name j with
+  | Json.List l -> l
+  | _ -> fail (Printf.sprintf "journal payload: %S is not a list" name)
+
+let opt_int name j =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Some i
+    | None -> fail (Printf.sprintf "journal payload: %S is not an int" name))
+
+let decode f j =
+  match f j with
+  | v -> Ok v
+  | exception Guard.Error.Guarded e -> Error e

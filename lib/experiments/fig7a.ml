@@ -73,3 +73,47 @@ let run ?(vectors = 3000) ?(char_vectors = 3000) ?(seed = 7) ?(max_size = 500)
     exact_size;
     rows;
   }
+
+(* Journal codec: exact float round trip via Json's printer, so a
+   recovered result re-renders byte-identically in model_errors. *)
+
+let result_to_json (r : result) =
+  Json.Obj
+    [
+      ("circuit", Json.String r.circuit);
+      ("add_size", Json.Int r.add_size);
+      ( "exact_size",
+        match r.exact_size with Some s -> Json.Int s | None -> Json.Null );
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : row) ->
+               Json.Obj
+                 [
+                   ("st", Json.Float row.st);
+                   ("re_con", Json.Float row.re_con);
+                   ("re_lin", Json.Float row.re_lin);
+                   ("re_add", Json.Float row.re_add);
+                 ])
+             r.rows) );
+    ]
+
+let result_of_json j =
+  Codec.decode
+    (fun j ->
+      {
+        circuit = Codec.string_ "circuit" j;
+        add_size = Codec.int_ "add_size" j;
+        exact_size = Codec.opt_int "exact_size" j;
+        rows =
+          List.map
+            (fun row ->
+              {
+                st = Codec.float_ "st" row;
+                re_con = Codec.float_ "re_con" row;
+                re_lin = Codec.float_ "re_lin" row;
+                re_add = Codec.float_ "re_add" row;
+              })
+            (Codec.list_ "rows" j);
+      })
+    j

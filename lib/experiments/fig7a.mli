@@ -28,3 +28,8 @@ val run :
 (** The per-[st] evaluation runs execute on a {!Parallel.Pool} ([jobs]
     workers); each point owns a pre-split PRNG stream, so the result is
     identical for every job count. *)
+
+val result_to_json : result -> Json.t
+(** Journal codec (exact float round trip — see {!Table1.row_to_json}). *)
+
+val result_of_json : Json.t -> (result, Guard.Error.t) Stdlib.result

@@ -67,3 +67,50 @@ let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
     lin_coefficients = bits + 1;
     rows;
   }
+
+(* Journal codec: exact float round trip via Json's printer, so a
+   recovered result re-renders byte-identically in model_errors. *)
+
+let result_to_json (r : result) =
+  Json.Obj
+    [
+      ("circuit", Json.String r.circuit);
+      ("are_con", Json.Float r.are_con);
+      ("are_lin", Json.Float r.are_lin);
+      ("lin_coefficients", Json.Int r.lin_coefficients);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : row) ->
+               Json.Obj
+                 [
+                   ("max_size", Json.Int row.max_size);
+                   ("actual_size", Json.Int row.actual_size);
+                   ("are", Json.Float row.are);
+                   ("build_cpu", Json.Float row.build_cpu);
+                   ("build_wall", Json.Float row.build_wall);
+                 ])
+             r.rows) );
+    ]
+
+let result_of_json j =
+  Codec.decode
+    (fun j ->
+      {
+        circuit = Codec.string_ "circuit" j;
+        are_con = Codec.float_ "are_con" j;
+        are_lin = Codec.float_ "are_lin" j;
+        lin_coefficients = Codec.int_ "lin_coefficients" j;
+        rows =
+          List.map
+            (fun row ->
+              {
+                max_size = Codec.int_ "max_size" row;
+                actual_size = Codec.int_ "actual_size" row;
+                are = Codec.float_ "are" row;
+                build_cpu = Codec.float_ "build_cpu" row;
+                build_wall = Codec.float_ "build_wall" row;
+              })
+            (Codec.list_ "rows" j);
+      })
+    j

@@ -29,3 +29,8 @@ val run :
 (** The per-size model builds (each with its own managers) and the
     evaluation sweep execute on a {!Parallel.Pool} ([jobs] workers);
     results are identical for every job count. *)
+
+val result_to_json : result -> Json.t
+(** Journal codec (exact float round trip — see {!Table1.row_to_json}). *)
+
+val result_of_json : Json.t -> (result, Guard.Error.t) Stdlib.result

@@ -109,10 +109,12 @@ let run_entry ?(config = default_config) ?jobs (entry : Circuits.Suite.entry) =
         (Dd.Add.perf avg_model.Powermodel.Model.add_manager);
   }
 
-let selected_entries names =
+let selected names =
   match names with
   | None -> Circuits.Suite.all
   | Some names -> List.filter_map Circuits.Suite.find names
+
+let selected_entries = selected
 
 let run ?(config = default_config) ?names ?jobs () =
   (* one pool task per circuit; a nested run_grid inside a worker executes
@@ -130,3 +132,56 @@ let run_isolated ?(config = default_config) ?names ?jobs () =
   List.map2
     (fun entry result -> (entry.Circuits.Suite.name, result))
     entries results
+
+(* ------------------------------------------------------------------ *)
+(* Journal codec.  A row must survive encode -> journal -> decode with
+   every float bit-identical (Json's printer guarantees the round trip),
+   so a resumed run reproduces model_errors byte-for-byte. *)
+
+let row_to_json (r : row) =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("inputs", Json.Int r.inputs);
+      ("gates", Json.Int r.gates);
+      ("are_con", Json.Float r.are_con);
+      ("are_lin", Json.Float r.are_lin);
+      ("are_add", Json.Float r.are_add);
+      ("max_avg", Json.Int r.max_avg);
+      ("cpu_avg", Json.Float r.cpu_avg);
+      ("build_wall_avg", Json.Float r.build_wall_avg);
+      ("are_con_ub", Json.Float r.are_con_ub);
+      ("are_add_ub", Json.Float r.are_add_ub);
+      ("max_ub", Json.Int r.max_ub);
+      ("cpu_ub", Json.Float r.cpu_ub);
+      ("build_wall_ub", Json.Float r.build_wall_ub);
+      ("wall_seconds", Json.Float r.wall_seconds);
+      ("model_nodes", Json.Int r.model_nodes);
+      ("bound_nodes", Json.Int r.bound_nodes);
+      ("cache_hit_rate", Json.Float r.cache_hit_rate);
+    ]
+
+let row_of_json j =
+  Codec.decode
+    (fun j ->
+      {
+        name = Codec.string_ "name" j;
+        inputs = Codec.int_ "inputs" j;
+        gates = Codec.int_ "gates" j;
+        are_con = Codec.float_ "are_con" j;
+        are_lin = Codec.float_ "are_lin" j;
+        are_add = Codec.float_ "are_add" j;
+        max_avg = Codec.int_ "max_avg" j;
+        cpu_avg = Codec.float_ "cpu_avg" j;
+        build_wall_avg = Codec.float_ "build_wall_avg" j;
+        are_con_ub = Codec.float_ "are_con_ub" j;
+        are_add_ub = Codec.float_ "are_add_ub" j;
+        max_ub = Codec.int_ "max_ub" j;
+        cpu_ub = Codec.float_ "cpu_ub" j;
+        build_wall_ub = Codec.float_ "build_wall_ub" j;
+        wall_seconds = Codec.float_ "wall_seconds" j;
+        model_nodes = Codec.int_ "model_nodes" j;
+        bound_nodes = Codec.int_ "bound_nodes" j;
+        cache_hit_rate = Codec.float_ "cache_hit_rate" j;
+      })
+    j

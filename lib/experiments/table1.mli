@@ -47,6 +47,10 @@ type config = {
 
 val default_config : config
 
+val selected : string list option -> Circuits.Suite.entry list
+(** The suite (or the named subset, in the order given, unknown names
+    dropped) — the task list every runner below iterates. *)
+
 val run_entry : ?config:config -> ?jobs:int -> Circuits.Suite.entry -> row
 (** One row, self-contained: the entry builds its own managers,
     simulator and PRNG streams, so concurrent [run_entry] calls share
@@ -68,3 +72,12 @@ val run_isolated :
     exception yields [Error] with the classified {!Guard.Error}; the
     remaining circuits are unaffected, and their rows are identical to
     what {!run} would produce — for every job count. *)
+
+val row_to_json : row -> Json.t
+(** Journal codec.  Floats round-trip bit-identically through [Json]'s
+    printer, so a row recovered from a journal re-renders byte-for-byte
+    in the bench report's [model_errors]. *)
+
+val row_of_json : Json.t -> (row, Guard.Error.t) result
+(** Inverse of {!row_to_json}; a [Parse] error means the journal was
+    written by a different code version and the task should rerun. *)

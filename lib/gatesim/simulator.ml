@@ -6,6 +6,9 @@ type t = {
 let default_vdd = 3.3
 
 let create ?output_load ?loads circuit =
+  (* chaos-testing seam: inert unless a fault spec is armed and we are
+     inside a supervised task (see Guard.Fault) *)
+  Guard.Fault.inject "simulate";
   let loads =
     match loads with
     | Some loads ->

@@ -91,3 +91,5 @@ let with_ambient budget f =
   let saved = Domain.DLS.get ambient_key in
   Domain.DLS.set ambient_key (Some budget);
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key saved) f
+
+let reset_ambient () = Domain.DLS.set ambient_key None

@@ -66,3 +66,11 @@ val with_ambient : t -> (unit -> 'a) -> 'a
 
 val ambient : unit -> t option
 (** The calling domain's ambient budget, if inside [with_ambient]. *)
+
+val reset_ambient : unit -> unit
+(** Unconditionally clear the calling domain's ambient budget.  Fault
+    boundaries ([Parallel.Pool.isolate]) call this in a [Fun.protect]
+    finalizer after {e every} task, so a task that escapes its
+    [with_ambient] scope abnormally (e.g. raising from a deadline
+    handler) cannot leak its budget into the next task scheduled on the
+    same worker domain. *)

@@ -1,0 +1,205 @@
+(* Deterministic fault injection.
+
+   Chaos testing a crash-recovery layer needs failures that are (a) off
+   unless explicitly requested, (b) reproducible — the same task must fail
+   at the same attempt on every machine and for every job count — and (c)
+   cheap to check on hot paths.  Both needs are met by deriving every
+   injection decision from a pure hash of (seed, point, task key, attempt)
+   instead of from a PRNG or a global counter: no state, no ordering
+   dependence, byte-identical outcomes for jobs=1 and jobs=N. *)
+
+type mode = Fail | Exn | Deadline | Torn
+
+type clause = { point : string; mode : mode; rate : float; seed : int }
+
+type spec = clause list
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic hashing (FNV-1a, 64-bit).  Exposed because the backoff
+   jitter of Parallel.Pool.Supervisor and the task-identity hashing of
+   Journal need the same property: stable across runs, OCaml versions and
+   architectures, unlike Hashtbl.hash. *)
+
+let hash64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* FNV-1a alone has weak avalanche into the high bits: two strings
+   differing only in a short suffix (e.g. the attempt counter) hash to
+   nearly equal top bits, which would make per-attempt fault decisions
+   effectively constant.  A splitmix64-style finalizer fixes the
+   diffusion before the float fold. *)
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+(* top 53 bits as a float in [0, 1) *)
+let uniform s =
+  Int64.to_float (Int64.shift_right_logical (mix (hash64 s)) 11)
+  /. 9007199254740992.0
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing: "point:mode:rate[:seed=N]", comma-separated clauses.     *)
+
+let mode_name = function
+  | Fail -> "fail"
+  | Exn -> "exn"
+  | Deadline -> "deadline"
+  | Torn -> "torn"
+
+let mode_of_string = function
+  | "fail" -> Some Fail
+  | "exn" -> Some Exn
+  | "deadline" -> Some Deadline
+  | "torn" -> Some Torn
+  | _ -> None
+
+let parse_clause text =
+  let bad what =
+    Error
+      (Error.parse ~context:[ ("clause", text) ]
+         (Printf.sprintf "bad fault clause: %s" what))
+  in
+  match String.split_on_char ':' (String.trim text) with
+  | point :: mode :: rate :: rest -> (
+    if point = "" then bad "empty injection point"
+    else
+      match mode_of_string mode with
+      | None -> bad (Printf.sprintf "unknown mode %S" mode)
+      | Some mode -> (
+        match float_of_string_opt rate with
+        | Some r when Float.is_finite r && r >= 0.0 && r <= 1.0 -> (
+          match rest with
+          | [] -> Ok { point; mode; rate = r; seed = 0 }
+          | [ s ] -> (
+            match String.index_opt s '=' with
+            | Some i when String.sub s 0 i = "seed" -> (
+              match
+                int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+              with
+              | Some seed -> Ok { point; mode; rate = r; seed }
+              | None -> bad "seed is not an integer")
+            | _ -> bad (Printf.sprintf "unknown option %S" s))
+          | _ -> bad "too many fields")
+        | Some _ | None -> bad "rate must be a float in [0, 1]"))
+  | _ -> bad "expected point:mode:rate[:seed=N]"
+
+let parse text =
+  let clauses =
+    List.filter (fun c -> String.trim c <> "") (String.split_on_char ',' text)
+  in
+  if clauses = [] then Error (Error.parse "empty fault spec")
+  else
+    List.fold_left
+      (fun acc clause ->
+        match (acc, parse_clause clause) with
+        | Error e, _ -> Error e
+        | Ok cs, Ok c -> Ok (c :: cs)
+        | Ok _, Error e -> Error e)
+      (Ok []) clauses
+    |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Installation.  The spec is global (set once, before workers spawn); the
+   None fast path keeps inject() a single Atomic load when chaos testing
+   is off.  [`Unset] defers the CFPM_FAULT_SPEC environment lookup to the
+   first check, so library code needs no explicit init call. *)
+
+type state = Unset | Off | On of spec
+
+let state : state Atomic.t = Atomic.make Unset
+
+let install spec = Atomic.set state (On spec)
+let clear () = Atomic.set state Off
+
+let of_env () =
+  match Sys.getenv_opt "CFPM_FAULT_SPEC" with
+  | None | Some "" -> Off
+  | Some text -> (
+    match parse text with
+    | Ok spec -> On spec
+    | Error e ->
+      Printf.eprintf "cfpm: ignoring CFPM_FAULT_SPEC: %s\n%!" (Error.to_string e);
+      Off)
+
+let current () =
+  match Atomic.get state with
+  | On spec -> Some spec
+  | Off -> None
+  | Unset ->
+    let resolved = of_env () in
+    (* a racing first check resolves to the same value; last store wins *)
+    Atomic.set state resolved;
+    (match resolved with On spec -> Some spec | Off | Unset -> None)
+
+let installed () = current () <> None
+
+(* ------------------------------------------------------------------ *)
+(* Ambient task identity.  Injection decisions are keyed on the supervised
+   task (key, attempt) installed by Pool.Supervisor; outside any
+   supervised task injection is inert, so ablations, micro-benchmarks and
+   interactive use never fault even with a spec installed. *)
+
+let task_key : (string * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let task () = Domain.DLS.get task_key
+
+let attempt () = match task () with Some (_, n) -> n | None -> 0
+
+let with_task ~key ~attempt f =
+  let saved = Domain.DLS.get task_key in
+  Domain.DLS.set task_key (Some (key, attempt));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set task_key saved) f
+
+(* ------------------------------------------------------------------ *)
+(* The decision and the raise.                                          *)
+
+let triggered point =
+  match current () with
+  | None -> None
+  | Some spec -> (
+    match task () with
+    | None -> None
+    | Some (key, attempt) ->
+      List.find_map
+        (fun c ->
+          if c.point <> point then None
+          else
+            let u =
+              uniform
+                (Printf.sprintf "%d\x00%s\x00%s\x00%d" c.seed c.point key
+                   attempt)
+            in
+            if u < c.rate then Some c.mode else None)
+        spec)
+
+let context point key attempt =
+  [
+    ("fault_point", point);
+    ("task", key);
+    ("attempt", string_of_int attempt);
+  ]
+
+let inject point =
+  match triggered point with
+  | None | Some Torn -> () (* Torn is interpreted by Journal.append *)
+  | Some mode -> (
+    let key, attempt = Option.value (task ()) ~default:("", 0) in
+    let ctx = context point key attempt in
+    match mode with
+    | Fail -> Error.raise_ (Error.resource ~context:ctx "injected fault")
+    | Deadline ->
+      Error.raise_
+        (Error.resource ~context:ctx "injected deadline expiry")
+    | Exn -> failwith (Printf.sprintf "injected exception at %s" point)
+    | Torn -> ())

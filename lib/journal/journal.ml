@@ -1,0 +1,255 @@
+(* Append-only JSONL result log with atomic record framing.
+
+   One record per line:
+
+     {"key":"<task key>","crc":"<crc32 hex>","payload":<compact JSON>}\n
+
+   The CRC covers the key and the canonical compact serialization of the
+   payload, so recovery can tell a complete record from a torn one (a
+   crash mid-append) or a corrupted one (bit rot, concurrent writers
+   gone wrong) without trusting the line to merely parse.  Appends are
+   write-then-fsync: once [append] returns, the record survives a
+   process kill or power loss; at most the *final* record of a journal
+   can ever be torn, and [recover] drops it silently.  Invalid records
+   elsewhere are skipped and counted — a torn append that was later
+   retried leaves a half-record followed by the good one, and recovery
+   must survive that shape too. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.              *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+(* ------------------------------------------------------------------ *)
+(* Task identity.                                                       *)
+
+let task_key ~experiment ~circuit ~params =
+  let canonical =
+    params
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, v) -> k ^ "=" ^ v)
+    |> String.concat ";"
+  in
+  Printf.sprintf "%s:%s:%Lx" experiment circuit (Guard.Fault.hash64 canonical)
+
+(* ------------------------------------------------------------------ *)
+(* Record framing.                                                      *)
+
+let frame ~key payload =
+  let body = Json.to_string ~pretty:false payload in
+  let crc = Printf.sprintf "%08x" (crc32 (key ^ "\n" ^ body)) in
+  Json.to_string ~pretty:false
+    (Json.Obj
+       [
+         ("key", Json.String key);
+         ("crc", Json.String crc);
+         ("payload", payload);
+       ])
+  ^ "\n"
+
+(* A line is a valid record iff it parses, has the three members, and its
+   CRC matches the re-serialized payload.  Re-serializing (rather than
+   hashing the raw substring) makes acceptance canonical: two spellings of
+   the same JSON value agree, any change of value disagrees. *)
+let decode_line line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok j -> (
+    match (Json.member "key" j, Json.member "crc" j, Json.member "payload" j) with
+    | Some (Json.String key), Some (Json.String crc), Some payload ->
+      let body = Json.to_string ~pretty:false payload in
+      if String.lowercase_ascii crc
+         = Printf.sprintf "%08x" (crc32 (key ^ "\n" ^ body))
+      then Some (key, payload)
+      else None
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Writer.                                                              *)
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  sync : bool;
+  (* worker domains append as their tasks complete; one record = one
+     locked write+fsync, so records never interleave *)
+  mutex : Mutex.t;
+  mutable closed : bool;
+  (* the file ends mid-record (torn append, or resumed after a crash):
+     the next append must start a fresh line or it would merge with the
+     garbage and be lost to recovery *)
+  mutable dirty : bool;
+}
+
+let open_ ?(sync = true) path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    with Unix.Unix_error (err, _, _) ->
+      Guard.Error.raise_
+        (Guard.Error.resource
+           ~context:[ ("file", path) ]
+           (Printf.sprintf "cannot open journal: %s" (Unix.error_message err)))
+  in
+  (* a pre-existing journal whose last byte is not '\n' was torn by a
+     crash mid-append; start the first append of this run on a new line *)
+  let dirty =
+    match Unix.LargeFile.fstat fd with
+    | { Unix.LargeFile.st_size = 0L; _ } -> false
+    | { Unix.LargeFile.st_size = size; _ } -> (
+      let buf = Bytes.create 1 in
+      ignore (Unix.LargeFile.lseek fd (Int64.sub size 1L) Unix.SEEK_SET);
+      match Unix.read fd buf 0 1 with
+      | 1 -> Bytes.get buf 0 <> '\n'
+      | _ -> true)
+    | exception Unix.Unix_error _ -> false
+  in
+  { fd; path; sync; mutex = Mutex.create (); closed = false; dirty }
+
+let path t = t.path
+
+let write_all fd s ofs len =
+  let written = ref ofs and remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write_substring fd s !written !remaining in
+    written := !written + n;
+    remaining := !remaining - n
+  done
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let append t ~key payload =
+  let line = frame ~key payload in
+  locked t (fun () ->
+      if t.closed then
+        Guard.Error.raise_
+          (Guard.Error.internal ~context:[ ("file", t.path) ]
+             "append to a closed journal");
+      if t.dirty then begin
+        write_all t.fd "\n" 0 1;
+        t.dirty <- false
+      end;
+      match Guard.Fault.triggered "journal_append" with
+      | Some Guard.Fault.Torn ->
+        (* chaos mode: persist only a prefix of the record — exactly what a
+           crash between write and completion leaves behind — then fail the
+           task so the supervisor retries it *)
+        write_all t.fd line 0 (String.length line / 2);
+        if t.sync then Unix.fsync t.fd;
+        t.dirty <- true;
+        Guard.Error.raise_
+          (Guard.Error.resource
+             ~context:[ ("file", t.path); ("task", key) ]
+             "injected torn journal append")
+      | Some _ | None ->
+        Guard.Fault.inject "journal_append";
+        write_all t.fd line 0 (String.length line);
+        if t.sync then Unix.fsync t.fd)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Unix.close t.fd
+      end)
+
+let with_journal ?sync path f =
+  let t = open_ ?sync path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery.                                                            *)
+
+type recovery = {
+  records : (string * Json.t) list;
+  recovered : int;
+  dropped : int;
+  torn : bool;
+}
+
+let empty_recovery = { records = []; recovered = 0; dropped = 0; torn = false }
+
+let recover path =
+  match
+    In_channel.with_open_bin path In_channel.input_all
+  with
+  | exception Sys_error _ when not (Sys.file_exists path) ->
+    (* no journal yet: a fresh run resuming from nothing *)
+    Ok empty_recovery
+  | exception Sys_error msg ->
+    Error
+      (Guard.Error.resource ~context:[ ("file", path) ]
+         (Printf.sprintf "cannot read journal: %s" msg))
+  | text ->
+    let lines = String.split_on_char '\n' text in
+    (* a file ending in '\n' splits into lines @ [""]; anything else in the
+       final slot is an unterminated (torn) record *)
+    let records = ref [] and recovered = ref 0 and dropped = ref 0 in
+    let torn = ref false in
+    let rec walk = function
+      | [] | [ "" ] -> ()
+      | [ last ] -> (
+        match decode_line last with
+        | Some r ->
+          (* complete record, missing only its newline: keep it *)
+          records := r :: !records;
+          incr recovered
+        | None -> torn := true)
+      | line :: rest ->
+        (match decode_line line with
+        | Some r ->
+          records := r :: !records;
+          incr recovered
+        | None -> if line <> "" then incr dropped);
+        walk rest
+    in
+    walk lines;
+    Ok
+      {
+        records = List.rev !records;
+        recovered = !recovered;
+        dropped = !dropped;
+        torn = !torn;
+      }
+
+let find recovery key =
+  (* last write wins: a record appended after a retried torn append
+     supersedes anything earlier under the same key *)
+  List.fold_left
+    (fun acc (k, payload) -> if k = key then Some payload else acc)
+    None recovery.records
+
+let mem recovery key = find recovery key <> None
+
+(* ------------------------------------------------------------------ *)
+(* Atomic whole-file emission (for reports, not for the journal).       *)
+
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write_all fd contents 0 (String.length contents);
+      Unix.fsync fd);
+  (* rename within one directory is atomic: readers see the old complete
+     file or the new complete file, never a truncated one *)
+  Unix.rename tmp path

@@ -1,0 +1,85 @@
+(** Crash-safe append-only result log.
+
+    A journal makes a long experiment sweep {e durable}: every completed
+    task appends one record — a task-identity key plus an arbitrary JSON
+    payload — and a re-launched run recovers the journal and skips every
+    task whose result is already on disk.  The format is JSONL with
+    per-record CRC framing:
+
+    {v {"key":"<task key>","crc":"<crc32 hex>","payload":{...}}\n v}
+
+    Durability contract: {!append} is write-then-fsync under a mutex, so
+    (a) once it returns the record survives a process kill, (b) records
+    from concurrent worker domains never interleave, and (c) at most the
+    final record of a journal can be torn by a crash.  {!recover} drops a
+    torn tail silently and {e skips} (and counts) invalid records
+    elsewhere — the shape a torn append followed by a successful retry
+    leaves behind — rather than aborting, because every record is
+    self-contained and CRC-verified.
+
+    The CRC covers the key and the canonical compact serialization of the
+    payload; [Json]'s exact float round-trip guarantees that a recovered
+    payload re-renders byte-identically to the original, which is what
+    lets a resumed benchmark run reproduce [model_errors] exactly. *)
+
+type t
+(** An open journal writer (append mode; the file is created if needed).
+    Safe to share across domains. *)
+
+val task_key :
+  experiment:string -> circuit:string -> params:(string * string) list ->
+  string
+(** The task-identity scheme: [experiment:circuit:<hash>], where the hash
+    (FNV-1a, stable across runs and machines) covers the key/value
+    parameters after sorting by key.  Any parameter change — vector
+    counts, seeds, scale factors — changes the key, so a resumed run
+    never reuses results computed under different settings. *)
+
+val open_ : ?sync:bool -> string -> t
+(** Open (or create) a journal for appending.  [sync] (default [true])
+    controls the fsync-per-record durability guarantee; tests that write
+    thousands of records may disable it.  If the existing file ends
+    mid-record (a crash tore the final append), the next append starts on
+    a fresh line, so the new record is never merged into the garbage.
+    Raises [Guard.Error.Guarded] ([Resource]) if the file cannot be
+    opened. *)
+
+val path : t -> string
+
+val append : t -> key:string -> Json.t -> unit
+(** Append one framed record and fsync.  Thread-safe.  Honours the
+    [journal_append] fault-injection point: a [torn] clause persists only
+    a record prefix and raises (exercising torn-tail recovery); other
+    modes raise before writing. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_journal : ?sync:bool -> string -> (t -> 'a) -> 'a
+
+type recovery = {
+  records : (string * Json.t) list;  (** valid records, append order *)
+  recovered : int;  (** [List.length records] *)
+  dropped : int;  (** invalid interior records skipped *)
+  torn : bool;  (** the final record was incomplete and was dropped *)
+}
+
+val empty_recovery : recovery
+
+val recover : string -> (recovery, Guard.Error.t) result
+(** Read a journal back.  A missing file is an empty recovery (resuming
+    from nothing is a fresh run); an unreadable file is a [Resource]
+    error.  Never raises on corrupted contents. *)
+
+val find : recovery -> string -> Json.t option
+(** Last-write-wins lookup by task key. *)
+
+val mem : recovery -> string -> bool
+
+val write_atomic : string -> string -> unit
+(** Whole-file emission for reports: write to [path ^ ".tmp"], fsync,
+    then atomically rename over [path] — a crash mid-emit leaves either
+    the previous complete file or the new one, never a truncation. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE), exposed for tests. *)

@@ -334,6 +334,13 @@ let to_string (c : Circuit.t) =
   Buffer.contents buf
 
 let write_file path c =
-  let oc = open_out path in
-  output_string oc (to_string c);
-  close_out oc
+  (* write-then-rename: a crash mid-write leaves the previous complete
+     file (or nothing), never a truncated netlist *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (to_string c)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path

@@ -116,16 +116,111 @@ let isolate ?deadline f () =
   let guarded () =
     try Ok (f ()) with e -> Error (Guard.Error.of_exn e)
   in
-  match deadline with
-  | None -> guarded ()
-  | Some seconds ->
-    (* created here, on the worker, so the clock measures task runtime and
-       not time spent queued behind other tasks *)
-    let budget = Guard.Budget.create ~wall_seconds:seconds () in
-    Guard.Budget.with_ambient budget guarded
+  (* The ambient slot is reset unconditionally after every task, not
+     merely restored by [with_ambient]'s own finalizer: a task that
+     escapes its budget scope abnormally (a raise from inside a deadline
+     handler, a finalizer that itself raises) must not leak its budget
+     into the next task scheduled on this worker domain. *)
+  Fun.protect ~finally:Guard.Budget.reset_ambient (fun () ->
+      match deadline with
+      | None -> guarded ()
+      | Some seconds ->
+        (* created here, on the worker, so the clock measures task runtime
+           and not time spent queued behind other tasks *)
+        let budget = Guard.Budget.create ~wall_seconds:seconds () in
+        Guard.Budget.with_ambient budget guarded)
 
 let run_isolated ?jobs ?deadline tasks =
   run ?jobs (List.map (fun f -> isolate ?deadline f) tasks)
 
 let map_isolated ?jobs ?deadline f xs =
   run_isolated ?jobs ?deadline (List.map (fun x () -> f x) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: retry with backoff, quarantine, fail-fast.              *)
+
+module Supervisor = struct
+  type policy = {
+    max_retries : int;
+    base_backoff_ms : float;
+    max_backoff_ms : float;
+  }
+
+  let default_policy =
+    { max_retries = 2; base_backoff_ms = 50.0; max_backoff_ms = 2_000.0 }
+
+  let policy ?(max_retries = default_policy.max_retries)
+      ?(base_backoff_ms = default_policy.base_backoff_ms)
+      ?(max_backoff_ms = default_policy.max_backoff_ms) () =
+    if max_retries < 0 then
+      invalid_arg "Supervisor.policy: max_retries must be >= 0";
+    if base_backoff_ms < 0.0 || not (Float.is_finite base_backoff_ms) then
+      invalid_arg "Supervisor.policy: base_backoff_ms must be finite and >= 0";
+    { max_retries; base_backoff_ms; max_backoff_ms }
+
+  (* The retry taxonomy.  Resource errors (deadlines, ceilings, injected
+     faults) and Internal errors (crashes, broken invariants — the things
+     an OOM kill or a cosmic ray look like from here) are worth another
+     attempt; Parse and Validation errors are properties of the input and
+     will fail identically forever, so retrying them only hides bugs. *)
+  let retryable (e : Guard.Error.t) =
+    match e.Guard.Error.kind with
+    | Guard.Error.Resource | Guard.Error.Internal -> true
+    | Guard.Error.Parse | Guard.Error.Validation -> false
+
+  (* Capped exponential backoff with deterministic jitter: the delay for
+     (key, attempt) is a pure function, so a jobs=1 and a jobs=N run
+     sleep the same schedule and stay byte-identical end to end.  Jitter
+     spans [1/2, 1) of the exponential step — enough to de-synchronize a
+     herd of retries, never more than the cap. *)
+  let backoff_ms policy ~key ~attempt =
+    let step =
+      Float.min policy.max_backoff_ms
+        (policy.base_backoff_ms *. Float.pow 2.0 (float_of_int attempt))
+    in
+    let u = Guard.Fault.uniform (Printf.sprintf "backoff\x00%s\x00%d" key attempt) in
+    step *. (0.5 +. (0.5 *. u))
+
+  type 'a outcome =
+    | Completed of 'a
+    | Quarantined of Guard.Error.t
+    | Fatal of Guard.Error.t
+
+  type 'a status = { key : string; outcome : 'a outcome; attempts : int }
+
+  (* The whole retry loop runs inside the worker's pool slot: a retried
+     task occupies one worker and keeps submission-order results. *)
+  let supervise ?deadline ~policy ~sleep (key, f) () =
+    let attempt_once n =
+      Guard.Fault.with_task ~key ~attempt:n
+        (isolate ?deadline (fun () ->
+             Guard.Fault.inject "pool_task";
+             f ()))
+    in
+    let rec go n =
+      match attempt_once n with
+      | Ok v -> { key; outcome = Completed v; attempts = n + 1 }
+      | Error e ->
+        if not (retryable e) then { key; outcome = Fatal e; attempts = n + 1 }
+        else if n >= policy.max_retries then
+          let e =
+            Guard.Error.with_context
+              [ ("attempts", string_of_int (n + 1)) ]
+              e
+          in
+          { key; outcome = Quarantined e; attempts = n + 1 }
+        else begin
+          sleep (backoff_ms policy ~key ~attempt:n /. 1_000.0);
+          go (n + 1)
+        end
+    in
+    go 0
+
+  let run ?jobs ?deadline ?(policy = default_policy) ?(sleep = Unix.sleepf)
+      tasks =
+    run ?jobs (List.map (fun kf -> supervise ?deadline ~policy ~sleep kf) tasks)
+
+  let map ?jobs ?deadline ?policy ?sleep ~key f xs =
+    run ?jobs ?deadline ?policy ?sleep
+      (List.map (fun x -> (key x, fun () -> f x)) xs)
+end

@@ -66,3 +66,76 @@ val map_isolated :
   ('a -> 'b) ->
   'a list ->
   ('b, Guard.Error.t) result list
+
+(** {1 Supervision}
+
+    [run_isolated] turns one crash into one [Error] — but a transiently
+    failing task (injected fault, deadline hit under load, OOM-killed
+    worker) fails forever, and a long sweep pays for it with a lost row.
+    The supervisor layers retry-with-backoff over isolation: transient
+    failures heal, poison tasks are {e quarantined} after a bounded
+    number of attempts instead of sinking the run, and input errors fail
+    fast. *)
+
+module Supervisor : sig
+  type policy = {
+    max_retries : int;  (** retries {e after} the first attempt *)
+    base_backoff_ms : float;
+    max_backoff_ms : float;  (** cap on the exponential step *)
+  }
+
+  val default_policy : policy
+  (** 2 retries, 50 ms base, 2 s cap. *)
+
+  val policy :
+    ?max_retries:int -> ?base_backoff_ms:float -> ?max_backoff_ms:float ->
+    unit -> policy
+  (** Validating constructor ([Invalid_argument] on a negative retry
+      count or a non-finite/negative base). *)
+
+  val retryable : Guard.Error.t -> bool
+  (** The retry taxonomy: [Resource] and [Internal] errors are
+      transient-shaped and retried; [Parse] and [Validation] errors are
+      properties of the input and never retried. *)
+
+  val backoff_ms : policy -> key:string -> attempt:int -> float
+  (** Delay before retry [attempt + 1]: capped exponential with
+      deterministic jitter in [step/2, step), seeded from the task key —
+      a pure function, so jobs=1 and jobs=N runs sleep the same schedule
+      and produce byte-identical results. *)
+
+  type 'a outcome =
+    | Completed of 'a
+    | Quarantined of Guard.Error.t
+        (** still failing after [max_retries + 1] attempts; the error
+            carries an ["attempts"] context entry *)
+    | Fatal of Guard.Error.t  (** non-retryable: failed fast *)
+
+  type 'a status = { key : string; outcome : 'a outcome; attempts : int }
+
+  val run :
+    ?jobs:int ->
+    ?deadline:float ->
+    ?policy:policy ->
+    ?sleep:(float -> unit) ->
+    (string * (unit -> 'a)) list ->
+    'a status list
+  (** Execute keyed tasks on the pool, each under supervision.  Every
+      attempt runs fault-isolated (with the per-task [deadline], as
+      {!run_isolated}) and inside [Guard.Fault.with_task ~key ~attempt],
+      which (a) keys fault injection deterministically and (b) lets a
+      task observe its own attempt index.  The retry loop runs inside
+      the task's worker slot, so results keep submission order.
+      [sleep] (default [Unix.sleepf]) is a test seam for capturing the
+      backoff schedule. *)
+
+  val map :
+    ?jobs:int ->
+    ?deadline:float ->
+    ?policy:policy ->
+    ?sleep:(float -> unit) ->
+    key:('a -> string) ->
+    ('a -> 'b) ->
+    'a list ->
+    'b status list
+end

@@ -70,6 +70,9 @@ let build ?budget ?(strategy = Dd.Approx.Average)
   (match max_size with
   | Some m when m < 1 -> invalid_arg "Model.build: max_size must be >= 1"
   | Some _ | None -> ());
+  (* chaos-testing seam: inert unless a fault spec is armed AND we are
+     inside a supervised task (Guard.Fault's ambient scope) *)
+  Guard.Fault.inject "model_build";
   let budget =
     match budget with Some _ -> budget | None -> Guard.Budget.ambient ()
   in

@@ -7,6 +7,8 @@ let () =
       ("perf", Test_perf.suite);
       ("kernel", Test_kernel.suite);
       ("parallel", Test_parallel.suite);
+      ("journal", Test_journal.suite);
+      ("durable", Test_durable.suite);
       ("add-stats", Test_add_stats.suite);
       ("approx", Test_approx.suite);
       ("cell", Test_cell.suite);

@@ -1,0 +1,182 @@
+(* Durable experiment runs: journaled resume skips completed tasks, and
+   recovered results are byte-identical to freshly computed ones. *)
+
+let temp name =
+  let path = Filename.temp_file ("cfpm_" ^ name) ".journal" in
+  Sys.remove path;
+  path
+
+let int_codec =
+  ( (fun i -> Json.Int i),
+    fun j ->
+      match Json.to_int j with
+      | Some i -> Ok i
+      | None -> Error (Guard.Error.parse "not an int") )
+
+let options ?journal ?(resume = false) () =
+  {
+    Experiments.Durable.default_options with
+    journal;
+    resume;
+    jobs = Some 2;
+    sleep = Some (fun _ -> ());
+  }
+
+let resume_skips_completed_tasks () =
+  let path = temp "keyed" in
+  let encode, decode = int_codec in
+  let ran = Atomic.make 0 in
+  let task v () =
+    Atomic.incr ran;
+    v
+  in
+  let tasks = [ ("a", task 1); ("b", task 2); ("c", task 3) ] in
+  let opts = options ~journal:path ~resume:true () in
+  let first = Experiments.Durable.run_keyed ~options:opts ~encode ~decode tasks in
+  Alcotest.(check int) "all ran" 3 (Atomic.get ran);
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Experiments.Durable.Fresh (_, 1) -> ()
+      | _ -> Alcotest.fail "first run must be all Fresh")
+    first;
+  let second =
+    Experiments.Durable.run_keyed ~options:opts ~encode ~decode tasks
+  in
+  Alcotest.(check int) "nothing re-ran" 3 (Atomic.get ran);
+  List.iter2
+    (fun (k1, o1) (k2, o2) ->
+      Alcotest.(check string) "key order" k1 k2;
+      match (o1, o2) with
+      | Experiments.Durable.Fresh (v1, _), Experiments.Durable.Recovered (v2, n)
+        ->
+        Alcotest.(check int) "same value" v1 v2;
+        Alcotest.(check int) "attempts preserved" 1 n
+      | _ -> Alcotest.fail "second run must be all Recovered")
+    first second;
+  Sys.remove path
+
+let resume_reruns_only_missing_tasks () =
+  let path = temp "partial" in
+  let encode, decode = int_codec in
+  let opts = options ~journal:path ~resume:true () in
+  ignore
+    (Experiments.Durable.run_keyed ~options:opts ~encode ~decode
+       [ ("a", fun () -> 1) ]);
+  let ran_b = ref false in
+  let outcomes =
+    Experiments.Durable.run_keyed ~options:opts ~encode ~decode
+      [
+        ("a", fun () -> Alcotest.fail "journaled task must not re-run");
+        ( "b",
+          fun () ->
+            ran_b := true;
+            2 );
+      ]
+  in
+  Alcotest.(check bool) "missing task ran" true !ran_b;
+  (match outcomes with
+  | [
+   (_, Experiments.Durable.Recovered (1, _)); (_, Experiments.Durable.Fresh (2, _));
+  ] -> ()
+  | _ -> Alcotest.fail "expected recovered a, fresh b");
+  Sys.remove path
+
+let failures_are_not_journaled () =
+  let path = temp "failures" in
+  let encode, decode = int_codec in
+  let opts = options ~journal:path ~resume:true () in
+  let attempts_seen = ref 0 in
+  let outcomes =
+    Experiments.Durable.run_keyed ~options:opts ~encode ~decode
+      [
+        ( "poison",
+          fun () ->
+            incr attempts_seen;
+            Guard.Error.raise_ (Guard.Error.resource "always fails") );
+        ("bad-input", fun () -> invalid_arg "never retried");
+        ("fine", fun () -> 7);
+      ]
+  in
+  (match outcomes with
+  | [
+   (_, Experiments.Durable.Quarantined (_, qn));
+   (_, Experiments.Durable.Failed (_, 1));
+   (_, Experiments.Durable.Fresh (7, 1));
+  ] ->
+    (* default policy: first attempt + 2 retries *)
+    Alcotest.(check int) "quarantine attempts" 3 qn
+  | _ -> Alcotest.fail "unexpected outcomes");
+  Alcotest.(check int) "poison retried" 3 !attempts_seen;
+  (* only the success is on disk: a resumed run retries the failures *)
+  (match Journal.recover path with
+  | Ok r -> Alcotest.(check int) "journaled" 1 r.Journal.recovered
+  | Error e -> Alcotest.failf "recover: %s" (Guard.Error.to_string e));
+  Sys.remove path
+
+(* End-to-end on a real (small) Table 1 circuit: the recovered row must
+   re-render byte-identically to the fresh one, and a parameter change
+   must invalidate the journal entry. *)
+let table1_resume_identical_rows () =
+  let path = temp "table1" in
+  let config =
+    { Experiments.Table1.default_config with vectors = 120; char_vectors = 120 }
+  in
+  let opts = options ~journal:path ~resume:true () in
+  let run () =
+    Experiments.Durable.table1 ~options:opts ~config ~names:[ "decod" ] ()
+  in
+  let render row = Json.to_string (Experiments.Table1.row_to_json row) in
+  let fresh =
+    match run () with
+    | [ ("decod", Experiments.Durable.Fresh (row, 1)) ] -> row
+    | _ -> Alcotest.fail "expected one fresh row"
+  in
+  let recovered =
+    match run () with
+    | [ ("decod", Experiments.Durable.Recovered (row, 1)) ] -> row
+    | _ -> Alcotest.fail "expected one recovered row"
+  in
+  Alcotest.(check string)
+    "byte-identical render" (render fresh) (render recovered);
+  (* different sampling parameters -> different task key -> no reuse *)
+  let config' = { config with vectors = 121 } in
+  (match Experiments.Durable.table1 ~options:opts ~config:config' ~names:[ "decod" ] () with
+  | [ ("decod", Experiments.Durable.Fresh _) ] -> ()
+  | _ -> Alcotest.fail "changed params must not reuse the journal");
+  Sys.remove path
+
+let undecodable_payload_recomputes () =
+  let path = temp "undecodable" in
+  let encode, _ = int_codec in
+  (* decode that always rejects: simulates a journal from an older code
+     version whose payload shape no longer matches *)
+  let reject _ = Error (Guard.Error.parse "schema changed") in
+  let opts = options ~journal:path ~resume:true () in
+  ignore
+    (Experiments.Durable.run_keyed ~options:opts ~encode ~decode:(fun j ->
+         match Json.to_int j with
+         | Some i -> Ok i
+         | None -> Error (Guard.Error.parse "not an int"))
+       [ ("a", fun () -> 1) ]);
+  let outcomes =
+    Experiments.Durable.run_keyed ~options:opts ~encode ~decode:reject
+      [ ("a", fun () -> 5) ]
+  in
+  match outcomes with
+  | [ (_, Experiments.Durable.Fresh (5, _)) ] -> Sys.remove path
+  | _ -> Alcotest.fail "undecodable journal entry must recompute"
+
+let suite =
+  [
+    Alcotest.test_case "resume skips completed tasks" `Quick
+      resume_skips_completed_tasks;
+    Alcotest.test_case "resume reruns only missing tasks" `Quick
+      resume_reruns_only_missing_tasks;
+    Alcotest.test_case "failures are not journaled" `Quick
+      failures_are_not_journaled;
+    Alcotest.test_case "undecodable payload recomputes" `Quick
+      undecodable_payload_recomputes;
+    Alcotest.test_case "table1 resume: identical rows" `Slow
+      table1_resume_identical_rows;
+  ]

@@ -154,6 +154,126 @@ let ambient_scoping () =
   Alcotest.(check bool) "restored after raise" true
     (Guard.Budget.ambient () = None)
 
+(* --- Fault injection. --- *)
+
+let with_spec spec f =
+  Guard.Fault.install spec;
+  Fun.protect ~finally:Guard.Fault.clear f
+
+let clause ?(mode = Guard.Fault.Fail) ?(rate = 1.0) ?(seed = 0) point =
+  { Guard.Fault.point; mode; rate; seed }
+
+let fault_spec_parses () =
+  (match Guard.Fault.parse "model_build:fail:0.25:seed=9, simulate:torn:1" with
+  | Ok [ a; b ] ->
+    Alcotest.(check string) "point" "model_build" a.Guard.Fault.point;
+    Alcotest.(check string) "mode" "fail"
+      (Guard.Fault.mode_name a.Guard.Fault.mode);
+    Alcotest.(check (float 0.0)) "rate" 0.25 a.Guard.Fault.rate;
+    Alcotest.(check int) "seed" 9 a.Guard.Fault.seed;
+    Alcotest.(check string) "mode 2" "torn"
+      (Guard.Fault.mode_name b.Guard.Fault.mode);
+    Alcotest.(check int) "default seed" 0 b.Guard.Fault.seed
+  | Ok _ -> Alcotest.fail "expected two clauses"
+  | Error e -> Alcotest.failf "parse: %s" (Guard.Error.to_string e));
+  List.iter
+    (fun bad ->
+      match Guard.Fault.parse bad with
+      | Error e ->
+        Alcotest.check kind_t (bad ^ " kind") Guard.Error.Parse
+          e.Guard.Error.kind
+      | Ok _ -> Alcotest.failf "%S must not parse" bad)
+    [
+      "";
+      "model_build";
+      "model_build:fail";
+      "model_build:explode:0.5";
+      "model_build:fail:1.5";
+      "model_build:fail:nan";
+      "model_build:fail:0.5:seed=x";
+      "model_build:fail:0.5:retries=2";
+      ":fail:0.5";
+    ]
+
+let fault_off_by_default () =
+  Guard.Fault.clear ();
+  Alcotest.(check bool) "disarmed" false (Guard.Fault.installed ());
+  (* even inside a supervised task scope, no spec means no faults *)
+  Guard.Fault.with_task ~key:"k" ~attempt:0 (fun () ->
+      Guard.Fault.inject "model_build";
+      Alcotest.(check (option string))
+        "nothing triggers" None
+        (Option.map Guard.Fault.mode_name (Guard.Fault.triggered "model_build")))
+
+let fault_scoped_to_supervised_tasks () =
+  with_spec [ clause "model_build" ] (fun () ->
+      Alcotest.(check bool) "armed" true (Guard.Fault.installed ());
+      (* outside any task scope: inert, by design *)
+      Guard.Fault.inject "model_build";
+      Alcotest.(check bool) "no ambient task" true (Guard.Fault.task () = None);
+      (* inside: a rate-1 clause always fires *)
+      (match
+         Guard.Fault.with_task ~key:"k" ~attempt:0 (fun () ->
+             Guard.Fault.inject "model_build")
+       with
+      | () -> Alcotest.fail "rate-1 fault must fire inside a task"
+      | exception Guard.Error.Guarded e ->
+        Alcotest.check kind_t "resource" Guard.Error.Resource e.Guard.Error.kind;
+        Alcotest.(check (option string))
+          "task context" (Some "k")
+          (Guard.Error.context_value e "task"));
+      (* other points stay quiet *)
+      Guard.Fault.with_task ~key:"k" ~attempt:0 (fun () ->
+          Guard.Fault.inject "simulate");
+      (* scope restored on exit, exceptions included *)
+      Alcotest.(check bool) "restored" true (Guard.Fault.task () = None))
+
+let fault_decisions_deterministic () =
+  with_spec [ clause ~rate:0.5 ~seed:3 "pool_task" ] (fun () ->
+      let fires attempt =
+        Guard.Fault.with_task ~key:"cm85" ~attempt (fun () ->
+            Guard.Fault.triggered "pool_task" <> None)
+      in
+      let observed = List.init 32 fires in
+      (* pure: the same (key, attempt) decides the same way every time *)
+      Alcotest.(check (list bool)) "reproducible" observed (List.init 32 fires);
+      (* a 0.5 rate over 32 attempts fires sometimes, not always *)
+      Alcotest.(check bool) "some fire" true (List.mem true observed);
+      Alcotest.(check bool) "some don't" true (List.mem false observed));
+  (* rate 0 never fires, even in scope *)
+  with_spec [ clause ~rate:0.0 "pool_task" ] (fun () ->
+      Guard.Fault.with_task ~key:"k" ~attempt:0 (fun () ->
+          Guard.Fault.inject "pool_task"))
+
+let fault_modes_map_to_failures () =
+  let fire mode =
+    with_spec [ clause ~mode "p" ] (fun () ->
+        Guard.Fault.with_task ~key:"k" ~attempt:0 (fun () ->
+            Guard.Fault.inject "p"))
+  in
+  (match fire Guard.Fault.Deadline with
+  | exception Guard.Error.Guarded e ->
+    Alcotest.check kind_t "deadline is resource" Guard.Error.Resource
+      e.Guard.Error.kind
+  | () -> Alcotest.fail "deadline mode must raise");
+  (match fire Guard.Fault.Exn with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exn mode must raise a raw exception");
+  (* torn is interpreted only by Journal.append: inert at plain points *)
+  fire Guard.Fault.Torn
+
+let fault_hash_is_stable () =
+  (* pinned values: the hash feeds journal task identities and backoff
+     jitter, so it must never change across versions or machines *)
+  Alcotest.(check string)
+    "fnv-1a empty" "cbf29ce484222325"
+    (Printf.sprintf "%Lx" (Guard.Fault.hash64 ""));
+  Alcotest.(check string)
+    "fnv-1a abc" "e71fa2190541574b"
+    (Printf.sprintf "%Lx" (Guard.Fault.hash64 "abc"));
+  let u = Guard.Fault.uniform "x" in
+  Alcotest.(check bool) "uniform in [0,1)" true (u >= 0.0 && u < 1.0)
+
 let suite =
   [
     Alcotest.test_case "error taxonomy" `Quick taxonomy;
@@ -166,4 +286,13 @@ let suite =
     Alcotest.test_case "node pressure" `Quick node_ceiling_reports_pressure;
     Alcotest.test_case "collapse ceiling" `Quick collapse_ceiling_trips;
     Alcotest.test_case "ambient budget" `Quick ambient_scoping;
+    Alcotest.test_case "fault spec parses" `Quick fault_spec_parses;
+    Alcotest.test_case "fault off by default" `Quick fault_off_by_default;
+    Alcotest.test_case "fault scoped to supervised tasks" `Quick
+      fault_scoped_to_supervised_tasks;
+    Alcotest.test_case "fault decisions deterministic" `Quick
+      fault_decisions_deterministic;
+    Alcotest.test_case "fault modes map to failures" `Quick
+      fault_modes_map_to_failures;
+    Alcotest.test_case "fault hash stable" `Quick fault_hash_is_stable;
   ]

@@ -1,0 +1,258 @@
+(* The journal: CRC framing, append/recover round trips, task identity,
+   and crash-shaped corruption — truncated tails, torn appends, byte rot.
+   The corruption tests mutate real journal bytes exhaustively, in the
+   style of the BLIF fuzzers in test_netlist_errors.ml. *)
+
+let temp name =
+  let path = Filename.temp_file ("cfpm_" ^ name) ".journal" in
+  Sys.remove path;
+  path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let payload i =
+  Json.Obj
+    [
+      ("i", Json.Int i);
+      ("f", Json.Float (float_of_int i /. 3.0));
+      ("s", Json.String (Printf.sprintf "x\"%d\\y" i));
+    ]
+
+let key i = Printf.sprintf "exp:c%d:abc" i
+
+let recover_ok path =
+  match Journal.recover path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "recover: %s" (Guard.Error.to_string e)
+
+let fill path n =
+  Journal.with_journal ~sync:false path (fun t ->
+      for i = 0 to n - 1 do
+        Journal.append t ~key:(key i) (payload i)
+      done)
+
+let roundtrip () =
+  let path = temp "roundtrip" in
+  fill path 10;
+  let r = recover_ok path in
+  Alcotest.(check int) "recovered" 10 r.Journal.recovered;
+  Alcotest.(check int) "dropped" 0 r.Journal.dropped;
+  Alcotest.(check bool) "torn" false r.Journal.torn;
+  List.iteri
+    (fun i (k, p) ->
+      Alcotest.(check string) "key" (key i) k;
+      (* byte-identical payload round trip, floats included *)
+      Alcotest.(check string)
+        "payload"
+        (Json.to_string (payload i))
+        (Json.to_string p))
+    r.Journal.records;
+  Sys.remove path
+
+let missing_file_is_fresh () =
+  let r = recover_ok "/nonexistent/dir-that-is-a-file/journal" in
+  Alcotest.(check int) "no records" 0 r.Journal.recovered
+
+let last_write_wins () =
+  let path = temp "lww" in
+  Journal.with_journal path (fun t ->
+      Journal.append t ~key:"k" (Json.Int 1);
+      Journal.append t ~key:"other" (Json.Int 5);
+      Journal.append t ~key:"k" (Json.Int 2));
+  let r = recover_ok path in
+  Alcotest.(check bool) "mem" true (Journal.mem r "k");
+  Alcotest.(check bool) "not mem" false (Journal.mem r "absent");
+  (match Journal.find r "k" with
+  | Some (Json.Int 2) -> ()
+  | _ -> Alcotest.fail "last write must win");
+  Sys.remove path
+
+let task_key_identity () =
+  let k =
+    Journal.task_key ~experiment:"table1" ~circuit:"cm85"
+      ~params:[ ("vectors", "2000"); ("seed", "5") ]
+  in
+  (* order-insensitive: params are sorted before hashing *)
+  Alcotest.(check string)
+    "param order" k
+    (Journal.task_key ~experiment:"table1" ~circuit:"cm85"
+       ~params:[ ("seed", "5"); ("vectors", "2000") ]);
+  Alcotest.(check bool)
+    "readable prefix" true
+    (String.length k > 12 && String.sub k 0 12 = "table1:cm85:");
+  (* any parameter change changes the key *)
+  Alcotest.(check bool)
+    "params matter" true
+    (k
+    <> Journal.task_key ~experiment:"table1" ~circuit:"cm85"
+         ~params:[ ("vectors", "2001"); ("seed", "5") ]);
+  Alcotest.(check bool)
+    "circuit matters" true
+    (k
+    <> Journal.task_key ~experiment:"table1" ~circuit:"9sym"
+         ~params:[ ("vectors", "2000"); ("seed", "5") ])
+
+(* Kill-at-any-byte: for every prefix length of a valid journal, recovery
+   must succeed, keep exactly the fully persisted records (in order), and
+   lose at most the one record the cut landed in. *)
+let truncation_fuzz () =
+  let path = temp "trunc" in
+  fill path 5;
+  let full = read_file path in
+  let originals = (recover_ok path).Journal.records in
+  let render (k, p) = k ^ "\x00" ^ Json.to_string p in
+  for len = 0 to String.length full do
+    let cut = temp "trunc_cut" in
+    write_file cut (String.sub full 0 len);
+    let r = recover_ok cut in
+    let complete =
+      (* records whose trailing newline made it into the prefix *)
+      String.fold_left
+        (fun n c -> if c = '\n' then n + 1 else n)
+        0 (String.sub full 0 len)
+    in
+    if r.Journal.recovered < complete then
+      Alcotest.failf "prefix %d: lost a fully persisted record" len;
+    if r.Journal.recovered > complete + 1 then
+      Alcotest.failf "prefix %d: invented a record" len;
+    List.iteri
+      (fun i rec_ ->
+        Alcotest.(check string)
+          (Printf.sprintf "prefix %d record %d" len i)
+          (render (List.nth originals i))
+          (render rec_))
+      r.Journal.records;
+    Sys.remove cut
+  done;
+  Sys.remove path
+
+(* Bit rot: overwrite every byte in turn; recovery must never raise,
+   never surface a corrupted record (the CRC catches every single-byte
+   substitution), and lose at most the records sharing the mutated
+   line (two when the newline between them is destroyed). *)
+let mutation_fuzz () =
+  let path = temp "mut" in
+  fill path 3;
+  let full = read_file path in
+  let originals =
+    List.map
+      (fun (k, p) -> k ^ "\x00" ^ Json.to_string p)
+      (recover_ok path).Journal.records
+  in
+  String.iteri
+    (fun i _ ->
+      let mutated = Bytes.of_string full in
+      Bytes.set mutated i '%';
+      let cut = temp "mut_cut" in
+      write_file cut (Bytes.to_string mutated);
+      let r = recover_ok cut in
+      if r.Journal.recovered < 1 then
+        Alcotest.failf "byte %d: lost more than two records" i;
+      List.iter
+        (fun (k, p) ->
+          let rendered = k ^ "\x00" ^ Json.to_string p in
+          if not (List.mem rendered originals) then
+            Alcotest.failf "byte %d: surfaced a corrupted record" i)
+        r.Journal.records;
+      Sys.remove cut)
+    full;
+  Sys.remove path
+
+(* The self-healing shape: a torn append (fault-injected) leaves a
+   half-record; the retry must land on a fresh line and recovery must
+   keep it, counting the garbage as one dropped interior record. *)
+let torn_append_then_retry () =
+  let path = temp "torn" in
+  Guard.Fault.install
+    [
+      {
+        Guard.Fault.point = "journal_append";
+        mode = Guard.Fault.Torn;
+        rate = 1.0;
+        seed = 1;
+      };
+    ];
+  Fun.protect ~finally:Guard.Fault.clear (fun () ->
+      Journal.with_journal path (fun t ->
+          (* attempt 0 is inside the fault scope: torn *)
+          (match
+             Guard.Fault.with_task ~key:"k1" ~attempt:0 (fun () ->
+                 Journal.append t ~key:"k1" (Json.Int 1))
+           with
+          | () -> Alcotest.fail "torn append must raise"
+          | exception Guard.Error.Guarded e ->
+            Alcotest.(check string)
+              "resource kind" "resource"
+              (Guard.Error.kind_name e.Guard.Error.kind));
+          (* the retry, outside the fault scope, must not be swallowed by
+             the half-record before it *)
+          Journal.append t ~key:"k1" (Json.Int 1);
+          Journal.append t ~key:"k2" (Json.Int 2)));
+  let r = recover_ok path in
+  Alcotest.(check int) "recovered" 2 r.Journal.recovered;
+  Alcotest.(check int) "dropped garbage" 1 r.Journal.dropped;
+  Alcotest.(check bool) "not torn at tail" false r.Journal.torn;
+  (match Journal.find r "k1" with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "retried record lost");
+  Sys.remove path
+
+(* Crash-then-restart: a journal ending mid-record is reopened by a new
+   writer (a resumed run); its first append must start a fresh line. *)
+let reopen_after_torn_tail () =
+  let path = temp "reopen" in
+  fill path 2;
+  let full = read_file path in
+  write_file path (String.sub full 0 (String.length full - 5));
+  (let r = recover_ok path in
+   Alcotest.(check int) "before" 1 r.Journal.recovered;
+   Alcotest.(check bool) "torn tail" true r.Journal.torn);
+  Journal.with_journal path (fun t -> Journal.append t ~key:"fresh" (Json.Int 9));
+  let r = recover_ok path in
+  Alcotest.(check int) "after" 2 r.Journal.recovered;
+  Alcotest.(check bool) "healed" true (Journal.mem r "fresh");
+  Sys.remove path
+
+let append_to_closed_fails () =
+  let path = temp "closed" in
+  let t = Journal.open_ path in
+  Journal.close t;
+  Journal.close t;
+  (* idempotent *)
+  (match Journal.append t ~key:"k" Json.Null with
+  | () -> Alcotest.fail "append to closed journal must fail"
+  | exception Guard.Error.Guarded _ -> ());
+  Sys.remove path
+
+let atomic_write () =
+  let path = temp "atomic" in
+  Journal.write_atomic path "first version\n";
+  Journal.write_atomic path "second version\n";
+  Alcotest.(check string) "last write" "second version\n" (read_file path);
+  Alcotest.(check bool) "no tmp residue" false (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path
+
+let crc32_reference () =
+  (* IEEE 802.3 check value for "123456789" *)
+  Alcotest.(check int) "check vector" 0xcbf43926 (Journal.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Journal.crc32 "")
+
+let suite =
+  [
+    Alcotest.test_case "append/recover roundtrip" `Quick roundtrip;
+    Alcotest.test_case "missing file is a fresh run" `Quick
+      missing_file_is_fresh;
+    Alcotest.test_case "last write wins" `Quick last_write_wins;
+    Alcotest.test_case "task key identity" `Quick task_key_identity;
+    Alcotest.test_case "truncation fuzz (every prefix)" `Quick truncation_fuzz;
+    Alcotest.test_case "mutation fuzz (every byte)" `Quick mutation_fuzz;
+    Alcotest.test_case "torn append then retry" `Quick torn_append_then_retry;
+    Alcotest.test_case "reopen after torn tail" `Quick reopen_after_torn_tail;
+    Alcotest.test_case "append to closed fails" `Quick append_to_closed_fails;
+    Alcotest.test_case "atomic whole-file write" `Quick atomic_write;
+    Alcotest.test_case "crc32 reference vector" `Quick crc32_reference;
+  ]

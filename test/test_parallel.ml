@@ -154,6 +154,157 @@ let isolated_deadline_reaches_model_build () =
   | [ Ok n ] -> Alcotest.(check bool) "built" true (n > 0)
   | _ -> Alcotest.fail "undeadlined task must succeed"
 
+let isolated_resets_ambient_budget () =
+  (* the single-task inline path runs on this very domain: the worker's
+     ambient deadline budget must not leak into subsequent code *)
+  (match
+     Parallel.Pool.run_isolated ~jobs:1 ~deadline:30.0
+       [ (fun () -> Guard.Budget.ambient () <> None) ]
+   with
+  | [ Ok true ] -> ()
+  | _ -> Alcotest.fail "deadline must be ambient inside the task");
+  Alcotest.(check bool)
+    "ambient cleared after run" true
+    (Guard.Budget.ambient () = None);
+  (* also when the pool ran without any deadline *)
+  ignore (Parallel.Pool.run_isolated ~jobs:1 [ (fun () -> ()) ]);
+  Alcotest.(check bool)
+    "still clear" true
+    (Guard.Budget.ambient () = None)
+
+(* --- Supervision. --- *)
+
+module Sup = Parallel.Pool.Supervisor
+
+let no_sleep = Some (fun (_ : float) -> ())
+
+let sup_run ?policy tasks =
+  Sup.run ~jobs:2 ?policy ?sleep:no_sleep tasks
+
+let retry_then_succeed () =
+  (* fails on its first two attempts, succeeds on the third; the attempt
+     index comes from the ambient fault-task scope the supervisor
+     installs around every attempt *)
+  let task () =
+    if Guard.Fault.attempt () < 2 then
+      Guard.Error.raise_ (Guard.Error.resource "transient")
+    else 42
+  in
+  match sup_run [ ("flaky", task); ("steady", fun () -> 1) ] with
+  | [
+   { Sup.key = "flaky"; outcome = Sup.Completed 42; attempts = 3 };
+   { Sup.key = "steady"; outcome = Sup.Completed 1; attempts = 1 };
+  ] -> ()
+  | _ -> Alcotest.fail "expected completion after two retries"
+
+let quarantine_after_max_retries () =
+  let policy = Sup.policy ~max_retries:2 ~base_backoff_ms:0.0 () in
+  match
+    sup_run ~policy
+      [
+        ("poison", fun () -> Guard.Error.raise_ (Guard.Error.resource "down"));
+        ("ok", fun () -> 7);
+      ]
+  with
+  | [
+   { Sup.key = "poison"; outcome = Sup.Quarantined e; attempts = 3 };
+   { Sup.outcome = Sup.Completed 7; _ };
+  ] ->
+    Alcotest.(check string) "kind" "resource"
+      (Guard.Error.kind_name e.Guard.Error.kind);
+    Alcotest.(check (option string))
+      "attempts in context" (Some "3")
+      (Guard.Error.context_value e "attempts")
+  | _ -> Alcotest.fail "poison task must be quarantined, survivor kept"
+
+let validation_fails_fast () =
+  let tries = Atomic.make 0 in
+  match
+    sup_run
+      [
+        ( "bad-input",
+          fun () ->
+            Atomic.incr tries;
+            invalid_arg "bad width" );
+      ]
+  with
+  | [ { Sup.outcome = Sup.Fatal e; attempts = 1; _ } ] ->
+    Alcotest.(check string) "kind" "validation"
+      (Guard.Error.kind_name e.Guard.Error.kind);
+    Alcotest.(check int) "never retried" 1 (Atomic.get tries)
+  | _ -> Alcotest.fail "validation errors must not be retried"
+
+let internal_errors_are_retried () =
+  match sup_run [ ("crashy", fun () -> failwith "boom") ] with
+  | [ { Sup.outcome = Sup.Quarantined _; attempts; _ } ] ->
+    Alcotest.(check int) "full attempt budget" 3 attempts
+  | _ -> Alcotest.fail "internal errors are transient-shaped: retried"
+
+let deterministic_backoff_schedule () =
+  let p = Sup.default_policy in
+  let schedule key =
+    List.init 6 (fun attempt -> Sup.backoff_ms p ~key ~attempt)
+  in
+  (* pure: same key, same schedule, on any call *)
+  Alcotest.(check (list (float 0.0)))
+    "reproducible" (schedule "task-a") (schedule "task-a");
+  (* jitter is keyed: distinct tasks never share a schedule *)
+  Alcotest.(check bool)
+    "keyed jitter" true
+    (schedule "task-a" <> schedule "task-b");
+  (* capped exponential with jitter in [step/2, step) *)
+  List.iteri
+    (fun attempt d ->
+      let step =
+        Float.min p.Sup.max_backoff_ms
+          (p.Sup.base_backoff_ms *. (2.0 ** float_of_int attempt))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d lower bound" attempt)
+        true (d >= step /. 2.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d upper bound" attempt)
+        true (d < step))
+    (schedule "task-a")
+
+let supervised_jobs_invariance () =
+  (* outcomes, values and attempt counts are byte-identical for jobs=1
+     and jobs=4: every retry decision is a pure function of the task key *)
+  let tasks =
+    List.init 12 (fun i ->
+        ( Printf.sprintf "t%d" i,
+          fun () ->
+            if i mod 3 = 0 && Guard.Fault.attempt () = 0 then
+              Guard.Error.raise_ (Guard.Error.resource "flaky")
+            else if i mod 5 = 4 then invalid_arg "poison"
+            else i * i ))
+  in
+  let observe jobs =
+    Sup.run ~jobs ?sleep:no_sleep
+      ~policy:(Sup.policy ~max_retries:1 ~base_backoff_ms:0.0 ())
+      tasks
+    |> List.map (fun (st : _ Sup.status) ->
+           let tag =
+             match st.Sup.outcome with
+             | Sup.Completed v -> Printf.sprintf "ok:%d" v
+             | Sup.Quarantined e ->
+               "quarantined:" ^ Guard.Error.kind_name e.Guard.Error.kind
+             | Sup.Fatal e -> "fatal:" ^ Guard.Error.kind_name e.Guard.Error.kind
+           in
+           Printf.sprintf "%s=%s@%d" st.Sup.key tag st.Sup.attempts)
+  in
+  Alcotest.(check (list string)) "jobs:1 = jobs:4" (observe 1) (observe 4)
+
+let policy_validation () =
+  Alcotest.(check bool) "constructor works" true
+    (Sup.policy ~max_retries:0 () = { Sup.default_policy with max_retries = 0 });
+  (match Sup.policy ~max_retries:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative retries must be rejected");
+  match Sup.policy ~base_backoff_ms:Float.nan () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan backoff must be rejected"
+
 let suite =
   [
     Alcotest.test_case "results ordered by submission index" `Quick
@@ -173,5 +324,20 @@ let suite =
       isolated_guarded_error_passes_through;
     Alcotest.test_case "isolated deadline reaches build" `Quick
       isolated_deadline_reaches_model_build;
+    Alcotest.test_case "isolated resets ambient budget" `Quick
+      isolated_resets_ambient_budget;
+    Alcotest.test_case "supervisor: retry then succeed" `Quick
+      retry_then_succeed;
+    Alcotest.test_case "supervisor: quarantine after max retries" `Quick
+      quarantine_after_max_retries;
+    Alcotest.test_case "supervisor: validation fails fast" `Quick
+      validation_fails_fast;
+    Alcotest.test_case "supervisor: internal errors retried" `Quick
+      internal_errors_are_retried;
+    Alcotest.test_case "supervisor: deterministic backoff" `Quick
+      deterministic_backoff_schedule;
+    Alcotest.test_case "supervisor: jobs:1 = jobs:4" `Quick
+      supervised_jobs_invariance;
+    Alcotest.test_case "supervisor: policy validation" `Quick policy_validation;
     Alcotest.test_case "table1 jobs:1 = jobs:4" `Slow table1_jobs_invariance;
   ]
