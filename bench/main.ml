@@ -26,6 +26,10 @@
                          the journal and skips tasks already on disk
      CFPM_FAULT_SPEC     fault-injection clauses (see Guard.Fault), e.g.
                          "model_build:fail:0.3:seed=7" — chaos drills only
+     CFPM_TRACE          path: enable span tracing and write a Chrome
+                         trace-event JSON there at exit (load in Perfetto)
+     CFPM_PROGRESS       set to 1 for heartbeat lines on stderr while the
+                         experiment pool drains
 
    Experiments run supervised and fault-isolated: a transient failure is
    retried with deterministic backoff, a circuit still failing after the
@@ -70,6 +74,8 @@ let force_fail =
   | Some s -> List.filter (fun n -> n <> "") (String.split_on_char ',' s)
 
 let resume_path = Sys.getenv_opt "CFPM_RESUME"
+
+let trace_path = Sys.getenv_opt "CFPM_TRACE"
 
 let supervision_policy =
   let env_int name =
@@ -381,7 +387,7 @@ let bechamel_suite () =
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report.                                            *)
 
-let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
+let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels =
   let outcome_json render (outcome, dt) =
     match outcome with
     | Ok o -> render ~wall_seconds:dt o
@@ -419,7 +425,7 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
   let json =
     Json.Obj
       [
-        ("schema", Json.String "cfpm-bench/3");
+        ("schema", Json.String "cfpm-bench/4");
         ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
         ("vectors", Json.Int vectors);
         ("char_vectors", Json.Int char_vectors);
@@ -441,6 +447,11 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
           | Some s -> Json.String s
           | None -> Json.Null );
         ("total_seconds", Json.Float total_seconds);
+        (* Obs.Metrics snapshot taken after the experiments and ablations
+           but before Bechamel: only deterministic (Sum/Max, non-local)
+           counters, so two runs of the same workload match key-for-key
+           whatever CFPM_JOBS was. *)
+        ("metrics", metrics);
         ("experiments", Json.Obj experiments);
         (* Bechamel OLS estimates, ns per run, keyed by kernel name — the
            machine-readable perf trajectory CI archives across PRs. *)
@@ -464,6 +475,7 @@ let write_json ~total_seconds ~fig7a ~fig7b ~table1 ~kernels =
 
 let () =
   let t0 = Unix.gettimeofday () in
+  if trace_path <> None then Obs.Trace.enable ();
   Printf.printf
     "cfpm benchmark harness — Characterization-Free Behavioral Power \
      Modeling (DATE 1998)\n";
@@ -483,8 +495,16 @@ let () =
   ablation_accumulation ();
   ablation_variable_pairing ();
   ablation_implementation_sensitivity ();
+  (* snapshot before Bechamel: its adaptive iteration counts would bleed
+     nondeterministic build/cache counts into the metrics *)
+  let metrics = Obs.Metrics.snapshot_json () in
   let kernels = bechamel_suite () in
   write_json
     ~total_seconds:(Unix.gettimeofday () -. t0)
-    ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels;
+    ~metrics ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels;
+  (match trace_path with
+  | Some p ->
+    Obs.Trace.write p;
+    Printf.printf "[wrote trace %s]\n" p
+  | None -> ());
   Printf.printf "\nDone.\n"

@@ -47,6 +47,32 @@ let jobs_arg =
 
 let jobs_opt jobs = if jobs <= 0 then None else Some jobs
 
+(* Tracing is armed before the subcommand body runs and flushed through
+   at_exit, so the trace survives the early [exit]s of the failure paths
+   (quarantined circuits, Guard errors). *)
+let trace_term =
+  let doc =
+    "Write a Chrome trace-event JSON of this run to $(docv) (open in \
+     Perfetto or chrome://tracing).  $(b,CFPM_TRACE) sets the same path \
+     from the environment."
+  in
+  let arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let setup path =
+    let path =
+      match path with Some _ -> path | None -> Sys.getenv_opt "CFPM_TRACE"
+    in
+    match path with
+    | None -> ()
+    | Some p ->
+      Obs.Trace.enable ();
+      at_exit (fun () ->
+          Obs.Trace.write p;
+          Printf.eprintf "cfpm: wrote trace %s\n" p)
+  in
+  Term.(const setup $ arg)
+
 (* Resource-budget flags shared by the model-building subcommands.  A zero
    value (the default) means "no such ceiling"; any combination composes
    into one Guard.Budget enforced cooperatively during construction. *)
@@ -160,7 +186,7 @@ let info_cmd =
     Term.(const run $ circuit_arg)
 
 let build_cmd =
-  let run name max_size strategy weighting vectors seed budget =
+  let run () name max_size strategy weighting vectors seed budget =
     let c = find_circuit name in
     let max_size = if max_size <= 0 then None else Some max_size in
     let model = build_or_exit ?budget ~strategy ~weighting ?max_size c in
@@ -186,26 +212,26 @@ let build_cmd =
     (Cmd.info "build"
        ~doc:"Build a power model and evaluate it against the simulator.")
     Term.(
-      const run $ circuit_arg $ max_size_arg $ strategy_arg $ weighting_arg
-      $ vectors_arg $ seed_arg $ budget_term)
+      const run $ trace_term $ circuit_arg $ max_size_arg $ strategy_arg
+      $ weighting_arg $ vectors_arg $ seed_arg $ budget_term)
 
 let fig7a_cmd =
-  let run vectors seed jobs =
+  let run () vectors seed jobs =
     let r = Experiments.Fig7a.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7a r)
   in
   Cmd.v
     (Cmd.info "fig7a" ~doc:"Reproduce Fig. 7a (RE vs st for cm85).")
-    Term.(const run $ vectors_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ trace_term $ vectors_arg $ seed_arg $ jobs_arg)
 
 let fig7b_cmd =
-  let run vectors seed jobs =
+  let run () vectors seed jobs =
     let r = Experiments.Fig7b.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7b r)
   in
   Cmd.v
     (Cmd.info "fig7b" ~doc:"Reproduce Fig. 7b (ARE vs model size for cm85).")
-    Term.(const run $ vectors_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ trace_term $ vectors_arg $ seed_arg $ jobs_arg)
 
 (* Supervision flags shared with the bench harness's environment knobs:
    retries with deterministic backoff, and an optional resume journal. *)
@@ -251,7 +277,7 @@ let table1_cmd =
     let doc = "Scale factor applied to the Table 1 MAX bounds." in
     Arg.(value & opt float 1.0 & info [ "max-scale" ] ~docv:"S" ~doc)
   in
-  let run vectors seed names max_scale jobs (policy, resume) =
+  let run () vectors seed names max_scale jobs (policy, resume) =
     let config =
       {
         Experiments.Table1.default_config with
@@ -307,8 +333,8 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (all benchmarks).")
     Term.(
-      const run $ vectors_arg $ seed_arg $ names_arg $ scale_arg $ jobs_arg
-      $ supervision_term)
+      const run $ trace_term $ vectors_arg $ seed_arg $ names_arg $ scale_arg
+      $ jobs_arg $ supervision_term)
 
 let dot_cmd =
   let run name max_size strategy weighting =
@@ -326,7 +352,7 @@ let import_cmd =
     let doc = "BLIF file describing the combinational macro." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file max_size strategy weighting budget =
+  let run () file max_size strategy weighting budget =
     match Netlist.Blif.parse_file file with
     | Error err -> fail_with err
     | Ok c ->
@@ -344,11 +370,11 @@ let import_cmd =
     (Cmd.info "import"
        ~doc:"Parse a BLIF netlist, map it onto the cell library and model it.")
     Term.(
-      const run $ file_arg $ max_size_arg $ strategy_arg $ weighting_arg
-      $ budget_term)
+      const run $ trace_term $ file_arg $ max_size_arg $ strategy_arg
+      $ weighting_arg $ budget_term)
 
 let worst_cmd =
-  let run name max_size =
+  let run () name max_size =
     let c = find_circuit name in
     let max_size = if max_size <= 0 then None else Some max_size in
     let bound = Powermodel.Bounds.build ?max_size c in
@@ -372,7 +398,7 @@ let worst_cmd =
   Cmd.v
     (Cmd.info "worst"
        ~doc:"Worst-case transition witness and per-input sensitivities.")
-    Term.(const run $ circuit_arg $ max_size_arg)
+    Term.(const run $ trace_term $ circuit_arg $ max_size_arg)
 
 let blif_cmd =
   let run name =

@@ -357,13 +357,25 @@ let search mgr plan max_size =
   if Add.size_in mgr result <= max_size then result
   else build_collapse mgr plan total
 
+let collapse_passes_metric = Obs.Metrics.metric "dd.collapse_passes"
+
 let compress ?(weighting = default_weighting) mgr ~strategy ~max_size root =
   if max_size < 1 then invalid_arg "Approx.compress: max_size must be >= 1";
   if Add.size_under mgr root ~limit:max_size <> None then root
   else begin
     Perf.note_collapse (Add.perf mgr);
-    let plan = make_plan strategy weighting root in
-    search mgr plan max_size
+    Obs.Metrics.incr collapse_passes_metric;
+    Obs.Trace.with_span "collapse" ~cat:"dd"
+      ~args:(fun () ->
+        [
+          ("before_nodes", Json.Int (Add.size_in mgr root));
+          ("max_size", Json.Int max_size);
+        ])
+      ~result_args:(fun result ->
+        [ ("after_nodes", Json.Int (Add.size_in mgr result)) ])
+      (fun () ->
+        let plan = make_plan strategy weighting root in
+        search mgr plan max_size)
   end
 
 let collapse_below ?(weighting = default_weighting) mgr ~strategy ~threshold

@@ -32,7 +32,11 @@ let render ~header rows =
   in
   String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
 
-let pct x = Printf.sprintf "%.1f" (100.0 *. x)
+(* A non-finite ARE (zero simulated reference with a nonzero estimate —
+   a degenerate run) must surface as an explicit marker, not as "inf" or
+   "nan" pretending to be a percentage. *)
+let pct x =
+  if Float.is_finite x then Printf.sprintf "%.1f" (100.0 *. x) else "n/a"
 
 let fig7a (r : Fig7a.result) =
   let rows =

@@ -5,7 +5,8 @@ val render : header:string list -> string list list -> string
 (** Align a table: first column left-aligned, the rest right-aligned. *)
 
 val pct : float -> string
-(** A ratio rendered as a percentage with one decimal. *)
+(** A ratio rendered as a percentage with one decimal; non-finite ratios
+    (degenerate zero-reference runs) render as ["n/a"]. *)
 
 val fig7a : Fig7a.result -> string
 val fig7b : Fig7b.result -> string

@@ -65,6 +65,14 @@ let run_grid ?(grid = default_grid) ?(vectors = 2000) ?(seed = 2024) ?jobs sim
   in
   Parallel.Pool.run ?jobs tasks
 
+(* Empty result lists would make every ARE below a silent 0/0 = NaN that
+   propagates into reports and (before Json rendered non-finite floats as
+   null) could corrupt BENCH_results.json; a degenerate run must fail
+   loudly instead. *)
+let mean ~what = function
+  | [] -> invalid_arg (Printf.sprintf "Sweep.%s: no runs to average" what)
+  | res -> List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)
+
 (* Average relative error on average-power estimates: mean of |RE| over the
    grid, as in the paper's ARE. *)
 let are_average results label =
@@ -76,7 +84,7 @@ let are_average results label =
           (relative_error ~estimate:est.Estimator.average ~truth:r.sim_average))
       results
   in
-  List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)
+  mean ~what:"are_average" res
 
 (* Average relative error on maximum-power estimates, for the bound
    columns: the bound's run maximum against the simulated run maximum. *)
@@ -89,7 +97,7 @@ let are_maximum results label =
           (relative_error ~estimate:est.Estimator.maximum ~truth:r.sim_maximum))
       results
   in
-  List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)
+  mean ~what:"are_maximum" res
 
 (* A constant estimator's "run maximum" is the constant itself; expose an
    ARE against the simulated maxima for the constant bound column. *)
@@ -100,4 +108,4 @@ let are_constant_maximum results value =
         Float.abs (relative_error ~estimate:value ~truth:r.sim_maximum))
       results
   in
-  List.fold_left ( +. ) 0.0 res /. float_of_int (List.length res)
+  mean ~what:"are_constant_maximum" res

@@ -40,7 +40,12 @@ val run_grid :
     results are identical for every job count. *)
 
 val are_average : run_result list -> string -> float
-(** ARE of the named estimator's average-power estimates over the runs. *)
+(** ARE of the named estimator's average-power estimates over the runs.
+    An infinite relative error at any point (zero simulated reference,
+    nonzero estimate) makes the ARE infinite; reports render non-finite
+    AREs as "n/a" and the JSON layer as [null].  All three aggregators
+    raise [Invalid_argument] on an empty run list rather than return
+    the silent [0/0 = NaN]. *)
 
 val are_maximum : run_result list -> string -> float
 (** ARE of the named estimator's per-run maximum against the simulated

@@ -134,7 +134,19 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* journal.appends counts records durably framed (including a torn
+   injected append, which did reach the disk); the recovery counters are
+   set once per [recover] call. *)
+let m_appends = Obs.Metrics.metric "journal.appends"
+let m_recovered = Obs.Metrics.metric "journal.recovered"
+let m_dropped = Obs.Metrics.metric "journal.dropped"
+let m_torn = Obs.Metrics.metric "journal.torn"
+
 let append t ~key payload =
+  Obs.Trace.with_span "journal_append" ~cat:"journal"
+    ~args:(fun () -> [ ("key", Json.String key) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_appends;
   let line = frame ~key payload in
   locked t (fun () ->
       if t.closed then
@@ -186,6 +198,18 @@ type recovery = {
 let empty_recovery = { records = []; recovered = 0; dropped = 0; torn = false }
 
 let recover path =
+  Obs.Trace.with_span "journal_recover" ~cat:"journal"
+    ~args:(fun () -> [ ("file", Json.String path) ])
+    ~result_args:(fun result ->
+      match result with
+      | Ok r ->
+        [
+          ("recovered", Json.Int r.recovered);
+          ("dropped", Json.Int r.dropped);
+          ("torn", Json.Bool r.torn);
+        ]
+      | Error _ -> [ ("failed", Json.Bool true) ])
+  @@ fun () ->
   match
     In_channel.with_open_bin path In_channel.input_all
   with
@@ -220,6 +244,9 @@ let recover path =
         walk rest
     in
     walk lines;
+    Obs.Metrics.add m_recovered !recovered;
+    Obs.Metrics.add m_dropped !dropped;
+    if !torn then Obs.Metrics.incr m_torn;
     Ok
       {
         records = List.rev !records;

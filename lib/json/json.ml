@@ -10,14 +10,23 @@ type t =
 (* ------------------------------------------------------------------ *)
 (* Printing.                                                           *)
 
-(* Shortest %g form that parses back bit-identically; %.17g always does. *)
+(* Shortest %g form that parses back bit-identically; %.17g always does.
+   Non-finite floats have no JSON number syntax — "%g" renders them as
+   "nan"/"inf", which the ".0" suffix below would turn into tokens our
+   own parser (and every other JSON consumer) rejects — so they are
+   rendered as the JSON null literal instead.  The exactness check
+   compares bit patterns, not values: [float_of_string s = f] is always
+   false for NaN (NaN <> NaN) and cannot distinguish -0.0 from 0.0. *)
 let float_repr f =
-  let exact s = float_of_string s = f in
-  let s = Printf.sprintf "%.12g" f in
-  let s = if exact s then s else Printf.sprintf "%.17g" f in
-  (* keep the token a float on re-parse: "2" would come back as Int 2 *)
-  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
-  else s ^ ".0"
+  if not (Float.is_finite f) then "null"
+  else begin
+    let exact s = Int64.bits_of_float (float_of_string s) = Int64.bits_of_float f in
+    let s = Printf.sprintf "%.12g" f in
+    let s = if exact s then s else Printf.sprintf "%.17g" f in
+    (* keep the token a float on re-parse: "2" would come back as Int 2 *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
 
 let escape_string buf s =
   Buffer.add_char buf '"';
@@ -48,9 +57,7 @@ let to_string ?(pretty = true) t =
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-      if Float.is_finite f then Buffer.add_string buf (float_repr f)
-      else Buffer.add_string buf "null"
+    | Float f -> Buffer.add_string buf (float_repr f)
     | String s -> escape_string buf s
     | List [] -> Buffer.add_string buf "[]"
     | List items ->

@@ -7,10 +7,14 @@
     parallel-determinism check.
 
     Floats are printed with the shortest [%g] representation that parses
-    back to the identical bit pattern (falling back to [%.17g]), so
-    [of_string (to_string j)] round-trips numeric values exactly.
-    Non-finite floats have no JSON representation and are emitted as
-    [null]. *)
+    back to the identical bit pattern — compared via
+    [Int64.bits_of_float], so [-0.0] keeps its sign — falling back to
+    [%.17g]; [of_string (to_string j)] therefore round-trips finite
+    values exactly.  Non-finite floats (NaN, [infinity],
+    [neg_infinity]) have no JSON representation and render as the
+    [null] literal, so every emitted document stays valid JSON; they
+    re-parse as {!Null}, which is the one lossy corner of the round
+    trip and is deliberate. *)
 
 type t =
   | Null

@@ -1,0 +1,59 @@
+type kind = Sum | Max
+
+type t = { name : string; kind : kind; local : bool; cell : int Atomic.t }
+
+(* Creation is rare (a handful of sites, each caching its handle); the
+   mutex never appears on an update path. *)
+let registry_mutex = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let metric ?(kind = Sum) ?(local = false) name =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m ->
+        if m.kind <> kind || m.local <> local then
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.metric: %S already registered with a different \
+                kind/locality"
+               name);
+        m
+      | None ->
+        let m = { name; kind; local; cell = Atomic.make 0 } in
+        Hashtbl.add registry name m;
+        m)
+
+let add m n =
+  match m.kind with
+  | Sum -> ignore (Atomic.fetch_and_add m.cell n)
+  | Max ->
+    let rec loop () =
+      let cur = Atomic.get m.cell in
+      if n > cur && not (Atomic.compare_and_set m.cell cur n) then loop ()
+    in
+    loop ()
+
+let incr m = add m 1
+
+let value m = Atomic.get m.cell
+
+let all () =
+  Mutex.lock registry_mutex;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun a b -> String.compare a.name b.name) ms
+
+let snapshot () =
+  List.filter_map
+    (fun m -> if m.local then None else Some (m.name, Atomic.get m.cell))
+    (all ())
+
+let snapshot_all () = List.map (fun m -> (m.name, Atomic.get m.cell)) (all ())
+
+let snapshot_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()))
+
+let reset () = List.iter (fun m -> Atomic.set m.cell 0) (all ())

@@ -1,0 +1,51 @@
+(** Process-wide metrics registry.
+
+    One flat namespace of named integer metrics, designed so that the
+    {e deterministic} subset of them is bit-identical for a fixed
+    workload regardless of how many worker domains executed it:
+
+    - {b Sum} counters accumulate order-independent totals (task counts,
+      retries, cache hits).  Every increment is attributable to a task,
+      and the task set is fixed, so the total is too.
+    - {b Max} gauges keep a running maximum (peak node counts).  Max is
+      commutative, so the merged value is schedule-independent.
+    - Metrics created with [~local:true] are excluded from {!snapshot}:
+      they measure the {e execution}, not the workload (per-worker task
+      counts, queue depth high-water), and legitimately differ between
+      a jobs=1 and a jobs=4 run.  They appear only in {!snapshot_all}.
+
+    Metrics are always on — an update is one atomic read-modify-write —
+    and there is deliberately no enable switch: the bench report's
+    [metrics] member must exist on every run. *)
+
+type t
+(** A registered metric handle.  Find-or-create with {!metric}; hold the
+    handle and update it directly — no name hashing on the update path. *)
+
+type kind = Sum | Max
+
+val metric : ?kind:kind -> ?local:bool -> string -> t
+(** Find-or-create.  [kind] defaults to [Sum], [local] to [false].
+    Raises [Invalid_argument] if the name exists with a different kind
+    or locality — one name, one meaning. *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+(** [add] on a [Max] metric records [max current value]; on a [Sum]
+    metric it adds. *)
+
+val value : t -> int
+
+(** {1 Snapshots} *)
+
+val snapshot : unit -> (string * int) list
+(** Deterministic metrics only, sorted by name. *)
+
+val snapshot_all : unit -> (string * int) list
+(** Every metric, including [local] ones, sorted by name. *)
+
+val snapshot_json : unit -> Json.t
+(** {!snapshot} as a JSON object — the bench report's [metrics] member. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid). *)

@@ -1,0 +1,74 @@
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "CFPM_PROGRESS" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let enabled_flag : bool option Atomic.t = Atomic.make None
+
+let enabled () =
+  match Atomic.get enabled_flag with
+  | Some b -> b
+  | None -> Lazy.force env_enabled
+
+let set_enabled b = Atomic.set enabled_flag (Some b)
+
+let now_ns () = Monotonic_clock.now ()
+
+type t = {
+  label : string;
+  total : int;
+  completed : int Atomic.t;
+  started_ns : int64;
+  interval_ns : int64;
+  (* monotonic ns of the last heartbeat; claimed by CAS so concurrent
+     steppers print at most one line per interval *)
+  last_print : int64 Atomic.t;
+}
+
+let create ?(interval_seconds = 1.0) ~label ~total () =
+  if total < 0 then invalid_arg "Progress.create: total must be >= 0";
+  let t0 = now_ns () in
+  {
+    label;
+    total;
+    completed = Atomic.make 0;
+    started_ns = t0;
+    interval_ns = Int64.of_float (interval_seconds *. 1e9);
+    last_print = Atomic.make t0;
+  }
+
+let completed t = Atomic.get t.completed
+
+let elapsed_seconds t = Int64.to_float (Int64.sub (now_ns ()) t.started_ns) /. 1e9
+
+let line t =
+  let done_ = Atomic.get t.completed in
+  let elapsed = elapsed_seconds t in
+  let eta =
+    if done_ > 0 && t.total > done_ then
+      Printf.sprintf " eta %.1fs"
+        (elapsed /. float_of_int done_ *. float_of_int (t.total - done_))
+    else ""
+  in
+  let pct =
+    if t.total > 0 then Printf.sprintf " (%d%%)" (100 * done_ / t.total) else ""
+  in
+  Printf.sprintf "cfpm: %s %d/%d tasks%s elapsed %.1fs%s" t.label done_ t.total
+    pct elapsed eta
+
+let step t =
+  ignore (Atomic.fetch_and_add t.completed 1);
+  if enabled () then begin
+    let now = now_ns () in
+    let last = Atomic.get t.last_print in
+    if
+      Int64.compare (Int64.sub now last) t.interval_ns >= 0
+      && Atomic.compare_and_set t.last_print last now
+    then Printf.eprintf "%s\n%!" (line t)
+  end
+
+let finish t =
+  if enabled () then
+    Printf.eprintf "cfpm: %s done: %d/%d tasks in %.1fs\n%!" t.label
+      (Atomic.get t.completed) t.total (elapsed_seconds t)

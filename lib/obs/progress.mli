@@ -1,0 +1,35 @@
+(** Progress heartbeats for long sweeps.
+
+    Off by default; armed by [CFPM_PROGRESS=1] (or {!set_enabled} from
+    code).  While armed, a tracker prints at most one stderr line per
+    [interval_seconds] of the form
+
+    {v cfpm: table1 5/13 tasks (38%) elapsed 12.3s eta 19.7s v}
+
+    plus a final line from {!finish}.  Trackers are multi-domain safe:
+    {!step} is called from pool workers and uses atomics only; the
+    printing slot is claimed by compare-and-set so two workers never
+    interleave a heartbeat. *)
+
+type t
+
+val enabled : unit -> bool
+(** [CFPM_PROGRESS] is consulted once, at first call. *)
+
+val set_enabled : bool -> unit
+
+val create : ?interval_seconds:float -> label:string -> total:int -> unit -> t
+(** [interval_seconds] defaults to 1.0.  [total] is the task count; a
+    [total] of 0 renders without percentages. *)
+
+val step : t -> unit
+(** One task finished.  Prints a heartbeat if armed and due. *)
+
+val completed : t -> int
+
+val line : t -> string
+(** The heartbeat line {!step} would print, sans newline — exposed so
+    tests can pin the format without scraping stderr. *)
+
+val finish : t -> unit
+(** Print the final line (if armed): completed count and elapsed time. *)

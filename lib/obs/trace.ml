@@ -1,0 +1,204 @@
+(* Span tracing: per-domain ring buffers, merged at export into Chrome
+   trace-event JSON.  See trace.mli for the concurrency contract. *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let now_ns () = Monotonic_clock.now ()
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  args : (string * Json.t) list;
+}
+
+(* an open span, waiting for its end *)
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_ts : int64;
+  f_args : (string * Json.t) list;
+}
+
+type buffer = {
+  tid : int;
+  ring : event option array;
+  mutable head : int; (* next write slot *)
+  mutable filled : int; (* completed events currently held, <= capacity *)
+  mutable dropped : int;
+  mutable stack : frame list;
+  mutable unbalanced : int;
+}
+
+let default_capacity = 65536
+let capacity = Atomic.make default_capacity
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n
+
+(* Registration is the only cross-domain write path and happens once per
+   domain; the hot path reads the buffer straight out of DLS. *)
+let registry_mutex = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let make_buffer () =
+  let b =
+    {
+      tid = (Domain.self () :> int);
+      ring = Array.make (Atomic.get capacity) None;
+      head = 0;
+      filled = 0;
+      dropped = 0;
+      stack = [];
+      unbalanced = 0;
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry := b :: !registry;
+  Mutex.unlock registry_mutex;
+  b
+
+let buffer_key = Domain.DLS.new_key make_buffer
+let buffer () = Domain.DLS.get buffer_key
+
+let push b ev =
+  let cap = Array.length b.ring in
+  if b.filled = cap then b.dropped <- b.dropped + 1
+  else b.filled <- b.filled + 1;
+  b.ring.(b.head) <- Some ev;
+  b.head <- (b.head + 1) mod cap
+
+let close_span ?(extra = []) b =
+  match b.stack with
+  | [] -> b.unbalanced <- b.unbalanced + 1
+  | fr :: rest ->
+    b.stack <- rest;
+    push b
+      {
+        name = fr.f_name;
+        cat = fr.f_cat;
+        ts_ns = fr.f_ts;
+        dur_ns = Int64.sub (now_ns ()) fr.f_ts;
+        args = fr.f_args @ extra;
+      }
+
+let with_span ?cat ?args ?result_args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = buffer () in
+    let cat = match cat with Some c -> c | None -> "cfpm" in
+    let args = match args with Some g -> g () | None -> [] in
+    b.stack <-
+      { f_name = name; f_cat = cat; f_ts = now_ns (); f_args = args } :: b.stack;
+    match f () with
+    | v ->
+      let extra = match result_args with Some g -> g v | None -> [] in
+      close_span ~extra b;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_span ~extra:[ ("raised", Json.Bool true) ] b;
+      Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?cat ?args name =
+  if Atomic.get enabled_flag then begin
+    let b = buffer () in
+    let cat = match cat with Some c -> c | None -> "cfpm" in
+    let args = match args with Some g -> g () | None -> [] in
+    push b { name; cat; ts_ns = now_ns (); dur_ns = 0L; args }
+  end
+
+let depth () = List.length (buffer ()).stack
+
+let buffers () =
+  Mutex.lock registry_mutex;
+  let bs = !registry in
+  Mutex.unlock registry_mutex;
+  bs
+
+let sum f = List.fold_left (fun acc b -> acc + f b) 0 (buffers ())
+let dropped () = sum (fun b -> b.dropped)
+let unbalanced () = sum (fun b -> b.unbalanced)
+let event_count () = sum (fun b -> b.filled)
+
+let events_of b =
+  (* oldest-first walk of the ring *)
+  let cap = Array.length b.ring in
+  let start = (b.head - b.filled + (cap * 2)) mod cap in
+  List.init b.filled (fun i ->
+      match b.ring.((start + i) mod cap) with
+      | Some ev -> ev
+      | None -> assert false (* filled counts only written slots *))
+
+let event_json ~t0 tid ev =
+  let us ns = Int64.to_float (Int64.sub ns t0) /. 1e3 in
+  Json.Obj
+    ([
+       ("name", Json.String ev.name);
+       ("cat", Json.String ev.cat);
+       ("ph", Json.String "X");
+       ("ts", Json.Float (us ev.ts_ns));
+       ("dur", Json.Float (Int64.to_float ev.dur_ns /. 1e3));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ match ev.args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let export () =
+  let tagged =
+    List.concat_map (fun b -> List.map (fun ev -> (b.tid, ev)) (events_of b))
+      (buffers ())
+  in
+  let t0 =
+    List.fold_left
+      (fun acc (_, ev) -> if ev.ts_ns < acc then ev.ts_ns else acc)
+      Int64.max_int tagged
+  in
+  let t0 = if tagged = [] then 0L else t0 in
+  let sorted =
+    List.sort
+      (fun (ta, a) (tb, b) ->
+        match Int64.compare a.ts_ns b.ts_ns with
+        | 0 -> ( match compare ta tb with 0 -> String.compare a.name b.name | c -> c)
+        | c -> c)
+      tagged
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (List.map (fun (tid, ev) -> event_json ~t0 tid ev) sorted) );
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("dropped", Json.Int (dropped ()));
+            ("unbalanced", Json.Int (unbalanced ()));
+          ] );
+    ]
+
+let write path =
+  let text = Json.to_string ~pretty:false (export ()) in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text);
+  Sys.rename tmp path
+
+let reset () =
+  List.iter
+    (fun b ->
+      Array.fill b.ring 0 (Array.length b.ring) None;
+      b.head <- 0;
+      b.filled <- 0;
+      b.dropped <- 0;
+      b.stack <- [];
+      b.unbalanced <- 0)
+    (buffers ())

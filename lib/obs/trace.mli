@@ -1,0 +1,78 @@
+(** Span tracing with per-domain ring buffers and Chrome trace-event
+    export.
+
+    Tracing is a process-wide switch, {b off by default}.  While off, the
+    span entry points reduce to one atomic load and a direct call of the
+    thunk — no allocation, no clock read — so instrumentation can stay in
+    hot paths permanently.  While on, every span costs two monotonic
+    clock reads and one slot of its domain's ring buffer.
+
+    Concurrency model: each domain records into its own fixed-capacity
+    ring buffer, created on first use and registered under a global
+    mutex.  The hot path (push/pop of spans) touches only domain-local
+    state, so it needs no locks and cannot contend.  {!export}, {!write}
+    and {!reset} read every buffer and must only be called when no other
+    domain is recording — in practice, after the worker pool has joined.
+
+    Exported traces are Chrome trace-event JSON ("X" complete events,
+    microsecond timestamps rebased to the earliest event), loadable in
+    Perfetto / chrome://tracing and parseable by {!Json.of_string}. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_capacity : int -> unit
+(** Ring capacity for buffers created {e afterwards} (default 65536
+    events per domain).  When a ring is full the oldest events are
+    overwritten and counted in {!dropped}. *)
+
+val with_span :
+  ?cat:string ->
+  ?args:(unit -> (string * Json.t) list) ->
+  ?result_args:('a -> (string * Json.t) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f] inside a span.  [args] is a thunk so
+    argument JSON is only built when tracing is on; [result_args] adds
+    members computed from the result (an after-collapse node count, a
+    task's outcome) when [f] returns normally.  The span is closed on
+    both normal return and exception — an exceptional close is tagged
+    with [{"raised": true}] and the exception re-raised with its
+    backtrace intact.  Spans nest: each domain keeps a stack, so a trace
+    viewer reconstructs the tree from the timestamps. *)
+
+val instant : ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string -> unit
+(** A zero-duration event (rendered as an "X" event with [dur = 0]). *)
+
+(** {1 Introspection} *)
+
+val depth : unit -> int
+(** Open spans on the calling domain — 0 outside any [with_span]. *)
+
+val dropped : unit -> int
+(** Events lost to ring overflow, summed over every domain. *)
+
+val unbalanced : unit -> int
+(** Span ends that found an empty stack, summed over every domain;
+    always 0 when spans are only opened through {!with_span}. *)
+
+val event_count : unit -> int
+(** Completed events currently held in the rings. *)
+
+(** {1 Export} *)
+
+val export : unit -> Json.t
+(** Merge every domain's buffer into one Chrome trace-event object:
+    [{"traceEvents": [...], "displayTimeUnit": "ms", ...}].  Events are
+    sorted by (timestamp, tid, name), so the rendering is deterministic
+    for a deterministic workload. *)
+
+val write : string -> unit
+(** [write path] renders {!export} compactly to [path] via a temp file +
+    rename, so a crash mid-write never leaves a truncated trace. *)
+
+val reset : unit -> unit
+(** Drop all recorded events and per-domain stacks (the buffers stay
+    registered).  Counters ({!dropped}, {!unbalanced}) reset too. *)

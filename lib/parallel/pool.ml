@@ -28,20 +28,65 @@ type 'a outcome =
   | Value of 'a
   | Raised of exn * Printexc.raw_backtrace
 
-let run_inline tasks = List.map (fun f -> f ()) tasks
+(* Deterministic: one tick per task handed to [run], independent of the
+   worker count.  The per-worker counters below are [local] — they
+   measure the schedule, not the workload — and never enter the
+   deterministic snapshot. *)
+let tasks_metric = Obs.Metrics.metric "pool.tasks"
+
+let worker_metric =
+  (* worker indices are process-global: nested pools never exist (workers
+     run nested [run]s inline), so index w is always the w-th domain of
+     the one active pool *)
+  let cache = Hashtbl.create 8 in
+  fun w ->
+    match Hashtbl.find_opt cache w with
+    | Some m -> m
+    | None ->
+      let m =
+        Obs.Metrics.metric ~local:true (Printf.sprintf "pool.worker%d.tasks" w)
+      in
+      Hashtbl.add cache w m;
+      m
+
+let run_inline ?progress tasks =
+  List.map
+    (fun f ->
+      let v = f () in
+      Obs.Metrics.incr tasks_metric;
+      (match progress with Some p -> Obs.Progress.step p | None -> ());
+      v)
+    tasks
+
+let tracker ~label n =
+  if Obs.Progress.enabled () then
+    Some (Obs.Progress.create ~label ~total:n ())
+  else None
+
+let finish_tracker = Option.iter Obs.Progress.finish
 
 let run ?jobs tasks =
   match tasks with
   | [] -> []
-  | [ f ] -> [ f () ]
+  | [ f ] ->
+    let v = f () in
+    Obs.Metrics.incr tasks_metric;
+    [ v ]
   | _ ->
     let n = List.length tasks in
     let jobs =
       let requested = match jobs with Some j -> max 1 j | None -> default_jobs () in
       min requested n
     in
-    if jobs = 1 || in_worker () then run_inline tasks
+    if in_worker () then run_inline tasks
+    else if jobs = 1 then begin
+      let progress = tracker ~label:"pool" n in
+      let r = run_inline ?progress tasks in
+      finish_tracker progress;
+      r
+    end
     else begin
+      let progress = tracker ~label:"pool" n in
       let slots = Array.make n None in
       let queue = Queue.create () in
       List.iteri (fun i f -> Queue.add (i, f) queue) tasks;
@@ -58,10 +103,13 @@ let run ?jobs tasks =
         Mutex.lock mutex;
         decr remaining;
         if !remaining = 0 then Condition.signal all_done;
-        Mutex.unlock mutex
+        Mutex.unlock mutex;
+        Obs.Metrics.incr tasks_metric;
+        match progress with Some p -> Obs.Progress.step p | None -> ()
       in
-      let worker () =
+      let worker w () =
         Domain.DLS.set worker_flag true;
+        let per_worker = worker_metric w in
         let rec loop () =
           match take () with
           | None -> ()
@@ -72,18 +120,20 @@ let run ?jobs tasks =
             in
             (* distinct indices per task: no two domains write one slot *)
             slots.(i) <- Some outcome;
+            Obs.Metrics.incr per_worker;
             finish ();
             loop ()
         in
         loop ()
       in
-      let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+      let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
       Mutex.lock mutex;
       while !remaining > 0 do
         Condition.wait all_done mutex
       done;
       Mutex.unlock mutex;
       List.iter Domain.join domains;
+      finish_tracker progress;
       (* joining the workers orders their slot writes before these reads *)
       let outcomes =
         Array.map
@@ -188,28 +238,58 @@ module Supervisor = struct
 
   type 'a status = { key : string; outcome : 'a outcome; attempts : int }
 
+  (* Retry counts depend only on the fault specification and the error
+     taxonomy, never on the schedule, so these are deterministic across
+     worker counts (the backoff jitter is already a pure function of the
+     task key). *)
+  let m_retries = Obs.Metrics.metric "supervisor.retries"
+  let m_completed = Obs.Metrics.metric "supervisor.completed"
+  let m_quarantined = Obs.Metrics.metric "supervisor.quarantined"
+  let m_fatal = Obs.Metrics.metric "supervisor.fatal"
+
+  let outcome_label = function
+    | Completed _ -> "completed"
+    | Quarantined _ -> "quarantined"
+    | Fatal _ -> "fatal"
+
   (* The whole retry loop runs inside the worker's pool slot: a retried
      task occupies one worker and keeps submission-order results. *)
   let supervise ?deadline ~policy ~sleep (key, f) () =
+    Obs.Trace.with_span key ~cat:"task"
+      ~result_args:(fun status ->
+        [ ("outcome", Json.String (outcome_label status.outcome));
+          ("attempts", Json.Int status.attempts) ])
+    @@ fun () ->
     let attempt_once n =
-      Guard.Fault.with_task ~key ~attempt:n
-        (isolate ?deadline (fun () ->
-             Guard.Fault.inject "pool_task";
-             f ()))
+      Obs.Trace.with_span "attempt" ~cat:"task"
+        ~args:(fun () -> [ ("n", Json.Int n) ])
+        (fun () ->
+          Guard.Fault.with_task ~key ~attempt:n
+            (isolate ?deadline (fun () ->
+                 Guard.Fault.inject "pool_task";
+                 f ())))
     in
     let rec go n =
       match attempt_once n with
-      | Ok v -> { key; outcome = Completed v; attempts = n + 1 }
+      | Ok v ->
+        Obs.Metrics.incr m_completed;
+        { key; outcome = Completed v; attempts = n + 1 }
       | Error e ->
-        if not (retryable e) then { key; outcome = Fatal e; attempts = n + 1 }
-        else if n >= policy.max_retries then
+        if not (retryable e) then begin
+          Obs.Metrics.incr m_fatal;
+          { key; outcome = Fatal e; attempts = n + 1 }
+        end
+        else if n >= policy.max_retries then begin
           let e =
             Guard.Error.with_context
               [ ("attempts", string_of_int (n + 1)) ]
               e
           in
+          Obs.Metrics.incr m_quarantined;
           { key; outcome = Quarantined e; attempts = n + 1 }
+        end
         else begin
+          Obs.Metrics.incr m_retries;
           sleep (backoff_ms policy ~key ~attempt:n /. 1_000.0);
           go (n + 1)
         end

@@ -6,8 +6,12 @@
    Table 1 uses exactly this value. *)
 
 let build ?budget ?weighting ?max_size ?output_load circuit =
-  Model.build ?budget ~strategy:Dd.Approx.Upper_bound ?weighting ?max_size
-    ?output_load circuit
+  Obs.Trace.with_span "bounds_build" ~cat:"build"
+    ~args:(fun () ->
+      [ ("circuit", Json.String circuit.Netlist.Circuit.name) ])
+    (fun () ->
+      Model.build ?budget ~strategy:Dd.Approx.Upper_bound ?weighting ?max_size
+        ?output_load circuit)
 
 let constant_bound model =
   match model.Model.strategy with

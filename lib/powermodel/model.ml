@@ -64,6 +64,18 @@ let degrade_floor = 8
    collapsed model cannot fit the ceiling.  Aborts raise {!Build_aborted}
    carrying the partial [build_stats], so callers can report how far the
    construction got. *)
+(* Deterministic construction metrics, merged into the bench report's
+   [metrics] member.  Every value is attributable to a completed build
+   (per-task managers, per-task counters), so the totals are identical
+   for any worker-domain count on a fixed workload; see lib/obs. *)
+let m_builds = Obs.Metrics.metric "model.builds"
+let m_gates_done = Obs.Metrics.metric "model.gates_done"
+let m_approx_calls = Obs.Metrics.metric "model.approx_calls"
+let m_degrade_steps = Obs.Metrics.metric "model.degrade_steps"
+let m_cache_hits = Obs.Metrics.metric "dd.cache_hits"
+let m_cache_misses = Obs.Metrics.metric "dd.cache_misses"
+let m_peak_nodes = Obs.Metrics.metric ~kind:Obs.Metrics.Max "dd.peak_add_nodes"
+
 let build ?budget ?(strategy = Dd.Approx.Average)
     ?(weighting = Dd.Approx.default_weighting) ?max_size ?output_load ?loads
     circuit =
@@ -73,6 +85,21 @@ let build ?budget ?(strategy = Dd.Approx.Average)
   (* chaos-testing seam: inert unless a fault spec is armed AND we are
      inside a supervised task (Guard.Fault's ambient scope) *)
   Guard.Fault.inject "model_build";
+  Obs.Trace.with_span "model_build" ~cat:"build"
+    ~args:(fun () ->
+      [
+        ("circuit", Json.String circuit.Netlist.Circuit.name);
+        ("gates", Json.Int (Netlist.Circuit.gate_count circuit));
+        ( "max_size",
+          match max_size with Some m -> Json.Int m | None -> Json.Null );
+      ])
+    ~result_args:(fun t ->
+      [
+        ("final_nodes", Json.Int t.stats.final_size);
+        ("peak_nodes", Json.Int t.stats.peak_size);
+        ("approx_calls", Json.Int t.stats.approx_calls);
+      ])
+  @@ fun () ->
   let budget =
     match budget with Some _ -> budget | None -> Guard.Budget.ambient ()
   in
@@ -83,13 +110,19 @@ let build ?budget ?(strategy = Dd.Approx.Average)
   let add_mgr = Dd.Add.manager () in
   let logic = bdd_logic bdd_mgr in
   let env_i = Array.init n (fun j -> Dd.Bdd.var bdd_mgr (Vars.initial j)) in
-  let values_i = Netlist.Circuit.eval_all logic circuit env_i in
+  let values_i =
+    Obs.Trace.with_span "bdd_build" ~cat:"build" (fun () ->
+        Netlist.Circuit.eval_all logic circuit env_i)
+  in
   (* The final-copy node functions are the initial-copy ones with every
      variable renamed 2j -> 2j+1 (interleaved numbering, see {!Vars}).
      Renaming by a constant offset preserves the variable order, so
      [Bdd.shift] derives them by a memoized structural copy instead of
      re-evaluating the whole netlist symbolically. *)
-  let values_f = Array.map (Dd.Bdd.shift bdd_mgr 1) values_i in
+  let values_f =
+    Obs.Trace.with_span "bdd_shift" ~cat:"build" (fun () ->
+        Array.map (Dd.Bdd.shift bdd_mgr 1) values_i)
+  in
   let loads =
     match loads with
     | Some loads ->
@@ -226,36 +259,51 @@ let build ?budget ?(strategy = Dd.Approx.Average)
       | Guard.Budget.Exhausted err -> abort err
       | Guard.Budget.Node_pressure _ -> degrade b)
   in
-  Array.iter
-    (fun (g : Netlist.Circuit.gate) ->
-      checkpoint ();
-      let load = loads.(g.out) in
-      if load = 0.0 then incr skipped
-      else begin
-        let rising =
-          Dd.Bdd.band bdd_mgr
-            (Dd.Bdd.bnot bdd_mgr values_i.(g.out))
-            values_f.(g.out)
-        in
-        (* of_bdd with the load as the one-value fuses the paper's
-           bdd-to-ADD conversion and add_times into one traversal. *)
-        let delta = Dd.Add.of_bdd add_mgr ~one_value:load rising in
-        (* per-gate contributions are bounded much harder than the
-           accumulator: the cost of adding a delta is the size of the
-           cross product, and the accumulator's own clamp dominates the
-           final accuracy anyway *)
-        let delta = clamp ~bound:(max 64 (m_delta_bound ())) delta in
-        cap := clamp (Dd.Add.add add_mgr !cap delta);
-        purge ()
-      end;
-      incr gates_done)
-    circuit.Netlist.Circuit.gates;
+  Obs.Trace.with_span "add_compose" ~cat:"build" (fun () ->
+      Array.iter
+        (fun (g : Netlist.Circuit.gate) ->
+          checkpoint ();
+          let load = loads.(g.out) in
+          if load = 0.0 then incr skipped
+          else begin
+            let rising =
+              Dd.Bdd.band bdd_mgr
+                (Dd.Bdd.bnot bdd_mgr values_i.(g.out))
+                values_f.(g.out)
+            in
+            (* of_bdd with the load as the one-value fuses the paper's
+               bdd-to-ADD conversion and add_times into one traversal. *)
+            let delta = Dd.Add.of_bdd add_mgr ~one_value:load rising in
+            (* per-gate contributions are bounded much harder than the
+               accumulator: the cost of adding a delta is the size of the
+               cross product, and the accumulator's own clamp dominates the
+               final accuracy anyway *)
+            let delta = clamp ~bound:(max 64 (m_delta_bound ())) delta in
+            cap := clamp (Dd.Add.add add_mgr !cap delta);
+            purge ()
+          end;
+          incr gates_done)
+        circuit.Netlist.Circuit.gates);
   (* the last gate may have pushed past a ceiling *)
   checkpoint ();
-  cap := clamp ~slack:false !cap;
+  Obs.Trace.with_span "final_clamp" ~cat:"build" (fun () ->
+      cap := clamp ~slack:false !cap);
   let final_size = Dd.Add.size_in add_mgr !cap in
   if final_size > !peak then peak := final_size;
   let stats = mk_stats () in
+  (* completed builds feed the deterministic metrics registry; aborted
+     ones do not (a deadline abort's partial counts depend on timing) *)
+  Obs.Metrics.incr m_builds;
+  Obs.Metrics.add m_gates_done stats.gates_done;
+  Obs.Metrics.add m_approx_calls stats.approx_calls;
+  Obs.Metrics.add m_degrade_steps stats.degrade_steps;
+  Obs.Metrics.add m_cache_hits
+    (Dd.Perf.total_hits (Dd.Add.perf add_mgr)
+    + Dd.Perf.total_hits (Dd.Bdd.perf bdd_mgr));
+  Obs.Metrics.add m_cache_misses
+    (Dd.Perf.total_misses (Dd.Add.perf add_mgr)
+    + Dd.Perf.total_misses (Dd.Bdd.perf bdd_mgr));
+  Obs.Metrics.add m_peak_nodes stats.peak_size;
   {
     circuit_name = circuit.Netlist.Circuit.name;
     inputs = n;

@@ -2,6 +2,8 @@ let () =
   Alcotest.run "cfpm"
     [
       ("guard", Test_guard.suite);
+      ("json", Test_json.suite);
+      ("obs", Test_obs.suite);
       ("bdd", Test_bdd.suite);
       ("add", Test_add.suite);
       ("perf", Test_perf.suite);

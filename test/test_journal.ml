@@ -236,6 +236,35 @@ let atomic_write () =
   Alcotest.(check bool) "no tmp residue" false (Sys.file_exists (path ^ ".tmp"));
   Sys.remove path
 
+(* A task result containing non-finite floats (a NaN ARE, an infinite
+   relative error) must still frame, CRC and recover: the printer
+   collapses those members to null, and the CRC is computed over that
+   canonical rendering on both sides. *)
+let nonfinite_payload () =
+  let path = temp "nonfinite" in
+  let p =
+    Json.Obj
+      [
+        ("are", Json.Float Float.nan);
+        ("bound", Json.Float Float.infinity);
+        ("slack", Json.Float Float.neg_infinity);
+        ("ok", Json.Float 1.5);
+      ]
+  in
+  Journal.with_journal ~sync:false path (fun t ->
+      Journal.append t ~key:"exp:nf:1" p);
+  let r = recover_ok path in
+  Alcotest.(check int) "recovered" 1 r.Journal.recovered;
+  Alcotest.(check int) "dropped" 0 r.Journal.dropped;
+  (match Journal.find r "exp:nf:1" with
+  | Some got ->
+    Alcotest.(check string)
+      "non-finite members collapsed to null"
+      {|{"are":null,"bound":null,"slack":null,"ok":1.5}|}
+      (Json.to_string ~pretty:false got)
+  | None -> Alcotest.fail "record lost");
+  Sys.remove path
+
 let crc32_reference () =
   (* IEEE 802.3 check value for "123456789" *)
   Alcotest.(check int) "check vector" 0xcbf43926 (Journal.crc32 "123456789");
@@ -254,5 +283,6 @@ let suite =
     Alcotest.test_case "reopen after torn tail" `Quick reopen_after_torn_tail;
     Alcotest.test_case "append to closed fails" `Quick append_to_closed_fails;
     Alcotest.test_case "atomic whole-file write" `Quick atomic_write;
+    Alcotest.test_case "non-finite payload survives" `Quick nonfinite_payload;
     Alcotest.test_case "crc32 reference vector" `Quick crc32_reference;
   ]

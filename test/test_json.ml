@@ -1,0 +1,176 @@
+(* JSON printer/parser round trips, with the float corners the bench
+   report actually hits: non-finite values (render as null — the one
+   deliberately lossy corner), signed zero, subnormals, and floats at
+   the int/float boundary where %.12g is not injective. *)
+
+let json =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Json.to_string ~pretty:false j))
+    ( = )
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+(* Round-trip semantics: finite floats are bit-exact, non-finite become
+   Null, everything else is structural equality. *)
+let rec normalize = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.List l -> Json.List (List.map normalize l)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, normalize v)) kvs)
+  | j -> j
+
+let rec equal_bits a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y ->
+    Int64.bits_of_float x = Int64.bits_of_float y
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 equal_bits xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k, v) (k', v') -> k = k' && equal_bits v v')
+         xs ys
+  | a, b -> a = b
+
+let roundtrip ?(pretty = false) j =
+  let s = Json.to_string ~pretty j in
+  let j' = parse_ok s in
+  if not (equal_bits (normalize j) j') then
+    Alcotest.failf "round trip changed %s -> %s" (Json.to_string ~pretty:false j)
+      (Json.to_string ~pretty:false j')
+
+(* ------------------------------------------------------------------ *)
+(* Directed corners.                                                   *)
+
+let nonfinite_renders_null () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "render %h" f)
+        "null"
+        (Json.to_string ~pretty:false (Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity; Float.nan *. -1.0 ];
+  (* a non-finite float nested in a report row must still emit a document
+     the parser accepts *)
+  let row =
+    Json.Obj
+      [
+        ("are", Json.Float Float.nan);
+        ("bound", Json.Float Float.infinity);
+        ("ok", Json.Float 0.25);
+      ]
+  in
+  Alcotest.check json "nested non-finite"
+    (Json.Obj
+       [ ("are", Json.Null); ("bound", Json.Null); ("ok", Json.Float 0.25) ])
+    (parse_ok (Json.to_string row))
+
+let signed_zero () =
+  let s = Json.to_string ~pretty:false (Json.Float (-0.0)) in
+  match parse_ok s with
+  | Json.Float f ->
+    Alcotest.(check int64)
+      "bits of -0.0 survive"
+      (Int64.bits_of_float (-0.0))
+      (Int64.bits_of_float f)
+  | j -> Alcotest.failf "-0.0 parsed as %s" (Json.to_string j)
+
+let boundary_floats () =
+  List.iter
+    (fun f -> roundtrip (Json.Float f))
+    [
+      0.0;
+      -0.0;
+      Float.min_float;
+      Float.max_float;
+      4.94e-324 (* smallest subnormal *);
+      0.1;
+      1.0 /. 3.0;
+      9007199254740993.0 (* 2^53 + 1: rounds, still must round-trip bits *);
+      1.7976931348623157e308;
+      -2.2250738585072014e-308;
+      1e22;
+      6.02214076e23;
+    ]
+
+let boundary_ints () =
+  List.iter
+    (fun i -> roundtrip (Json.Int i))
+    [ 0; 1; -1; max_int; min_int; 1 lsl 53; (1 lsl 53) + 1 ]
+
+let deep_nesting () =
+  let deep = ref (Json.Float Float.nan) in
+  for i = 0 to 199 do
+    deep :=
+      if i mod 2 = 0 then Json.List [ !deep ]
+      else Json.Obj [ ("k", !deep) ]
+  done;
+  roundtrip !deep;
+  roundtrip ~pretty:true !deep
+
+(* ------------------------------------------------------------------ *)
+(* Property: every constructible value round-trips (modulo the
+   documented non-finite -> null collapse).                            *)
+
+let float_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, float);
+      (2, map Int64.float_of_bits int64) (* arbitrary bit patterns: hits
+                                            NaN payloads, subnormals *);
+      (1,
+       oneofl
+         [
+           Float.nan; Float.infinity; Float.neg_infinity; -0.0; 0.1;
+           9007199254740993.0; Float.max_float; Float.min_float;
+         ]);
+    ]
+
+let string_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 1 127)) (int_bound 12))
+
+let json_gen =
+  let open QCheck.Gen in
+  sized_size (int_bound 5) @@ fix (fun self fuel ->
+      if fuel = 0 then
+        frequency
+          [
+            (1, return Json.Null);
+            (2, map (fun b -> Json.Bool b) bool);
+            (3, map (fun i -> Json.Int i) int);
+            (3, map (fun f -> Json.Float f) float_gen);
+            (2, map (fun s -> Json.String s) string_gen);
+          ]
+      else
+        frequency
+          [
+            (2, map (fun f -> Json.Float f) float_gen);
+            (2,
+             map (fun l -> Json.List l)
+               (list_size (int_bound 4) (self (fuel - 1))));
+            (2,
+             map (fun kvs -> Json.Obj kvs)
+               (list_size (int_bound 4)
+                  (pair string_gen (self (fuel - 1)))));
+          ])
+
+let json_arbitrary =
+  QCheck.make ~print:(fun j -> Json.to_string ~pretty:false j) json_gen
+
+let suite =
+  [
+    Alcotest.test_case "non-finite renders null" `Quick nonfinite_renders_null;
+    Alcotest.test_case "signed zero" `Quick signed_zero;
+    Alcotest.test_case "boundary floats" `Quick boundary_floats;
+    Alcotest.test_case "boundary ints" `Quick boundary_ints;
+    Alcotest.test_case "deep nesting" `Quick deep_nesting;
+    Util.qtest ~count:500 "compact round trip" json_arbitrary (fun j ->
+        roundtrip ~pretty:false j;
+        true);
+    Util.qtest ~count:200 "pretty round trip" json_arbitrary (fun j ->
+        roundtrip ~pretty:true j;
+        true);
+  ]

@@ -1,0 +1,269 @@
+(* The observability layer: span balance and export shape, metrics
+   determinism across worker counts, progress counting, and the
+   zero-allocation guarantee of the disabled hot path. *)
+
+let with_tracing f =
+  Obs.Trace.reset ();
+  Obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.reset ())
+    f
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+
+let span_balance () =
+  with_tracing (fun () ->
+      Alcotest.(check int) "depth outside" 0 (Obs.Trace.depth ());
+      Obs.Trace.with_span "outer" (fun () ->
+          Alcotest.(check int) "depth in outer" 1 (Obs.Trace.depth ());
+          Obs.Trace.with_span "inner" (fun () ->
+              Alcotest.(check int) "depth in inner" 2 (Obs.Trace.depth ()));
+          Alcotest.(check int) "inner popped" 1 (Obs.Trace.depth ()));
+      Alcotest.(check int) "outer popped" 0 (Obs.Trace.depth ());
+      Alcotest.(check int) "two events" 2 (Obs.Trace.event_count ());
+      Alcotest.(check int) "no unbalanced" 0 (Obs.Trace.unbalanced ());
+      Alcotest.(check int) "no drops" 0 (Obs.Trace.dropped ()))
+
+let span_exception () =
+  with_tracing (fun () ->
+      (try
+         Obs.Trace.with_span "boom" (fun () -> failwith "expected")
+       with Failure _ -> ());
+      Alcotest.(check int) "closed on raise" 0 (Obs.Trace.depth ());
+      Alcotest.(check int) "one event" 1 (Obs.Trace.event_count ()))
+
+let span_result_args () =
+  with_tracing (fun () ->
+      let v =
+        Obs.Trace.with_span "work"
+          ~result_args:(fun n -> [ ("n", Json.Int n) ])
+          (fun () -> 42)
+      in
+      Alcotest.(check int) "value passes through" 42 v;
+      match Obs.Trace.export () with
+      | Json.Obj _ as t -> (
+        match Json.member "traceEvents" t with
+        | Some (Json.List [ ev ]) ->
+          let args = Option.get (Json.member "args" ev) in
+          Alcotest.(check (option int))
+            "result arg recorded" (Some 42)
+            (Option.bind (Json.member "n" args) Json.to_int)
+        | _ -> Alcotest.fail "expected exactly one event")
+      | _ -> Alcotest.fail "export is not an object")
+
+let export_parses () =
+  with_tracing (fun () ->
+      for i = 0 to 9 do
+        Obs.Trace.with_span
+          (Printf.sprintf "task%d" i)
+          ~cat:"test"
+          ~args:(fun () -> [ ("i", Json.Int i) ])
+          (fun () -> Obs.Trace.with_span "nested" (fun () -> ()))
+      done;
+      Obs.Trace.instant "marker";
+      let rendered = Json.to_string (Obs.Trace.export ()) in
+      let t = parse_ok rendered in
+      match Json.member "traceEvents" t with
+      | Some (Json.List events) ->
+        Alcotest.(check int) "21 events" 21 (List.length events);
+        let ts = ref (-1.0) in
+        List.iter
+          (fun ev ->
+            (match Json.member "ph" ev with
+            | Some (Json.String "X") -> ()
+            | _ -> Alcotest.fail "expected complete events");
+            List.iter
+              (fun k ->
+                if Json.member k ev = None then
+                  Alcotest.failf "event missing %s" k)
+              [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ];
+            match Option.bind (Json.member "ts" ev) Json.to_float with
+            | Some now ->
+              if now < !ts then Alcotest.fail "timestamps not sorted";
+              ts := now
+            | None -> Alcotest.fail "ts not numeric")
+          events
+      | _ -> Alcotest.fail "no traceEvents")
+
+let write_trace () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span "one" (fun () -> ());
+      let path = Filename.temp_file "cfpm_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Obs.Trace.write path;
+          let t =
+            parse_ok (In_channel.with_open_bin path In_channel.input_all)
+          in
+          match Json.member "traceEvents" t with
+          | Some (Json.List [ _ ]) -> ()
+          | _ -> Alcotest.fail "written trace malformed"))
+
+(* Worker-domain spans land in per-domain rings and merge at export. *)
+let spans_across_domains () =
+  with_tracing (fun () ->
+      let results =
+        Parallel.Pool.map ~jobs:4
+          (fun i ->
+            Obs.Trace.with_span
+              (Printf.sprintf "job%d" i)
+              (fun () -> i * i))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      Alcotest.(check (list int))
+        "results survive tracing"
+        [ 1; 4; 9; 16; 25; 36; 49; 64 ]
+        results;
+      Alcotest.(check int) "all spans exported" 8 (Obs.Trace.event_count ());
+      Alcotest.(check int) "balanced everywhere" 0 (Obs.Trace.unbalanced ()))
+
+let ring_overflow_drops () =
+  Obs.Trace.reset ();
+  Obs.Trace.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_capacity 65536;
+      Obs.Trace.disable ();
+      Obs.Trace.reset ())
+    (fun () ->
+      Obs.Trace.enable ();
+      (* a fresh domain gets a ring with the small capacity *)
+      Domain.join
+        (Domain.spawn (fun () ->
+             for i = 0 to 19 do
+               Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+             done));
+      Alcotest.(check bool) "drops counted" true (Obs.Trace.dropped () > 0);
+      match Json.member "traceEvents" (Obs.Trace.export ()) with
+      | Some (Json.List events) ->
+        Alcotest.(check bool)
+          "ring kept at most capacity" true
+          (List.length events <= 8)
+      | _ -> Alcotest.fail "no traceEvents")
+
+(* The whole point of the design: instrumentation left in hot paths must
+   cost nothing when tracing is off.  10k disabled spans may not allocate
+   a single minor word beyond noise. *)
+let disabled_no_alloc () =
+  Obs.Trace.disable ();
+  let f = fun () -> 7 in
+  (* warm up: fault any lazy initialization out of the measured window *)
+  ignore (Obs.Trace.with_span "warm" f);
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Obs.Trace.with_span "hot" f)
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 64.0 then
+    Alcotest.failf "disabled spans allocated %.0f minor words" delta
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+let metrics_kinds () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.metric "test.sum" in
+  let g = Obs.Metrics.metric ~kind:Obs.Metrics.Max "test.max" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Obs.Metrics.add g 10;
+  Obs.Metrics.add g 3;
+  Obs.Metrics.add g 10;
+  Alcotest.(check int) "sum accumulates" 5 (Obs.Metrics.value c);
+  Alcotest.(check int) "max keeps max" 10 (Obs.Metrics.value g);
+  match Obs.Metrics.metric ~kind:Obs.Metrics.Max "test.sum" with
+  | _ -> Alcotest.fail "conflicting kind accepted"
+  | exception Invalid_argument _ -> ()
+
+let metrics_local_excluded () =
+  Obs.Metrics.reset ();
+  let l = Obs.Metrics.metric ~local:true "test.local" in
+  Obs.Metrics.incr l;
+  let names snap = List.map fst snap in
+  Alcotest.(check bool)
+    "local absent from snapshot" false
+    (List.mem "test.local" (names (Obs.Metrics.snapshot ())));
+  Alcotest.(check bool)
+    "local present in snapshot_all" true
+    (List.mem "test.local" (names (Obs.Metrics.snapshot_all ())))
+
+(* A fixed workload must produce identical deterministic metrics whether
+   one domain ran it or four: this is the invariant the bench-smoke CI
+   job asserts end to end. *)
+let metrics_jobs_invariant () =
+  let workload jobs =
+    Obs.Metrics.reset ();
+    let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
+    ignore
+      (Parallel.Pool.map ~jobs
+         (fun max_size ->
+           Powermodel.Model.size
+             (Powermodel.Model.build ~max_size circuit))
+         [ 100; 200; 300; 400; 500; 600 ]);
+    Obs.Metrics.snapshot ()
+  in
+  let s1 = workload 1 and s4 = workload 4 in
+  Alcotest.(check (list (pair string int))) "jobs=1 = jobs=4" s1 s4;
+  Alcotest.(check bool)
+    "workload actually counted" true
+    (List.mem_assoc "model.builds" s1 && List.assoc "model.builds" s1 = 6)
+
+(* ------------------------------------------------------------------ *)
+(* Progress.                                                           *)
+
+let progress_counts () =
+  Obs.Progress.set_enabled false;
+  let p = Obs.Progress.create ~label:"test" ~total:4 () in
+  Obs.Progress.step p;
+  Obs.Progress.step p;
+  Alcotest.(check int) "two steps" 2 (Obs.Progress.completed p);
+  let line = Obs.Progress.line p in
+  Alcotest.(check bool)
+    "line mentions label and count" true
+    (let has needle =
+       let nl = String.length needle and ll = String.length line in
+       let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "test" && has "2/4")
+
+let progress_parallel_steps () =
+  Obs.Progress.set_enabled false;
+  let p = Obs.Progress.create ~label:"par" ~total:64 () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 16 do
+              Obs.Progress.step p
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost steps" 64 (Obs.Progress.completed p)
+
+let suite =
+  [
+    Alcotest.test_case "span balance" `Quick span_balance;
+    Alcotest.test_case "span closes on exception" `Quick span_exception;
+    Alcotest.test_case "span result args" `Quick span_result_args;
+    Alcotest.test_case "export parses" `Quick export_parses;
+    Alcotest.test_case "write trace file" `Quick write_trace;
+    Alcotest.test_case "spans across domains" `Quick spans_across_domains;
+    Alcotest.test_case "ring overflow drops" `Quick ring_overflow_drops;
+    Alcotest.test_case "disabled spans allocate nothing" `Quick
+      disabled_no_alloc;
+    Alcotest.test_case "metric kinds" `Quick metrics_kinds;
+    Alcotest.test_case "local metrics excluded" `Quick metrics_local_excluded;
+    Alcotest.test_case "metrics invariant across jobs" `Quick
+      metrics_jobs_invariant;
+    Alcotest.test_case "progress counts" `Quick progress_counts;
+    Alcotest.test_case "progress parallel steps" `Quick progress_parallel_steps;
+  ]
