@@ -28,6 +28,9 @@
                          "model_build:fail:0.3:seed=7" — chaos drills only
      CFPM_TRACE          path: enable span tracing and write a Chrome
                          trace-event JSON there at exit (load in Perfetto)
+     CFPM_COMPILED       set to 0 to evaluate ADD models through the
+                         node-by-node interpreter instead of the compiled
+                         bulk evaluator (default: compiled)
      CFPM_PROGRESS       set to 1 for heartbeat lines on stderr while the
                          experiment pool drains
 
@@ -225,7 +228,7 @@ let ablation_weighting () =
   let estimators =
     List.map
       (fun (label, weighting) ->
-        (label, Experiments.Estimator.Add_model
+        (label, Experiments.Estimator.add_model
                   (Powermodel.Model.build ~weighting ~max_size:500 circuit)))
       [
         ("unweighted", Dd.Approx.Unweighted);
@@ -264,8 +267,8 @@ let ablation_accumulation () =
   let oneshot = { exact with Powermodel.Model.cap = oneshot_cap } in
   let estimators =
     [
-      ("incremental", Experiments.Estimator.Add_model incremental);
-      ("one-shot", Experiments.Estimator.Add_model oneshot);
+      ("incremental", Experiments.Estimator.add_model incremental);
+      ("one-shot", Experiments.Estimator.add_model oneshot);
     ]
   in
   let results = Experiments.Sweep.run_grid ~vectors ~seed:32 sim estimators in
@@ -324,7 +327,64 @@ let ablation_implementation_sensitivity () =
     "  (same Boolean function, different netlists -> different power models)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Compiled eval_batch determinism probe.
+
+   A fixed pseudo-random batch, large enough to span several pool shards
+   (Dd.Compiled.block vectors each), evaluated with the ambient worker
+   count.  Everything emitted except the [jobs] member must be
+   byte-identical whatever CFPM_JOBS says — CI diffs the jobs=1 and
+   jobs=4 reports on exactly this object. *)
+
+let eval_batch_probe () =
+  heading "Compiled eval_batch determinism probe";
+  let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
+  let model = Powermodel.Model.build ~max_size:500 circuit in
+  let compiled = Powermodel.Model.compile model in
+  let bits = Netlist.Circuit.input_count circuit in
+  let prng = Stimulus.Prng.create 97 in
+  let seq =
+    Stimulus.Generator.sequence prng ~bits
+      ~length:((4 * Dd.Compiled.block) + 1)
+      ~sp:0.5 ~st:0.5
+  in
+  let batch, n = Powermodel.Model.pack_transitions compiled seq in
+  let out = Powermodel.Model.eval_batch compiled ~inputs:batch ~n in
+  let stats =
+    Dd.Compiled.stats_batch
+      (Powermodel.Model.compiled_program compiled)
+      ~inputs:batch ~n
+  in
+  let digest =
+    let b = Bytes.create (8 * Array.length out) in
+    Array.iteri
+      (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v))
+      out;
+    Digest.to_hex (Digest.bytes b)
+  in
+  let jobs = Parallel.Pool.default_jobs () in
+  Printf.printf "  %d transitions on %d worker(s): digest %s\n" n jobs digest;
+  Printf.printf "  fold: total %.3f fF, max %.2f fF, min %.2f fF\n"
+    stats.Dd.Compiled.total stats.Dd.Compiled.maximum
+    stats.Dd.Compiled.minimum;
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("jobs", Json.Int jobs);
+      ("output_digest", Json.String digest);
+      ( "sample",
+        Json.List
+          (List.init (min 4 n) (fun i -> Json.Float out.(i))) );
+      ("total", Json.Float stats.Dd.Compiled.total);
+      ("maximum", Json.Float stats.Dd.Compiled.maximum);
+      ("minimum", Json.Float stats.Dd.Compiled.minimum);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
+
+(* transitions per fig7a:eval-batch kernel run; the throughput member
+   divides the OLS ns/run estimate by this *)
+let eval_batch_transitions = 4096
 
 let bechamel_suite () =
   heading "Micro-benchmarks (Bechamel)";
@@ -333,6 +393,14 @@ let bechamel_suite () =
   let sim = Gatesim.Simulator.create circuit in
   let model = Powermodel.Model.build ~max_size:500 circuit in
   let exact = Powermodel.Model.build circuit in
+  let compiled = Powermodel.Model.compile model in
+  let batch_seq =
+    let prng = Stimulus.Prng.create 78 in
+    Stimulus.Generator.sequence prng
+      ~bits:(Netlist.Circuit.input_count circuit)
+      ~length:(eval_batch_transitions + 1) ~sp:0.5 ~st:0.5
+  in
+  let batch, batch_n = Powermodel.Model.pack_transitions compiled batch_seq in
   let prng = Stimulus.Prng.create 77 in
   let x_i = Array.init 11 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
   let x_f = Array.init 11 (fun _ -> Stimulus.Prng.bool prng ~p:0.5) in
@@ -347,6 +415,17 @@ let bechamel_suite () =
       (* E1-E4 kernels: one Test.make per reproduced table/figure *)
       Test.make ~name:"fig7a:model-eval" (Staged.stage (fun () ->
            Powermodel.Model.switched_capacitance model ~x_i ~x_f));
+      (* the interpreted per-pattern walk over the same transitions the
+         eval-batch kernel consumes — the honest baseline for the
+         throughput ratio (model-eval above re-walks one fixed pattern,
+         which branch prediction makes unrealistically fast) *)
+      Test.make ~name:"fig7a:model-run" (Staged.stage (fun () ->
+           Powermodel.Model.run model batch_seq));
+      (* the compiled bulk path over a whole packed block; jobs:1 keeps
+         the kernel a pure single-core measurement (no domain spawns) *)
+      Test.make ~name:"fig7a:eval-batch" (Staged.stage (fun () ->
+           Powermodel.Model.eval_batch ~jobs:1 compiled ~inputs:batch
+             ~n:batch_n));
       Test.make ~name:"fig7b:model-build-500" (Staged.stage (fun () ->
            Powermodel.Model.build ~max_size:500 circuit));
       Test.make ~name:"table1-avg:gate-sim-step" (Staged.stage (fun () ->
@@ -359,6 +438,11 @@ let bechamel_suite () =
            Dd.Bdd.sat_fraction big_a));
     ]
   in
+  (* the experiments above leave a large dead heap behind; without a
+     compaction every allocating kernel run pays GC-marking slices
+     proportional to that heap, which taxes the allocation-light
+     kernels most (measured 2x on fig7a:eval-batch) *)
+  Gc.compact ();
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
@@ -387,7 +471,37 @@ let bechamel_suite () =
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report.                                            *)
 
-let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels =
+(* The headline throughput members, derived from the Bechamel estimates:
+   ns per transition through the compiled batch kernel, transitions/sec,
+   and the speedup over the interpreted per-pattern walk of the same
+   transition sequence (fig7a:model-run) — the number the CI
+   throughput-gate job asserts on. *)
+let throughput_json kernels =
+  match
+    ( List.assoc_opt "fig7a:eval-batch" kernels,
+      List.assoc_opt "fig7a:model-run" kernels )
+  with
+  | Some batch_ns, interp when batch_ns > 0.0 ->
+    let per_transition = batch_ns /. float_of_int eval_batch_transitions in
+    let tps = 1e9 /. per_transition in
+    let detail =
+      [
+        ("kernel", Json.String "fig7a:eval-batch");
+        ("transitions_per_run", Json.Int eval_batch_transitions);
+        ("ns_per_transition", Json.Float per_transition);
+        ("transitions_per_sec", Json.Float tps);
+      ]
+      @
+      match interp with
+      | Some interp_ns ->
+        [ ("speedup_vs_interpreted", Json.Float (interp_ns /. batch_ns)) ]
+      | None -> []
+    in
+    (Json.Float tps, Json.Obj detail)
+  | _ -> (Json.Null, Json.Null)
+
+let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
+    ~eval_batch =
   let outcome_json render (outcome, dt) =
     match outcome with
     | Ok o -> render ~wall_seconds:dt o
@@ -422,10 +536,11 @@ let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels =
         List.filter_map (fun (_, o) -> Experiments.Durable.survivor o) outcomes)
       table1
   in
+  let transitions_per_sec, throughput = throughput_json kernels in
   let json =
     Json.Obj
       [
-        ("schema", Json.String "cfpm-bench/4");
+        ("schema", Json.String "cfpm-bench/5");
         ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
         ("vectors", Json.Int vectors);
         ("char_vectors", Json.Int char_vectors);
@@ -461,6 +576,13 @@ let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels =
                (fun (name, ns) ->
                  (name, Json.Obj [ ("ns_per_run", Json.Float ns) ]))
                kernels) );
+        (* headline throughput of the compiled bulk evaluator, plus the
+           speedup the CI throughput-gate job asserts on *)
+        ("transitions_per_sec", transitions_per_sec);
+        ("throughput", throughput);
+        (* deterministic digest of a fixed eval_batch workload — CI diffs
+           this member across CFPM_JOBS settings (modulo the jobs field) *)
+        ("eval_batch", eval_batch);
         (* surviving circuits only: quarantined/failed entries are
            reported under [experiments], never here, so the determinism
            diff compares like with like *)
@@ -495,13 +617,16 @@ let () =
   ablation_accumulation ();
   ablation_variable_pairing ();
   ablation_implementation_sensitivity ();
+  let eval_batch = eval_batch_probe () in
   (* snapshot before Bechamel: its adaptive iteration counts would bleed
-     nondeterministic build/cache counts into the metrics *)
+     nondeterministic build/cache counts into the metrics (the fixed-size
+     eval_batch probe above, by contrast, is deterministic) *)
   let metrics = Obs.Metrics.snapshot_json () in
   let kernels = bechamel_suite () in
   write_json
     ~total_seconds:(Unix.gettimeofday () -. t0)
-    ~metrics ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels;
+    ~metrics ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels
+    ~eval_batch;
   (match trace_path with
   | Some p ->
     Obs.Trace.write p;

@@ -73,6 +73,29 @@ let trace_term =
   in
   Term.(const setup $ arg)
 
+(* The compiled/interpreted knob for ADD evaluation.  Cmdliner sees the
+   flag before the subcommand body runs, so setting the process-wide mode
+   here is enough — every later [Estimator.add_model] call observes it. *)
+let compiled_term =
+  let doc =
+    "Evaluate ADD models through the compiled bulk evaluator (true, the \
+     default) or the per-pattern interpreted walk (false).  \
+     $(b,CFPM_COMPILED) sets the same knob from the environment."
+  in
+  let arg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "compiled" ] ~docv:"BOOL" ~doc)
+  in
+  let setup = function
+    | None -> ()
+    | Some true -> Experiments.Estimator.set_mode Experiments.Estimator.Compiled
+    | Some false ->
+      Experiments.Estimator.set_mode Experiments.Estimator.Interpreted
+  in
+  Term.(const setup $ arg)
+
 (* Resource-budget flags shared by the model-building subcommands.  A zero
    value (the default) means "no such ceiling"; any combination composes
    into one Guard.Budget enforced cooperatively during construction. *)
@@ -186,7 +209,7 @@ let info_cmd =
     Term.(const run $ circuit_arg)
 
 let build_cmd =
-  let run () name max_size strategy weighting vectors seed budget =
+  let run () () name max_size strategy weighting vectors seed budget =
     let c = find_circuit name in
     let max_size = if max_size <= 0 then None else Some max_size in
     let model = build_or_exit ?budget ~strategy ~weighting ?max_size c in
@@ -203,7 +226,7 @@ let build_cmd =
       (Powermodel.Model.average_capacitance model)
       (Powermodel.Model.max_capacitance model);
     let sim = Gatesim.Simulator.create c in
-    let estimators = [ ("model", Experiments.Estimator.Add_model model) ] in
+    let estimators = [ ("model", Experiments.Estimator.add_model model) ] in
     let results = Experiments.Sweep.run_grid ~vectors ~seed sim estimators in
     Printf.printf "  ARE over the default (sp, st) grid: %s%%\n"
       (Experiments.Report.pct (Experiments.Sweep.are_average results "model"))
@@ -212,26 +235,30 @@ let build_cmd =
     (Cmd.info "build"
        ~doc:"Build a power model and evaluate it against the simulator.")
     Term.(
-      const run $ trace_term $ circuit_arg $ max_size_arg $ strategy_arg
-      $ weighting_arg $ vectors_arg $ seed_arg $ budget_term)
+      const run $ trace_term $ compiled_term $ circuit_arg $ max_size_arg
+      $ strategy_arg $ weighting_arg $ vectors_arg $ seed_arg $ budget_term)
 
 let fig7a_cmd =
-  let run () vectors seed jobs =
+  let run () () vectors seed jobs =
     let r = Experiments.Fig7a.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7a r)
   in
   Cmd.v
     (Cmd.info "fig7a" ~doc:"Reproduce Fig. 7a (RE vs st for cm85).")
-    Term.(const run $ trace_term $ vectors_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ trace_term $ compiled_term $ vectors_arg $ seed_arg
+      $ jobs_arg)
 
 let fig7b_cmd =
-  let run () vectors seed jobs =
+  let run () () vectors seed jobs =
     let r = Experiments.Fig7b.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7b r)
   in
   Cmd.v
     (Cmd.info "fig7b" ~doc:"Reproduce Fig. 7b (ARE vs model size for cm85).")
-    Term.(const run $ trace_term $ vectors_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ trace_term $ compiled_term $ vectors_arg $ seed_arg
+      $ jobs_arg)
 
 (* Supervision flags shared with the bench harness's environment knobs:
    retries with deterministic backoff, and an optional resume journal. *)
@@ -277,7 +304,7 @@ let table1_cmd =
     let doc = "Scale factor applied to the Table 1 MAX bounds." in
     Arg.(value & opt float 1.0 & info [ "max-scale" ] ~docv:"S" ~doc)
   in
-  let run () vectors seed names max_scale jobs (policy, resume) =
+  let run () () vectors seed names max_scale jobs (policy, resume) =
     let config =
       {
         Experiments.Table1.default_config with
@@ -333,8 +360,102 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (all benchmarks).")
     Term.(
-      const run $ trace_term $ vectors_arg $ seed_arg $ names_arg $ scale_arg
-      $ jobs_arg $ supervision_term)
+      const run $ trace_term $ compiled_term $ vectors_arg $ seed_arg
+      $ names_arg $ scale_arg $ jobs_arg $ supervision_term)
+
+let throughput_cmd =
+  let transitions_arg =
+    let doc = "Transitions per measured batch." in
+    Arg.(value & opt int 200_000 & info [ "transitions"; "n" ] ~docv:"N" ~doc)
+  in
+  let run () name max_size transitions seed jobs =
+    if transitions < 1 then begin
+      Printf.eprintf "cfpm: --transitions must be at least 1\n";
+      exit 2
+    end;
+    let c = find_circuit name in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    let model = build_or_exit ?max_size c in
+    let compiled = Powermodel.Model.compile model in
+    let program = Powermodel.Model.compiled_program compiled in
+    let bits = Netlist.Circuit.input_count c in
+    let prng = Stimulus.Prng.create seed in
+    let vectors =
+      Stimulus.Generator.sequence prng ~bits ~length:(transitions + 1) ~sp:0.5
+        ~st:0.5
+    in
+    let batch, n = Powermodel.Model.pack_transitions compiled vectors in
+    let jobs = jobs_opt jobs in
+    Printf.printf
+      "%s: %d-node model compiled to %d triples + %d leaves; %d transitions\n"
+      name
+      (Powermodel.Model.size model)
+      (Dd.Compiled.node_count program)
+      (Dd.Compiled.leaf_count program)
+      n;
+    (* the compiled program must agree bit for bit with the interpreted
+       walk before its timing means anything *)
+    let out = Powermodel.Model.eval_batch ?jobs compiled ~inputs:batch ~n in
+    for k = 0 to min 999 (n - 1) do
+      let expect =
+        Powermodel.Model.switched_capacitance model ~x_i:vectors.(k)
+          ~x_f:vectors.(k + 1)
+      in
+      if out.(k) <> expect then begin
+        Printf.eprintf "cfpm: compiled/interpreted mismatch at transition %d\n"
+          k;
+        exit 6
+      end
+    done;
+    (* repeat each measurement until it dominates clock granularity *)
+    let time f =
+      let rec go reps =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          f ()
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt >= 0.2 then dt /. float_of_int reps else go (reps * 2)
+      in
+      go 1
+    in
+    let sink = ref 0.0 in
+    let interp_s =
+      time (fun () ->
+          let acc = ref 0.0 in
+          for k = 0 to n - 1 do
+            acc :=
+              !acc
+              +. Powermodel.Model.switched_capacitance model ~x_i:vectors.(k)
+                   ~x_f:vectors.(k + 1)
+          done;
+          sink := !acc)
+    in
+    let batch_s =
+      time (fun () ->
+          let out =
+            Powermodel.Model.eval_batch ?jobs compiled ~inputs:batch ~n
+          in
+          sink := out.(0))
+    in
+    ignore !sink;
+    let report label seconds =
+      let per = seconds /. float_of_int n *. 1e9 in
+      Printf.printf "  %-12s %10.1f ns/transition  %12.0f transitions/sec\n"
+        label per (1e9 /. per)
+    in
+    report "interpreted" interp_s;
+    report "compiled" batch_s;
+    Printf.printf "  speedup      %10.1fx\n" (interp_s /. batch_s)
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Measure compiled bulk-evaluation throughput against the \
+          per-pattern interpreted walk.")
+    Term.(
+      const run $ trace_term $ circuit_arg $ max_size_arg $ transitions_arg
+      $ seed_arg $ jobs_arg)
 
 let dot_cmd =
   let run name max_size strategy weighting =
@@ -417,5 +538,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; info_cmd; build_cmd; fig7a_cmd; fig7b_cmd; table1_cmd;
-            worst_cmd; import_cmd; dot_cmd; blif_cmd;
+            throughput_cmd; worst_cmd; import_cmd; dot_cmd; blif_cmd;
           ]))

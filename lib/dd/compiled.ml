@@ -1,0 +1,415 @@
+(* Flat array-coded ADD programs for bulk evaluation.
+
+   Two coordinated encodings are built per program:
+
+   - A triple program: one packed int array [code] holds a (var, lo, hi)
+     triple per decision node at stride 3, renumbered depth-first
+     (preorder) from the root so that a low-chain walk touches
+     consecutive triples; [leaves] holds the distinct terminal values in
+     first-encounter order.  A child reference >= 0 is the triple
+     *offset* (3 * node index, so the walk never multiplies), < 0 is
+     [lnot leaf_index] — the same branch-light packed-int discipline as
+     Ct's computed tables.  This is the form {!eval} walks per query.
+
+   - A levelized step table for the batch path.  The diagram is
+     normalized at compile time into the fixed [plan] of passes, each
+     consuming [radix] (= 4) consecutive variables (a short trailing
+     pass covers the remainder), inserting pass-through states where
+     the diagram skips variables.  Each state of level l is 2^arity
+     consecutive [steps] entries indexed by the tested input bytes; an
+     entry holds the absolute offset of the successor state, and
+     last-level entries hold leaf indices.  The batch walk is then
+     [nlevels] identical passes of [s <- steps.(s + idx)] with [idx]
+     built from four input bytes — no variable loads, no comparisons,
+     no data-dependent branches (random inputs make the per-step branch
+     of a scalar walk a coin toss, so its mispredicts dominate), and the
+     iterations of a pass are independent, so their load chains overlap.
+     States are original diagram nodes, so a level holds at most [size]
+     states; levels are laid out contiguously, so a pass touches one
+     small slice of the table.
+
+   A constant diagram yields an empty [code] and a root that is already
+   a leaf reference; the walk loops guard on [root >= 0], so the empty
+   array is never indexed.  (Encoding the root as a plain triple offset
+   instead would read code.(0) out of bounds on exactly that program —
+   see the leaf-only regression test in test_compiled.ml.)
+
+   Batches are sharded in fixed-size blocks over the Parallel.Pool.  The
+   split is a function of n alone and per-block partials are combined in
+   block index order, so both the output array and the stats fold are
+   byte-identical whatever CFPM_JOBS says.  Programs are immutable after
+   compile, so sharing one across worker domains is safe. *)
+
+type t = {
+  nvars : int;
+  code : int array; (* (var, lo, hi) per node, stride 3 *)
+  leaves : float array;
+  root : int; (* encoded like a child: >= 0 triple offset, < 0 leaf *)
+  steps : int array; (* levelized transitions, stride 2^arity per level *)
+  plan : (int * int) array; (* batch passes: (arity, first variable) *)
+}
+
+let m_programs = Obs.Metrics.metric "compiled.programs"
+
+(* vectors evaluated through compiled programs: every batch adds its n,
+   which is attributable to the workload, so the total is deterministic
+   across job counts *)
+let m_evals = Obs.Metrics.metric "compiled.evals"
+
+let block = 4096
+let node_count t = Array.length t.code / 3
+
+(* child of [node] under variable [var] = [b]: ordered diagrams test
+   variables in increasing order, so a node waiting on a later variable
+   (or a leaf) is left in place *)
+let cof node var b =
+  match node with
+  | Add.Node n when n.var = var -> if b then n.high else n.low
+  | _ -> node
+
+(* variables consumed per batch pass: wide levels amortize the per-pass
+   bookkeeping (one table lookup covers [radix] variables), at the price
+   of 2^radix entries per state *)
+let radix = 4
+
+let plan_of nvars =
+  let rec go v acc =
+    if v >= nvars then Array.of_list (List.rev acc)
+    else
+      let a = min radix (nvars - v) in
+      go (v + a) ((a, v) :: acc)
+  in
+  go 0 []
+
+(* Normalize the diagram into the level-major step table.  Level [l]'s
+   states are the distinct diagram nodes reachable after consuming the
+   variables of earlier passes, in first-encounter order
+   (deterministic); after the last level every state is a terminal, and
+   entries hold leaf indices from [leaf_index]. *)
+let levelize ~plan ~leaf_index root_node =
+  let nlevels = Array.length plan in
+  let stride_of l = 1 lsl fst plan.(l) in
+  let states = ref [| root_node |] in
+  let rev_entries = ref [] in
+  for l = 0 to nlevels - 1 do
+    let arity, v0 = plan.(l) in
+    let stride = 1 lsl arity in
+    let tbl = Hashtbl.create 64 in
+    let next = ref [] in
+    let n_next = ref 0 in
+    let intern node =
+      let id = Add.node_id node in
+      match Hashtbl.find_opt tbl id with
+      | Some s -> s
+      | None ->
+        let s = !n_next in
+        incr n_next;
+        Hashtbl.add tbl id s;
+        next := node :: !next;
+        s
+    in
+    let cur = !states in
+    let ent = Array.make (Array.length cur * stride) 0 in
+    Array.iteri
+      (fun si node ->
+        for idx = 0 to stride - 1 do
+          (* bit (arity - 1 - k) of idx is the value of variable v0 + k,
+             matching the walk's running [(idx lsl 1) lor b] *)
+          let c = ref node in
+          for k = 0 to arity - 1 do
+            c := cof !c (v0 + k) ((idx lsr (arity - 1 - k)) land 1 = 1)
+          done;
+          ent.((si * stride) + idx) <- intern !c
+        done)
+      cur;
+    rev_entries := ent :: !rev_entries;
+    states := Array.of_list (List.rev !next)
+  done;
+  let entries = Array.of_list (List.rev !rev_entries) in
+  (* after the final pass every surviving state is a terminal *)
+  let leaf_slot = Array.map leaf_index !states in
+  let bases = Array.make (nlevels + 1) 0 in
+  Array.iteri
+    (fun l ent -> bases.(l + 1) <- bases.(l) + Array.length ent)
+    entries;
+  let steps = Array.make bases.(nlevels) 0 in
+  (* rewrite slot numbers as absolute offsets into [steps]; the last
+     level's entries become leaf indices *)
+  Array.iteri
+    (fun l ent ->
+      Array.iteri
+        (fun k slot ->
+          steps.(bases.(l) + k) <-
+            (if l + 1 < nlevels then
+               bases.(l + 1) + (slot * stride_of (l + 1))
+             else leaf_slot.(slot)))
+        ent)
+    entries;
+  steps
+
+let compile ?vars root_node =
+  Obs.Trace.with_span "compile" ~cat:"compiled"
+    ~result_args:(fun t ->
+      [
+        ("nodes", Json.Int (node_count t));
+        ("leaves", Json.Int (Array.length t.leaves));
+        ("steps", Json.Int (Array.length t.steps));
+      ])
+  @@ fun () ->
+  let min_vars =
+    match List.rev (Add.support root_node) with
+    | [] -> 0
+    | v :: _ -> v + 1
+  in
+  let nvars =
+    match vars with
+    | None -> min_vars
+    | Some v ->
+      if v < min_vars then
+        invalid_arg "Compiled.compile: vars smaller than the diagram support";
+      v
+  in
+  let n_nodes = Add.internal_count root_node in
+  let n_leaves = Add.size root_node - n_nodes in
+  let code = Array.make (3 * n_nodes) 0 in
+  let leaves = Array.make n_leaves 0.0 in
+  (* old node id -> encoded reference; parents are numbered before their
+     children (preorder), which is what puts a low spine on consecutive
+     triples *)
+  let memo = Hashtbl.create (2 * (n_nodes + n_leaves)) in
+  let next_node = ref 0 in
+  let next_leaf = ref 0 in
+  let rec go t =
+    match Hashtbl.find_opt memo (Add.node_id t) with
+    | Some enc -> enc
+    | None -> (
+      match t with
+      | Add.Leaf l ->
+        let k = !next_leaf in
+        incr next_leaf;
+        leaves.(k) <- l.value;
+        let enc = lnot k in
+        Hashtbl.add memo l.id enc;
+        enc
+      | Add.Node n ->
+        let slot = 3 * !next_node in
+        incr next_node;
+        Hashtbl.add memo n.id slot;
+        code.(slot) <- n.var;
+        code.(slot + 1) <- go n.low;
+        code.(slot + 2) <- go n.high;
+        slot)
+  in
+  let root = go root_node in
+  (* the triple pass interned every terminal, so the memo resolves any
+     node the normalization can park on *)
+  let leaf_index node = lnot (Hashtbl.find memo (Add.node_id node)) in
+  let plan = plan_of nvars in
+  let steps =
+    if root < 0 then [||] else levelize ~plan ~leaf_index root_node
+  in
+  Obs.Metrics.incr m_programs;
+  { nvars; code; leaves; root; steps; plan }
+
+let vars t = t.nvars
+let leaf_count t = Array.length t.leaves
+let is_constant t = t.root < 0
+
+let eval t env =
+  if Array.length env < t.nvars then
+    invalid_arg "Compiled.eval: environment too short";
+  let code = t.code in
+  let i = ref t.root in
+  while !i >= 0 do
+    let j = !i in
+    i :=
+      if Array.unsafe_get env (Array.unsafe_get code j) then
+        Array.unsafe_get code (j + 2)
+      else Array.unsafe_get code (j + 1)
+  done;
+  Array.unsafe_get t.leaves (lnot !i)
+
+let pack t envs =
+  let nvars = t.nvars in
+  let b = Bytes.create (Array.length envs * nvars) in
+  Array.iteri
+    (fun k env ->
+      if Array.length env < nvars then
+        invalid_arg "Compiled.pack: environment too short";
+      let base = k * nvars in
+      for v = 0 to nvars - 1 do
+        Bytes.unsafe_set b (base + v)
+          (if Array.unsafe_get env v then '\001' else '\000')
+      done)
+    envs;
+  b
+
+(* All unsafe accesses below are covered by [check_batch]: a pass with
+   first variable v0 and arity a reads input bytes v0 .. v0 + a - 1 with
+   v0 + a <= nvars (by construction of [plan_of]), and the buffer holds
+   n * nvars bytes, so every read stays in range; [steps] offsets and
+   leaf indices are in range by construction of [levelize]. *)
+let check_batch t ~inputs ~n =
+  if n < 0 then invalid_arg "Compiled: negative batch size";
+  if Bytes.length inputs < n * t.nvars then
+    invalid_arg "Compiled: input buffer shorter than n * vars bytes"
+
+(* A pass re-reads input bytes of every transition, striding by nvars;
+   tiles keep that working set (tile * nvars input bytes, plus the
+   tile's states) inside L1 across all passes, where a whole-block pass
+   would stream it from L2 on every level.  The state scratch is
+   tile-sized and reused across tiles: a block-sized state array would
+   be a fresh major-heap allocation per block, and in a process with a
+   large live heap every major allocation buys a proportional slice of
+   GC marking — measured as 2x on the batch walk inside the bench
+   harness.  2 KiB lands in the minor heap and stays hot in L1. *)
+let tile = 256
+
+(* Fill [scratch.(0 .. width-1)] with the final leaf indices of
+   transitions [abs0 .. abs0 + width - 1], one level per pass. *)
+let walk_tile t inputs scratch ~abs0 ~width =
+  (* every position starts at the root state, offset 0 *)
+  Array.fill scratch 0 width 0;
+  let steps = t.steps and nvars = t.nvars and plan = t.plan in
+  for l = 0 to Array.length plan - 1 do
+    let arity, v0 = Array.unsafe_get plan l in
+    let off = (abs0 * nvars) + v0 in
+    (* per-element addressing: a running offset in a [ref] would carry
+       the loop dependency through memory (store-to-load per
+       iteration); the multiply stays off the critical path *)
+    match arity with
+    | 4 ->
+      for q = 0 to width - 1 do
+        let s = Array.unsafe_get scratch q in
+        let base = (q * nvars) + off in
+        let b0 = Char.code (Bytes.unsafe_get inputs base) in
+        let b1 = Char.code (Bytes.unsafe_get inputs (base + 1)) in
+        let b2 = Char.code (Bytes.unsafe_get inputs (base + 2)) in
+        let b3 = Char.code (Bytes.unsafe_get inputs (base + 3)) in
+        let idx = (b0 lsl 3) lor (b1 lsl 2) lor (b2 lsl 1) lor b3 in
+        Array.unsafe_set scratch q (Array.unsafe_get steps (s + idx))
+      done
+    | 2 ->
+      for q = 0 to width - 1 do
+        let s = Array.unsafe_get scratch q in
+        let base = (q * nvars) + off in
+        let b0 = Char.code (Bytes.unsafe_get inputs base) in
+        let b1 = Char.code (Bytes.unsafe_get inputs (base + 1)) in
+        Array.unsafe_set scratch q
+          (Array.unsafe_get steps (s + (b0 lsl 1) + b1))
+      done
+    | _ ->
+      for q = 0 to width - 1 do
+        let s = Array.unsafe_get scratch q in
+        let base = (q * nvars) + off in
+        let idx = ref 0 in
+        for k = 0 to arity - 1 do
+          idx :=
+            (!idx lsl 1) lor Char.code (Bytes.unsafe_get inputs (base + k))
+        done;
+        Array.unsafe_set scratch q (Array.unsafe_get steps (s + !idx))
+      done
+  done
+
+let eval_block t inputs ~first ~count out =
+  if t.root < 0 then
+    Array.fill out first count (t.leaves.(lnot t.root))
+  else begin
+    let scratch = Array.make tile 0 in
+    let leaves = t.leaves in
+    let t0 = ref 0 in
+    while !t0 < count do
+      let width = min tile (count - !t0) in
+      walk_tile t inputs scratch ~abs0:(first + !t0) ~width;
+      for q = 0 to width - 1 do
+        Array.unsafe_set out (first + !t0 + q)
+          (Array.unsafe_get leaves (Array.unsafe_get scratch q))
+      done;
+      t0 := !t0 + width
+    done
+  end
+
+type stats = { count : int; total : float; minimum : float; maximum : float }
+
+let empty_stats =
+  { count = 0; total = 0.0; minimum = infinity; maximum = neg_infinity }
+
+let stats_block t inputs ~first ~count =
+  (* accumulate in transition order, independent of block scheduling *)
+  let total = ref 0.0 and mn = ref infinity and mx = ref neg_infinity in
+  (if t.root < 0 then begin
+     let v = t.leaves.(lnot t.root) in
+     (* summed one by one, so the total is bit-identical to a fold over
+        [eval_batch]'s outputs *)
+     for _ = 1 to count do
+       total := !total +. v;
+       if v < !mn then mn := v;
+       if v > !mx then mx := v
+     done
+   end
+   else begin
+     let scratch = Array.make tile 0 in
+     let leaves = t.leaves in
+     let t0 = ref 0 in
+     while !t0 < count do
+       let width = min tile (count - !t0) in
+       walk_tile t inputs scratch ~abs0:(first + !t0) ~width;
+       for q = 0 to width - 1 do
+         let v = Array.unsafe_get leaves (Array.unsafe_get scratch q) in
+         total := !total +. v;
+         if v < !mn then mn := v;
+         if v > !mx then mx := v
+       done;
+       t0 := !t0 + width
+     done
+   end);
+  { count; total = !total; minimum = !mn; maximum = !mx }
+
+(* Block boundaries depend only on n; a single block runs inline without
+   touching the pool at all (the common case for experiment-sized runs). *)
+let shard ?jobs n ~inline ~task =
+  let nblocks = (n + block - 1) / block in
+  if nblocks <= 1 then [ inline () ]
+  else
+    Parallel.Pool.run ?jobs
+      (List.init nblocks (fun b ->
+           let first = b * block in
+           task ~first ~count:(min block (n - first))))
+
+let eval_batch ?jobs t ~inputs ~n =
+  check_batch t ~inputs ~n;
+  Obs.Trace.with_span "eval_batch" ~cat:"compiled"
+    ~args:(fun () -> [ ("n", Json.Int n) ])
+  @@ fun () ->
+  Obs.Metrics.add m_evals n;
+  (* uninitialized is fine: the blocks below cover every slot *)
+  let out = Array.create_float n in
+  (* workers write disjoint 64-bit slots of [out]; the pool join publishes
+     them to the caller *)
+  ignore
+    (shard ?jobs n
+       ~inline:(fun () -> eval_block t inputs ~first:0 ~count:n out)
+       ~task:(fun ~first ~count () -> eval_block t inputs ~first ~count out)
+      : unit list);
+  out
+
+let stats_batch ?jobs t ~inputs ~n =
+  check_batch t ~inputs ~n;
+  Obs.Trace.with_span "eval_batch" ~cat:"compiled"
+    ~args:(fun () -> [ ("n", Json.Int n); ("fold", Json.Bool true) ])
+  @@ fun () ->
+  Obs.Metrics.add m_evals n;
+  let parts =
+    shard ?jobs n
+      ~inline:(fun () -> stats_block t inputs ~first:0 ~count:n)
+      ~task:(fun ~first ~count () -> stats_block t inputs ~first ~count)
+  in
+  List.fold_left
+    (fun acc p ->
+      {
+        count = acc.count + p.count;
+        total = acc.total +. p.total;
+        minimum = Float.min acc.minimum p.minimum;
+        maximum = Float.max acc.maximum p.maximum;
+      })
+    empty_stats parts

@@ -44,7 +44,7 @@ let run ?(vectors = 2000) ?(char_vectors = 3000) ?(seed = 11)
     :: ("Lin", Estimator.Characterized lin)
     :: List.map
          (fun (m, model) ->
-           (Printf.sprintf "ADD-%d" m, Estimator.Add_model model))
+           (Printf.sprintf "ADD-%d" m, Estimator.add_model model))
          models
   in
   let results = Sweep.run_grid ~vectors ~seed:(seed + 1) ?jobs sim estimators in

@@ -77,8 +77,8 @@ let run_entry ?(config = default_config) ?jobs (entry : Circuits.Suite.entry) =
     [
       ("Con", Estimator.Characterized con);
       ("Lin", Estimator.Characterized lin);
-      ("ADD", Estimator.Add_model avg_model);
-      ("ADD-ub", Estimator.Add_model ub_model);
+      ("ADD", Estimator.add_model avg_model);
+      ("ADD-ub", Estimator.add_model ub_model);
     ]
   in
   let results =

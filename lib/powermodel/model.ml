@@ -369,6 +369,68 @@ let run t vectors =
     total = !total;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Compiled bulk evaluation.  The program is compiled over the full
+   interleaved variable width (Vars.count), not just the support, so a
+   batch's per-vector stride is always 2 * inputs and callers can pack
+   transitions without knowing which inputs the model actually reads. *)
+
+type compiled = { source : t; program : Dd.Compiled.t }
+
+let compile t =
+  {
+    source = t;
+    program = Dd.Compiled.compile ~vars:(Vars.count ~inputs:t.inputs) t.cap;
+  }
+
+let compiled_model c = c.source
+let compiled_program c = c.program
+
+let switched_capacitance_compiled c ~x_i ~x_f =
+  if
+    Array.length x_i <> c.source.inputs
+    || Array.length x_f <> c.source.inputs
+  then invalid_arg "Model.switched_capacitance_compiled: input width mismatch";
+  Dd.Compiled.eval c.program (Vars.env ~x_i ~x_f)
+
+let pack_transitions c vectors =
+  let count = Array.length vectors in
+  if count < 2 then invalid_arg "Model.pack_transitions: need at least two vectors";
+  let inputs = c.source.inputs in
+  Array.iter
+    (fun v ->
+      if Array.length v <> inputs then
+        invalid_arg "Model.pack_transitions: vector width mismatch")
+    vectors;
+  let stride = Vars.count ~inputs in
+  let n = count - 1 in
+  let b = Bytes.create (n * stride) in
+  for k = 1 to count - 1 do
+    let x_i = vectors.(k - 1) and x_f = vectors.(k) in
+    let base = (k - 1) * stride in
+    for j = 0 to inputs - 1 do
+      Bytes.unsafe_set b (base + (2 * j))
+        (if Array.unsafe_get x_i j then '\001' else '\000');
+      Bytes.unsafe_set b
+        (base + (2 * j) + 1)
+        (if Array.unsafe_get x_f j then '\001' else '\000')
+    done
+  done;
+  (b, n)
+
+let eval_batch ?jobs c ~inputs ~n =
+  Dd.Compiled.eval_batch ?jobs c.program ~inputs ~n
+
+let run_compiled ?jobs c vectors =
+  let batch, n = pack_transitions c vectors in
+  let s = Dd.Compiled.stats_batch ?jobs c.program ~inputs:batch ~n in
+  {
+    patterns = n;
+    average = s.Dd.Compiled.total /. float_of_int n;
+    maximum = s.Dd.Compiled.maximum;
+    total = s.Dd.Compiled.total;
+  }
+
 let average_capacitance t = (Dd.Add_stats.of_node t.cap).Dd.Add_stats.avg
 
 let max_capacitance t = Dd.Add.max_value t.cap

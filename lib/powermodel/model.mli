@@ -121,6 +121,48 @@ val run : t -> bool array array -> run
 (** Estimate every consecutive transition of a vector sequence — the RTL
     side of the paper's concurrent RTL/gate-level evaluation. *)
 
+(** {1 Compiled bulk evaluation}
+
+    {!switched_capacitance} walks the hash-consed ADD per query;
+    {!compile} flattens the model into a {!Dd.Compiled} program (flat
+    int-array triples, depth-first renumbering) whose batched entry
+    points stream whole vector blocks, sharded deterministically across
+    the {!Parallel.Pool} — the high-volume query path.  The program is
+    immutable and shares nothing mutable with the manager, so one
+    compiled model can serve any number of domains concurrently. *)
+
+type compiled
+
+val compile : t -> compiled
+(** Compile over the full interleaved width ({!Vars.count}), so packed
+    batches always use a stride of [2 * inputs] bytes per transition. *)
+
+val compiled_model : compiled -> t
+val compiled_program : compiled -> Dd.Compiled.t
+
+val switched_capacitance_compiled :
+  compiled -> x_i:bool array -> x_f:bool array -> float
+(** Single-transition lookup through the compiled program; equal to
+    {!switched_capacitance} bit for bit. *)
+
+val pack_transitions : compiled -> bool array array -> Bytes.t * int
+(** Pack the [n - 1] consecutive transitions of a vector sequence into a
+    batch buffer ([2 * inputs] bytes per transition, {!Vars} interleaved
+    layout) plus the transition count.  Raises [Invalid_argument] on
+    fewer than two vectors or a width mismatch. *)
+
+val eval_batch : ?jobs:int -> compiled -> inputs:Bytes.t -> n:int -> float array
+(** Evaluate a packed transition batch; slot [i] equals
+    {!switched_capacitance} of transition [i] bit for bit, whatever
+    [jobs] (or [CFPM_JOBS]) says — see {!Dd.Compiled.eval_batch}. *)
+
+val run_compiled : ?jobs:int -> compiled -> bool array array -> run
+(** {!run} through the compiled program: packs the sequence's transitions
+    and folds sum/max without materializing per-transition outputs.
+    [maximum] equals the interpreted run exactly; [average]/[total] may
+    differ in the last bits (blockwise summation) but are themselves
+    byte-identical across job counts. *)
+
 (** {1 Analysis} *)
 
 val average_capacitance : t -> float

@@ -22,6 +22,7 @@ let () =
       ("linalg", Test_linalg.suite);
       ("circuits", Test_circuits.suite);
       ("model", Test_model.suite);
+      ("compiled", Test_compiled.suite);
       ("experiments", Test_experiments.suite);
       ("misc", Test_misc.suite);
       ("analysis", Test_analysis.suite);
