@@ -96,6 +96,32 @@ let compiled_term =
   in
   Term.(const setup $ arg)
 
+(* The variable-order policy knob.  Like --compiled, it runs before the
+   subcommand body, so setting the process-wide override is enough —
+   every later [Model.build] without an explicit ?reorder observes it. *)
+let order_term =
+  let doc =
+    "Variable-order policy for model construction: declared (default), \
+     info (static information-measure order), sift (post-build sifting) \
+     or info+sift.  Estimates are byte-identical across policies; only \
+     model size and build time change.  $(b,CFPM_ORDER) sets the same \
+     knob from the environment."
+  in
+  let policies =
+    Arg.enum
+      (List.map
+         (fun p -> (Powermodel.Reorder.to_string p, p))
+         Powermodel.Reorder.all)
+  in
+  let arg =
+    Arg.(value & opt (some policies) None & info [ "order" ] ~docv:"POLICY" ~doc)
+  in
+  let setup = function
+    | None -> ()
+    | Some p -> Powermodel.Reorder.set_policy p
+  in
+  Term.(const setup $ arg)
+
 (* Resource-budget flags shared by the model-building subcommands.  A zero
    value (the default) means "no such ceiling"; any combination composes
    into one Guard.Budget enforced cooperatively during construction. *)
@@ -118,8 +144,19 @@ let budget_term =
     let doc = "Ceiling on node-collapse invocations (0: none)." in
     Arg.(value & opt int 0 & info [ "max-collapses" ] ~docv:"N" ~doc)
   in
-  let make deadline max_nodes max_collapses =
-    if deadline <= 0.0 && max_nodes <= 0 && max_collapses <= 0 then None
+  let max_swaps_arg =
+    let doc =
+      "Ceiling on adjacent-level swaps spent by reordering policies (0: \
+       none).  A capped sifting pass stops early but leaves a \
+       consistent order."
+    in
+    Arg.(value & opt int 0 & info [ "max-swaps" ] ~docv:"N" ~doc)
+  in
+  let make deadline max_nodes max_collapses max_swaps =
+    if
+      deadline <= 0.0 && max_nodes <= 0 && max_collapses <= 0
+      && max_swaps <= 0
+    then None
     else
       Some
         (Guard.Budget.create
@@ -127,9 +164,12 @@ let budget_term =
            ?node_ceiling:(if max_nodes > 0 then Some max_nodes else None)
            ?collapse_ceiling:
              (if max_collapses > 0 then Some max_collapses else None)
+           ?swap_ceiling:(if max_swaps > 0 then Some max_swaps else None)
            ())
   in
-  Cmdliner.Term.(const make $ deadline_arg $ max_nodes_arg $ max_collapses_arg)
+  Cmdliner.Term.(
+    const make $ deadline_arg $ max_nodes_arg $ max_collapses_arg
+    $ max_swaps_arg)
 
 (* Errors exit through the Guard taxonomy: 3 parse, 4 validation,
    5 resource exhaustion, 6 internal. *)
@@ -209,7 +249,7 @@ let info_cmd =
     Term.(const run $ circuit_arg)
 
 let build_cmd =
-  let run () () name max_size strategy weighting vectors seed budget =
+  let run () () () name max_size strategy weighting vectors seed budget =
     let c = find_circuit name in
     let max_size = if max_size <= 0 then None else Some max_size in
     let model = build_or_exit ?budget ~strategy ~weighting ?max_size c in
@@ -221,6 +261,10 @@ let build_cmd =
     if s.degrade_steps > 0 then
       Printf.printf "  budget pressure: effective MAX halved %d time(s)\n"
         s.degrade_steps;
+    if s.sift_swaps > 0 || s.reorder_gain <> 0 then
+      Printf.printf "  reorder (%s): %d swap(s), %d node(s) saved\n"
+        (Powermodel.Reorder.to_string model.Powermodel.Model.reorder)
+        s.sift_swaps s.reorder_gain;
     Printf.printf "  exact: %b  avg capacitance %.2f fF  max %.2f fF\n"
       (Powermodel.Model.is_exact model)
       (Powermodel.Model.average_capacitance model)
@@ -235,29 +279,32 @@ let build_cmd =
     (Cmd.info "build"
        ~doc:"Build a power model and evaluate it against the simulator.")
     Term.(
-      const run $ trace_term $ compiled_term $ circuit_arg $ max_size_arg
-      $ strategy_arg $ weighting_arg $ vectors_arg $ seed_arg $ budget_term)
+      const run $ trace_term $ compiled_term $ order_term $ circuit_arg
+      $ max_size_arg $ strategy_arg $ weighting_arg $ vectors_arg $ seed_arg
+      $ budget_term)
 
 let fig7a_cmd =
-  let run () () vectors seed jobs =
+  let run () () () vectors seed jobs =
     let r = Experiments.Fig7a.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7a r)
   in
   Cmd.v
     (Cmd.info "fig7a" ~doc:"Reproduce Fig. 7a (RE vs st for cm85).")
     Term.(
-      const run $ trace_term $ compiled_term $ vectors_arg $ seed_arg
+      const run $ trace_term $ compiled_term $ order_term $ vectors_arg
+      $ seed_arg
       $ jobs_arg)
 
 let fig7b_cmd =
-  let run () () vectors seed jobs =
+  let run () () () vectors seed jobs =
     let r = Experiments.Fig7b.run ~vectors ~seed ?jobs:(jobs_opt jobs) () in
     print_string (Experiments.Report.fig7b r)
   in
   Cmd.v
     (Cmd.info "fig7b" ~doc:"Reproduce Fig. 7b (ARE vs model size for cm85).")
     Term.(
-      const run $ trace_term $ compiled_term $ vectors_arg $ seed_arg
+      const run $ trace_term $ compiled_term $ order_term $ vectors_arg
+      $ seed_arg
       $ jobs_arg)
 
 (* Supervision flags shared with the bench harness's environment knobs:
@@ -304,7 +351,7 @@ let table1_cmd =
     let doc = "Scale factor applied to the Table 1 MAX bounds." in
     Arg.(value & opt float 1.0 & info [ "max-scale" ] ~docv:"S" ~doc)
   in
-  let run () () vectors seed names max_scale jobs (policy, resume) =
+  let run () () () vectors seed names max_scale jobs (policy, resume) =
     let config =
       {
         Experiments.Table1.default_config with
@@ -360,15 +407,15 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (all benchmarks).")
     Term.(
-      const run $ trace_term $ compiled_term $ vectors_arg $ seed_arg
-      $ names_arg $ scale_arg $ jobs_arg $ supervision_term)
+      const run $ trace_term $ compiled_term $ order_term $ vectors_arg
+      $ seed_arg $ names_arg $ scale_arg $ jobs_arg $ supervision_term)
 
 let throughput_cmd =
   let transitions_arg =
     let doc = "Transitions per measured batch." in
     Arg.(value & opt int 200_000 & info [ "transitions"; "n" ] ~docv:"N" ~doc)
   in
-  let run () name max_size transitions seed jobs =
+  let run () () name max_size transitions seed jobs =
     if transitions < 1 then begin
       Printf.eprintf "cfpm: --transitions must be at least 1\n";
       exit 2
@@ -454,8 +501,8 @@ let throughput_cmd =
          "Measure compiled bulk-evaluation throughput against the \
           per-pattern interpreted walk.")
     Term.(
-      const run $ trace_term $ circuit_arg $ max_size_arg $ transitions_arg
-      $ seed_arg $ jobs_arg)
+      const run $ trace_term $ order_term $ circuit_arg $ max_size_arg
+      $ transitions_arg $ seed_arg $ jobs_arg)
 
 let dot_cmd =
   let run name max_size strategy weighting =
@@ -473,7 +520,7 @@ let import_cmd =
     let doc = "BLIF file describing the combinational macro." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run () file max_size strategy weighting budget =
+  let run () () file max_size strategy weighting budget =
     match Netlist.Blif.parse_file file with
     | Error err -> fail_with err
     | Ok c ->
@@ -491,8 +538,8 @@ let import_cmd =
     (Cmd.info "import"
        ~doc:"Parse a BLIF netlist, map it onto the cell library and model it.")
     Term.(
-      const run $ trace_term $ file_arg $ max_size_arg $ strategy_arg
-      $ weighting_arg $ budget_term)
+      const run $ trace_term $ order_term $ file_arg $ max_size_arg
+      $ strategy_arg $ weighting_arg $ budget_term)
 
 let worst_cmd =
   let run () name max_size =

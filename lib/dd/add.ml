@@ -1,6 +1,9 @@
 type t =
   | Leaf of { id : int; value : float }
-  | Node of { id : int; var : int; low : t; high : t }
+  | Node of { id : int; mutable var : int; mutable low : t; mutable high : t }
+(* Mutable for one client only: the in-place adjacent-level swap of the
+   reordering engine below, which preserves id, physical identity and the
+   denoted function.  Everything else treats nodes as immutable. *)
 
 type binop = Plus | Minus | Times | Min | Max
 
@@ -24,6 +27,10 @@ type manager = {
   mutable u_high : int array;
   mutable u_node : t array;
   mutable u_count : int;
+  (* Variable order: [perm] maps variable -> level, [invperm] level ->
+     variable; identity beyond their length (empty = natural order). *)
+  mutable perm : int array;
+  mutable invperm : int array;
   (* Computed tables: fixed-size, direct-mapped, lossy. *)
   cache : t Ct.cache;      (* binary ops, packed (op, a, b) *)
   ite_cache : t Ct.cache2; (* (guard, g) packed + h *)
@@ -70,6 +77,8 @@ let manager ?perf () =
     u_high = Array.make n 0;
     u_node = Array.make n dummy;
     u_count = 0;
+    perm = [||];
+    invperm = [||];
     cache = Ct.cache ~bits:cache_bits ~dummy;
     ite_cache = Ct.cache2 ~bits:ite_bits ~dummy;
     ob_key = Array.make obn (-1);
@@ -101,6 +110,36 @@ let perf m = m.perf
 let unique_size m = m.u_count
 
 let node_id = function Leaf l -> l.id | Node n -> n.id
+
+let level m v = if v < Array.length m.perm then m.perm.(v) else v
+
+let ensure_order m n =
+  let len = Array.length m.perm in
+  if n > len then begin
+    m.perm <- Array.init n (fun i -> if i < len then m.perm.(i) else i);
+    m.invperm <- Array.init n (fun i -> if i < len then m.invperm.(i) else i)
+  end
+
+let order m = Array.copy m.invperm
+
+let set_order m ord =
+  if m.u_count > 0 then
+    invalid_arg "Add.set_order: manager already contains nodes";
+  let n = Array.length ord in
+  let perm = Array.make n (-1) in
+  Array.iteri
+    (fun lvl v ->
+      if v < 0 || v >= n || perm.(v) >= 0 then
+        invalid_arg "Add.set_order: not a permutation of 0..n-1";
+      perm.(v) <- lvl)
+    ord;
+  m.perm <- perm;
+  m.invperm <- Array.copy ord
+
+let var_order m ~vars =
+  let a = Array.init vars Fun.id in
+  Array.sort (fun x y -> compare (level m x) (level m y)) a;
+  a
 
 let const m value =
   let bits = Int64.bits_of_float value in
@@ -214,9 +253,10 @@ let is_commutative = function
   | Plus | Times | Min | Max -> true
   | Minus -> false
 
-let top_var a b =
+let top_var m a b =
   match a, b with
-  | Node na, Node nb -> min na.var nb.var
+  | Node na, Node nb ->
+    if level m na.var <= level m nb.var then na.var else nb.var
   | Node na, Leaf _ -> na.var
   | Leaf _, Node nb -> nb.var
   | Leaf _, Leaf _ -> invalid_arg "Add.top_var: two leaves"
@@ -249,7 +289,7 @@ let apply2 m op a b =
         match a, b with
         | Leaf la, Leaf lb -> const m (eval_op op la.value lb.value)
         | _ ->
-          let v = top_var a b in
+          let v = top_var m a b in
           let a0, a1 = cofactors a v and b0, b1 = cofactors b v in
           mk m v (go a0 b0) (go a1 b1)
       in
@@ -303,8 +343,16 @@ let ite m guard g h =
         else begin
           Perf.miss m.c_ite;
           let v = nf.var in
-          let v = match g with Node n when n.var < v -> n.var | _ -> v in
-          let v = match h with Node n when n.var < v -> n.var | _ -> v in
+          let v =
+            match g with
+            | Node n when level m n.var < level m v -> n.var
+            | _ -> v
+          in
+          let v =
+            match h with
+            | Node n when level m n.var < level m v -> n.var
+            | _ -> v
+          in
           let f0, f1 =
             if nf.var = v then (nf.low, nf.high) else (guard, guard)
           in
@@ -532,3 +580,403 @@ let migrate target t =
       r
   in
   go t
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic variable reordering — the ADD twin of the engine in Bdd (see
+   the block comment there for the swap mechanics, the canonicity
+   argument and the liveness discipline).  Differences: terminals are
+   value-keyed leaves, which are never deleted during a session (leaf
+   reuse cannot break canonicity; a later {!sweep} prunes the dead
+   ones), roots come from the manager's protect table, and invalidation
+   additionally bumps the of_bdd generation and resets the size memo —
+   stamp-based size queries stay sound because ids never change, but the
+   per-root size memo would be stale the moment a swap reshapes the
+   diagram under an unchanged root id. *)
+
+type sift_stats = {
+  swaps : int;
+  size_before : int;
+  size_after : int;
+  capped : bool;
+}
+
+let default_max_growth = 1.2
+
+let delete_key m v il ih =
+  let mask = Array.length m.u_var - 1 in
+  let rec find i =
+    let uv = m.u_var.(i) in
+    if uv < 0 then failwith "Add: reorder lost a unique-table entry"
+    else if uv = v && m.u_low.(i) = il && m.u_high.(i) = ih then i
+    else find ((i + 1) land mask)
+  in
+  let i = find (uhash v il ih land mask) in
+  m.u_var.(i) <- -1;
+  m.u_node.(i) <- dummy;
+  m.u_count <- m.u_count - 1;
+  let j = ref ((i + 1) land mask) in
+  while m.u_var.(!j) >= 0 do
+    let v' = m.u_var.(!j)
+    and l' = m.u_low.(!j)
+    and h' = m.u_high.(!j)
+    and n' = m.u_node.(!j) in
+    m.u_var.(!j) <- -1;
+    m.u_node.(!j) <- dummy;
+    let k = ref (uhash v' l' h' land mask) in
+    while m.u_var.(!k) >= 0 do
+      k := (!k + 1) land mask
+    done;
+    m.u_var.(!k) <- v';
+    m.u_low.(!k) <- l';
+    m.u_high.(!k) <- h';
+    m.u_node.(!k) <- n';
+    j := (!j + 1) land mask
+  done
+
+let insert_node m node =
+  match node with
+  | Leaf _ -> ()
+  | Node n ->
+    let il = node_id n.low and ih = node_id n.high in
+    if 2 * (m.u_count + 1) >= Array.length m.u_var then grow_unique m;
+    let mask = Array.length m.u_var - 1 in
+    let i = ref (uhash n.var il ih land mask) in
+    while m.u_var.(!i) >= 0 do
+      i := (!i + 1) land mask
+    done;
+    m.u_var.(!i) <- n.var;
+    m.u_low.(!i) <- il;
+    m.u_high.(!i) <- ih;
+    m.u_node.(!i) <- node;
+    m.u_count <- m.u_count + 1
+
+type session = {
+  mutable refs : int array;
+  mutable at : t list array;
+  mutable live : int;
+  mutable swaps : int;
+}
+
+let ensure_refs s n =
+  if n > Array.length s.refs then begin
+    let cap = ref (2 * Array.length s.refs) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    let fresh = Array.make !cap 0 in
+    Array.blit s.refs 0 fresh 0 (Array.length s.refs);
+    s.refs <- fresh
+  end
+
+let session_of m roots nlevels =
+  let s =
+    {
+      refs = Array.make (max 1024 m.next_id) 0;
+      at = Array.make (max 1 nlevels) [];
+      live = 0;
+      swaps = 0;
+    }
+  in
+  for i = 0 to Array.length m.u_var - 1 do
+    if m.u_var.(i) >= 0 then begin
+      match m.u_node.(i) with
+      | Node n as node ->
+        s.live <- s.live + 1;
+        let l = level m n.var in
+        s.at.(l) <- node :: s.at.(l);
+        (match n.low with
+        | Node c -> s.refs.(c.id) <- s.refs.(c.id) + 1
+        | Leaf _ -> ());
+        (match n.high with
+        | Node c -> s.refs.(c.id) <- s.refs.(c.id) + 1
+        | Leaf _ -> ())
+      | Leaf _ -> ()
+    end
+  done;
+  List.iter
+    (fun r ->
+      match r with
+      | Node n -> s.refs.(n.id) <- s.refs.(n.id) + 1
+      | Leaf _ -> ())
+    roots;
+  s
+
+let swap_adjacent_in m s lvl =
+  let u = m.invperm.(lvl) and v = m.invperm.(lvl + 1) in
+  let list_a = s.at.(lvl) and list_b = s.at.(lvl + 1) in
+  let new_a = ref [] and new_b = ref [] in
+  let pending = ref [] in
+  let release c =
+    match c with
+    | Node cn ->
+      s.refs.(cn.id) <- s.refs.(cn.id) - 1;
+      if s.refs.(cn.id) = 0 then pending := c :: !pending
+    | Leaf _ -> ()
+  in
+  List.iter
+    (fun node ->
+      match node with
+      | Node n when s.refs.(n.id) > 0 ->
+        let f0 = n.low and f1 = n.high in
+        let low_hits =
+          match f0 with Node c -> c.var = v | Leaf _ -> false
+        and high_hits =
+          match f1 with Node c -> c.var = v | Leaf _ -> false
+        in
+        if not (low_hits || high_hits) then new_b := node :: !new_b
+        else begin
+          let f00, f01 =
+            match f0 with
+            | Node c when c.var = v -> (c.low, c.high)
+            | _ -> (f0, f0)
+          and f10, f11 =
+            match f1 with
+            | Node c when c.var = v -> (c.low, c.high)
+            | _ -> (f1, f1)
+          in
+          delete_key m u (node_id f0) (node_id f1);
+          let acquire c =
+            match c with
+            | Node cn -> s.refs.(cn.id) <- s.refs.(cn.id) + 1
+            | Leaf _ -> ()
+          in
+          let attach a b =
+            if a == b then begin
+              acquire a;
+              a
+            end
+            else begin
+              let before = m.next_id in
+              let r = mk m u a b in
+              if m.next_id > before then begin
+                ensure_refs s m.next_id;
+                acquire a;
+                acquire b;
+                s.live <- s.live + 1;
+                new_b := r :: !new_b
+              end;
+              acquire r;
+              r
+            end
+          in
+          let nl = attach f00 f10 in
+          let nh = attach f01 f11 in
+          release f0;
+          release f1;
+          n.var <- v;
+          n.low <- nl;
+          n.high <- nh;
+          insert_node m node;
+          new_a := node :: !new_a
+        end
+      | _ -> ())
+    list_a;
+  let rec drain () =
+    match !pending with
+    | [] -> ()
+    | c :: rest ->
+      pending := rest;
+      (match c with
+      | Node cn when s.refs.(cn.id) = 0 ->
+        delete_key m cn.var (node_id cn.low) (node_id cn.high);
+        s.live <- s.live - 1;
+        release cn.low;
+        release cn.high
+      | _ -> ());
+      drain ()
+  in
+  drain ();
+  List.iter
+    (fun node ->
+      match node with
+      | Node n when s.refs.(n.id) > 0 && n.var = v -> new_a := node :: !new_a
+      | _ -> ())
+    list_b;
+  s.at.(lvl) <- !new_a;
+  s.at.(lvl + 1) <- !new_b;
+  m.invperm.(lvl) <- v;
+  m.invperm.(lvl + 1) <- u;
+  m.perm.(u) <- lvl + 1;
+  m.perm.(v) <- lvl;
+  s.swaps <- s.swaps + 1
+
+let invalidate_after_reorder m =
+  Ct.clear m.cache;
+  Ct.clear2 m.ite_cache;
+  m.ob_generation <- m.ob_generation + 1;
+  Hashtbl.reset m.size_memo
+
+let level_span m =
+  let max_lvl = ref (-1) in
+  for i = 0 to Array.length m.u_var - 1 do
+    if m.u_var.(i) >= 0 then begin
+      let l = level m m.u_var.(i) in
+      if l > !max_lvl then max_lvl := l
+    end
+  done;
+  !max_lvl + 1
+
+let validate_pairs m nlevels =
+  let k = ref 0 in
+  while 2 * !k < nlevels do
+    let e = m.invperm.(2 * !k) and o = m.invperm.((2 * !k) + 1) in
+    if e land 1 <> 0 || o <> e + 1 then
+      invalid_arg
+        "sift: group_pairs requires an order of adjacent (even, odd) \
+         variable pairs";
+    incr k
+  done
+
+let root_list m = Hashtbl.fold (fun _ (_, t) acc -> t :: acc) m.roots []
+
+let swap_adjacent m lvl =
+  if lvl < 0 then invalid_arg "Add.swap_adjacent: negative level";
+  sweep m;
+  ensure_order m (max (lvl + 2) (level_span m));
+  let roots = root_list m in
+  let s = session_of m roots (Array.length m.invperm) in
+  swap_adjacent_in m s lvl;
+  if s.live <> m.u_count then
+    failwith "Add.swap_adjacent: internal accounting mismatch";
+  invalidate_after_reorder m
+
+let sift ?(group_pairs = false) ?(max_growth = default_max_growth) ?max_swaps
+    m =
+  if not (max_growth >= 1.0) then
+    invalid_arg "Add.sift: max_growth must be >= 1.0";
+  (match max_swaps with
+  | Some k when k < 0 -> invalid_arg "Add.sift: max_swaps must be >= 0"
+  | _ -> ());
+  sweep m;
+  let nlevels =
+    let n = level_span m in
+    if group_pairs && n land 1 = 1 then n + 1 else n
+  in
+  ensure_order m nlevels;
+  let w = if group_pairs then 2 else 1 in
+  if group_pairs then validate_pairs m nlevels;
+  let roots = root_list m in
+  let s = session_of m roots nlevels in
+  let size0 = s.live in
+  let ngroups = nlevels / w in
+  let budget_left =
+    ref (match max_swaps with Some k -> k | None -> max_int)
+  in
+  let capped = ref false in
+  if ngroups > 1 then begin
+    let gsize g =
+      let total = ref 0 in
+      for lv = g * w to (g * w) + w - 1 do
+        List.iter
+          (fun node ->
+            match node with
+            | Node n when s.refs.(n.id) > 0 -> incr total
+            | _ -> ())
+          s.at.(lv)
+      done;
+      !total
+    in
+    let by_size = Array.init ngroups (fun g -> (gsize g, g)) in
+    Array.sort
+      (fun (sa, ga) (sb, gb) ->
+        match compare sb sa with 0 -> compare ga gb | c -> c)
+      by_size;
+    let pos = Array.init ngroups Fun.id in
+    let which = Array.init ngroups Fun.id in
+    let move_down p =
+      let a = p * w in
+      for k = 0 to w - 1 do
+        for l = a + w + k downto a + k + 1 do
+          swap_adjacent_in m s (l - 1);
+          decr budget_left
+        done
+      done;
+      let g1 = which.(p) and g2 = which.(p + 1) in
+      which.(p) <- g2;
+      which.(p + 1) <- g1;
+      pos.(g2) <- p;
+      pos.(g1) <- p + 1
+    in
+    let move_up p = move_down (p - 1) in
+    Array.iter
+      (fun (_, g) ->
+        if not !capped then begin
+          let need = 3 * (ngroups - 1) * w * w in
+          if !budget_left < need then capped := true
+          else begin
+            let p0 = pos.(g) in
+            let start = s.live in
+            let limit =
+              int_of_float (Float.of_int start *. max_growth) + 1
+            in
+            let best = ref s.live and best_p = ref p0 in
+            let record () =
+              if s.live < !best then begin
+                best := s.live;
+                best_p := pos.(g)
+              end
+            in
+            let walk_down () =
+              while pos.(g) < ngroups - 1 && s.live <= limit do
+                move_down pos.(g);
+                record ()
+              done
+            and walk_up () =
+              while pos.(g) > 0 && s.live <= limit do
+                move_up pos.(g);
+                record ()
+              done
+            in
+            if ngroups - 1 - p0 <= p0 then begin
+              walk_down ();
+              walk_up ()
+            end
+            else begin
+              walk_up ();
+              walk_down ()
+            end;
+            while pos.(g) < !best_p do
+              move_down pos.(g)
+            done;
+            while pos.(g) > !best_p do
+              move_up pos.(g)
+            done
+          end
+        end)
+      by_size
+  end;
+  if s.live <> m.u_count then
+    failwith "Add.sift: internal accounting mismatch";
+  invalidate_after_reorder m;
+  { swaps = s.swaps; size_before = size0; size_after = s.live;
+    capped = !capped }
+
+(* Bring the live diagrams to [target] (level-to-variable for the first
+   [length target] levels) by adjacent swaps: for each level top-down,
+   bubble the wanted variable up to it.  Function-preserving, so unlike
+   {!set_order} it applies to a manager full of live nodes. *)
+let reorder_to m target =
+  let n = Array.length target in
+  let seen = Array.make (max 1 n) false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg "Add.reorder_to: not a permutation of 0..n-1";
+      seen.(v) <- true)
+    target;
+  sweep m;
+  ensure_order m (max n (level_span m));
+  let roots = root_list m in
+  let s = session_of m roots (Array.length m.invperm) in
+  let size0 = s.live in
+  for lvl = 0 to n - 1 do
+    let cur = m.perm.(target.(lvl)) in
+    for l = cur downto lvl + 1 do
+      swap_adjacent_in m s (l - 1)
+    done
+  done;
+  if s.live <> m.u_count then
+    failwith "Add.reorder_to: internal accounting mismatch";
+  invalidate_after_reorder m;
+  { swaps = s.swaps; size_before = size0; size_after = s.live;
+    capped = false }

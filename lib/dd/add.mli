@@ -13,7 +13,12 @@
 
 type t = private
   | Leaf of { id : int; value : float }
-  | Node of { id : int; var : int; low : t; high : t }
+  | Node of { id : int; mutable var : int; mutable low : t; mutable high : t }
+      (** Invariant: [low != high] and both children sit on strictly deeper
+          levels than [var] under the manager's current order.  The fields
+          are mutable only for the in-place level swaps of the reordering
+          engine — they never change the function a node denotes, and
+          outside a reordering call diagrams are immutable. *)
 
 type manager
 
@@ -42,7 +47,8 @@ val const : manager -> float -> t
 val of_bdd : manager -> ?one_value:float -> ?zero_value:float -> Bdd.t -> t
 (** Convert a BDD to an ADD mapping [true] to [one_value] (default 1.0) and
     [false] to [zero_value] (default 0.0).  Variable indices are preserved,
-    so the BDD and ADD managers must use the same variable numbering. *)
+    so the BDD and ADD managers must use the same variable numbering {e and
+    the same variable order} (see {!set_order}). *)
 
 val ite : manager -> Bdd.t -> t -> t -> t
 (** [ite m guard g h] selects [g] where [guard] holds and [h] elsewhere. *)
@@ -123,7 +129,9 @@ val make_node : manager -> int -> t -> t -> t
 (** [make_node m v low high] is the raw hash-consing constructor
     ([if v then high else low]); it enforces reduction ([low == high]
     collapses) and sharing.  [low] and [high] must only mention variables
-    greater than [v] — used by {!Approx} to rebuild diagrams bottom-up. *)
+    on levels strictly deeper than [v]'s (under the natural order:
+    variables greater than [v]) — used by {!Approx} to rebuild diagrams
+    bottom-up. *)
 
 val allocated : manager -> int
 (** Total nodes ever hash-consed in this manager.  Monotone: {!sweep}
@@ -164,3 +172,69 @@ val sweep : manager -> unit
 val migrate : manager -> t -> t
 (** Structurally copy a diagram into another manager.  The result lives in
     [target]; the source manager can then be dropped. *)
+
+(** {1 Variable order and dynamic reordering}
+
+    A manager maps variables to {e levels} (depth from the root); the maps
+    are the identity until changed.  {!set_order} installs a static order
+    before any node exists; {!sift}, {!reorder_to} and {!swap_adjacent}
+    reorder live diagrams in place — node identity, ids and denoted
+    functions are all preserved, so protected roots stay valid and [eval]
+    results are bit-for-bit unchanged.  The reordering entry points sweep
+    to the protected roots first: anything unprotected is dropped. *)
+
+val level : manager -> int -> int
+(** Current level of a variable (identity for variables never reordered). *)
+
+val order : manager -> int array
+(** Snapshot of the level-to-variable map ([order.(l)] is the variable at
+    level [l]); empty for a fresh manager in natural order. *)
+
+val var_order : manager -> vars:int -> int array
+(** [var_order m ~vars] is the variables [0 .. vars-1] sorted by current
+    level — the level-to-variable order restricted to the first [vars]
+    variables, usable directly as a {!Compiled.compile} [?order]. *)
+
+val set_order : manager -> int array -> unit
+(** [set_order m ord] installs the static order [ord] (level-to-variable, a
+    permutation of [0 .. n-1]).  Only valid on a manager with no internal
+    nodes yet — raises [Invalid_argument] otherwise, and on a non-
+    permutation. *)
+
+type sift_stats = {
+  swaps : int;       (** adjacent-level swaps performed *)
+  size_before : int; (** live internal nodes when the pass started *)
+  size_after : int;  (** live internal nodes when it finished *)
+  capped : bool;     (** stopped early by [max_swaps] *)
+}
+
+val sift :
+  ?group_pairs:bool -> ?max_growth:float -> ?max_swaps:int -> manager ->
+  sift_stats
+(** Sifting pass over the protected roots: every variable (or, with
+    [group_pairs], every adjacent (even, odd) variable pair, moved as a
+    unit so pair-based analyses such as {!Powermodel.Markov} stay exact)
+    is moved through all levels by adjacent swaps and parked at the best
+    position seen.  A variable's walk is abandoned early when the live
+    node count exceeds [max_growth] (default 1.2) times its starting
+    value.  [max_swaps] bounds the total number of adjacent swaps; the
+    pass stops before a variable whose worst-case walk no longer fits, so
+    a capped sift still leaves a consistent order ([capped] reports it).
+
+    Sweeps to the protected roots first, then sifts exactly the live set.
+    All computed tables, the {!of_bdd} memo generation and the size memo
+    are invalidated.  Deterministic: same manager history, roots and
+    arguments produce the same final order and sizes. *)
+
+val reorder_to : manager -> int array -> sift_stats
+(** [reorder_to m target] brings the live diagrams to the order [target]
+    (level-to-variable for the first [Array.length target] levels) by
+    adjacent swaps — the function-preserving counterpart of {!set_order}
+    for a manager that already holds nodes.  Sweeps to the protected
+    roots first; raises [Invalid_argument] if [target] is not a
+    permutation of [0 .. n-1]. *)
+
+val swap_adjacent : manager -> int -> unit
+(** [swap_adjacent m lvl] performs the single adjacent-level swap of levels
+    [lvl] and [lvl + 1] (sweeping to the protected roots first), mostly
+    useful for tests.  Functions of all surviving nodes are preserved. *)

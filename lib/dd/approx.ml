@@ -359,24 +359,39 @@ let search mgr plan max_size =
 
 let collapse_passes_metric = Obs.Metrics.metric "dd.collapse_passes"
 
-let compress ?(weighting = default_weighting) mgr ~strategy ~max_size root =
+let compress ?(weighting = default_weighting) ?(resift = false) mgr ~strategy
+    ~max_size root =
   if max_size < 1 then invalid_arg "Approx.compress: max_size must be >= 1";
-  if Add.size_under mgr root ~limit:max_size <> None then root
-  else begin
-    Perf.note_collapse (Add.perf mgr);
-    Obs.Metrics.incr collapse_passes_metric;
-    Obs.Trace.with_span "collapse" ~cat:"dd"
-      ~args:(fun () ->
-        [
-          ("before_nodes", Json.Int (Add.size_in mgr root));
-          ("max_size", Json.Int max_size);
-        ])
-      ~result_args:(fun result ->
-        [ ("after_nodes", Json.Int (Add.size_in mgr result)) ])
-      (fun () ->
-        let plan = make_plan strategy weighting root in
-        search mgr plan max_size)
-  end
+  let result =
+    if Add.size_under mgr root ~limit:max_size <> None then root
+    else begin
+      Perf.note_collapse (Add.perf mgr);
+      Obs.Metrics.incr collapse_passes_metric;
+      Obs.Trace.with_span "collapse" ~cat:"dd"
+        ~args:(fun () ->
+          [
+            ("before_nodes", Json.Int (Add.size_in mgr root));
+            ("max_size", Json.Int max_size);
+          ])
+        ~result_args:(fun result ->
+          [ ("after_nodes", Json.Int (Add.size_in mgr result)) ])
+        (fun () ->
+          let plan = make_plan strategy weighting root in
+          search mgr plan max_size)
+    end
+  in
+  (* Optional pair-grouped sift of the collapsed result.  Add.sift sweeps
+     to the protected roots, so this is only sound when the result (plus
+     anything the caller protected) is the only live data — end-of-build
+     use only.  In-place and function-preserving: [result] stays the same
+     physical node with the same values everywhere. *)
+  if resift then begin
+    Add.protect mgr result;
+    Fun.protect
+      ~finally:(fun () -> Add.unprotect mgr result)
+      (fun () -> ignore (Add.sift ~group_pairs:true mgr : Add.sift_stats))
+  end;
+  result
 
 let collapse_below ?(weighting = default_weighting) mgr ~strategy ~threshold
     root =

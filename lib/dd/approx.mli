@@ -50,6 +50,7 @@ val replacement : strategy -> Add_stats.t -> float
 
 val compress :
   ?weighting:weighting ->
+  ?resift:bool ->
   Add.manager -> strategy:strategy -> max_size:int -> Add.t -> Add.t
 (** [compress m ~strategy ~max_size f] returns [f] unchanged if
     [Add.size f <= max_size]; otherwise collapses lowest-priority sub-ADDs
@@ -58,7 +59,15 @@ val compress :
     must be at least 1: collapsing everything leaves a single constant
     estimator, the degenerate model the paper mentions.  Each actual
     collapse pass is counted into the target manager's {!Perf}
-    counters. *)
+    counters.
+
+    [resift] (default false) runs a pair-grouped {!Add.sift} on the result
+    before returning.  {b End-of-build use only}: the sift sweeps the
+    manager to its protected roots, so everything except the result (and
+    any roots the caller protected) is dropped, and the manager's variable
+    order changes — any paired BDD manager would fall out of sync for
+    future {!Add.of_bdd} calls.  The returned diagram itself is reordered
+    in place, function-preserved. *)
 
 val collapse_below :
   ?weighting:weighting ->

@@ -6,17 +6,23 @@
     structurally equal diagrams built in the same manager are physically
     equal, and equality tests are [==].
 
-    Variables are non-negative integers; the variable order is the natural
-    integer order (variable 0 is closest to the root).  All operations are
-    memoized in per-manager caches. *)
+    Variables are non-negative integers.  By default the variable order is
+    the natural integer order (variable 0 closest to the root); every
+    manager carries a variable-to-level permutation that {!set_order} and
+    the reordering operations below ({!sift}, {!swap_adjacent}) update, and
+    all ordered operations compare variables through it.  All operations
+    are memoized in per-manager caches. *)
 
 type t = private
   | False
   | True
-  | Node of { id : int; var : int; low : t; high : t }
+  | Node of { id : int; mutable var : int; mutable low : t; mutable high : t }
       (** [Node {var; low; high}] is [if var then high else low].  Invariant:
-          [low != high] and both children mention only variables greater than
-          [var]. *)
+          [low != high] and both children sit on strictly deeper levels than
+          [var] under the manager's current order.  The fields are mutable
+          only for the in-place level swaps of the reordering engine — they
+          never change the function a node denotes, and outside a reordering
+          call diagrams are immutable. *)
 
 type manager
 (** Mutable state: unique table and operation caches.  Diagrams from
@@ -88,12 +94,16 @@ val exists : manager -> int list -> t -> t
 val forall : manager -> int list -> t -> t
 
 val shift : manager -> int -> t -> t
-(** [shift m k f] renames every variable [v] of [f] to [v + k].  Adding a
-    constant preserves the variable order, so this is a single memoized
-    structural copy — no apply operations.  {!Powermodel.Model} uses it to
-    derive the final-copy node functions from the initial-copy ones
-    (interleaved numbering, offset 1) instead of re-evaluating the netlist.
-    Raises [Invalid_argument] if any shifted variable would be negative. *)
+(** [shift m k f] renames every variable [v] of [f] to [v + k].  Under the
+    natural order adding a constant preserves the variable order, so this
+    is a single memoized structural copy — no apply operations.
+    {!Powermodel.Model} uses it to derive the final-copy node functions
+    from the initial-copy ones (interleaved numbering, offset 1) instead of
+    re-evaluating the netlist.  Under a custom order the caller must ensure
+    the renaming is still order-preserving — the pair-preserving orders of
+    {!Powermodel.Reorder} keep offset-1 shifts of even-variable diagrams
+    valid.  Raises [Invalid_argument] if any shifted variable would be
+    negative. *)
 
 (** {1 Queries} *)
 
@@ -125,3 +135,58 @@ val sat_fraction : t -> float
 val any_sat : t -> (int * bool) list option
 (** One satisfying partial assignment (variable, value), or [None] for
     [False]. *)
+
+(** {1 Variable order and dynamic reordering}
+
+    A manager maps variables to {e levels} (depth from the root); the maps
+    are the identity until changed.  {!set_order} installs a static order
+    before any node exists; {!sift} and {!swap_adjacent} reorder live
+    diagrams in place — node identity, ids and denoted functions are all
+    preserved, so existing references stay valid and [eval] results are
+    bit-for-bit unchanged. *)
+
+val level : manager -> int -> int
+(** Current level of a variable (identity for variables never reordered). *)
+
+val order : manager -> int array
+(** Snapshot of the level-to-variable map ([order.(l)] is the variable at
+    level [l]); empty for a fresh manager in natural order. *)
+
+val set_order : manager -> int array -> unit
+(** [set_order m ord] installs the static order [ord] (level-to-variable, a
+    permutation of [0 .. n-1]).  Only valid on a manager with no internal
+    nodes yet — raises [Invalid_argument] otherwise, and on a non-
+    permutation. *)
+
+type sift_stats = {
+  swaps : int;       (** adjacent-level swaps performed *)
+  size_before : int; (** live internal nodes when sifting started *)
+  size_after : int;  (** live internal nodes when it finished *)
+  capped : bool;     (** stopped early by [max_swaps] *)
+}
+
+val sift :
+  ?group_pairs:bool ->
+  ?max_growth:float ->
+  ?max_swaps:int ->
+  manager ->
+  roots:t list ->
+  sift_stats
+(** Sifting pass: every variable (or, with [group_pairs], every adjacent
+    (even, odd) variable pair, moved as a unit so pair-based analyses stay
+    exact) is moved through all levels by adjacent swaps and parked at the
+    best position seen.  A variable's walk is abandoned early when the live
+    node count exceeds [max_growth] (default 1.2) times its starting value.
+    [max_swaps] bounds the total number of adjacent swaps; the pass stops
+    before a variable whose worst-case walk no longer fits, so a capped
+    sift still leaves a consistent order ([capped] reports it).
+
+    Everything not reachable from [roots] is swept away first (the
+    unique table then equals the live set sifting minimizes).  All
+    computed tables are invalidated.  Deterministic: same manager history,
+    roots and arguments produce the same final order and sizes. *)
+
+val swap_adjacent : manager -> roots:t list -> int -> unit
+(** [swap_adjacent m ~roots lvl] performs the single adjacent-level swap of
+    levels [lvl] and [lvl + 1] (sweeping to [roots] first), mostly useful
+    for tests.  Functions of all surviving nodes are preserved. *)

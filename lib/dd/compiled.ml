@@ -46,7 +46,8 @@ type t = {
   leaves : float array;
   root : int; (* encoded like a child: >= 0 triple offset, < 0 leaf *)
   steps : int array; (* levelized transitions, stride 2^arity per level *)
-  plan : (int * int) array; (* batch passes: (arity, first variable) *)
+  plan : (int * int) array; (* batch passes: (arity, offset in plan_vars) *)
+  plan_vars : int array; (* variables in level order, concatenated passes *)
 }
 
 let m_programs = Obs.Metrics.metric "compiled.programs"
@@ -60,8 +61,8 @@ let block = 4096
 let node_count t = Array.length t.code / 3
 
 (* child of [node] under variable [var] = [b]: ordered diagrams test
-   variables in increasing order, so a node waiting on a later variable
-   (or a leaf) is left in place *)
+   variables in level order, so a node waiting on a deeper level (or a
+   leaf) is left in place *)
 let cof node var b =
   match node with
   | Add.Node n when n.var = var -> if b then n.high else n.low
@@ -83,10 +84,11 @@ let plan_of nvars =
 
 (* Normalize the diagram into the level-major step table.  Level [l]'s
    states are the distinct diagram nodes reachable after consuming the
-   variables of earlier passes, in first-encounter order
-   (deterministic); after the last level every state is a terminal, and
-   entries hold leaf indices from [leaf_index]. *)
-let levelize ~plan ~leaf_index root_node =
+   variables of earlier passes (in the order listed by [plan_vars]), in
+   first-encounter order (deterministic); after the last level every
+   state is a terminal, and entries hold leaf indices from
+   [leaf_index]. *)
+let levelize ~plan ~plan_vars ~leaf_index root_node =
   let nlevels = Array.length plan in
   let stride_of l = 1 lsl fst plan.(l) in
   let states = ref [| root_node |] in
@@ -113,11 +115,13 @@ let levelize ~plan ~leaf_index root_node =
     Array.iteri
       (fun si node ->
         for idx = 0 to stride - 1 do
-          (* bit (arity - 1 - k) of idx is the value of variable v0 + k,
-             matching the walk's running [(idx lsl 1) lor b] *)
+          (* bit (arity - 1 - k) of idx is the value of the pass's k-th
+             variable, matching the walk's running [(idx lsl 1) lor b] *)
           let c = ref node in
           for k = 0 to arity - 1 do
-            c := cof !c (v0 + k) ((idx lsr (arity - 1 - k)) land 1 = 1)
+            c :=
+              cof !c plan_vars.(v0 + k)
+                ((idx lsr (arity - 1 - k)) land 1 = 1)
           done;
           ent.((si * stride) + idx) <- intern !c
         done)
@@ -126,7 +130,19 @@ let levelize ~plan ~leaf_index root_node =
     states := Array.of_list (List.rev !next)
   done;
   let entries = Array.of_list (List.rev !rev_entries) in
-  (* after the final pass every surviving state is a terminal *)
+  (* after the final pass every surviving state must be a terminal; a
+     decision node here means [plan_vars] does not list the diagram's
+     variables in its actual level order (e.g. a stale order after a
+     reorder), which would silently miscompile — fail loudly instead *)
+  Array.iter
+    (fun node ->
+      match node with
+      | Add.Leaf _ -> ()
+      | Add.Node _ ->
+        invalid_arg
+          "Compiled.compile: order inconsistent with the diagram's level \
+           order")
+    !states;
   let leaf_slot = Array.map leaf_index !states in
   let bases = Array.make (nlevels + 1) 0 in
   Array.iteri
@@ -147,7 +163,7 @@ let levelize ~plan ~leaf_index root_node =
     entries;
   steps
 
-let compile ?vars root_node =
+let compile ?order ?vars root_node =
   Obs.Trace.with_span "compile" ~cat:"compiled"
     ~result_args:(fun t ->
       [
@@ -168,6 +184,23 @@ let compile ?vars root_node =
       if v < min_vars then
         invalid_arg "Compiled.compile: vars smaller than the diagram support";
       v
+  in
+  (* variables in level order; identity unless the diagram was built (or
+     reordered) under a custom order *)
+  let plan_vars =
+    match order with
+    | None -> Array.init nvars Fun.id
+    | Some ord ->
+      if Array.length ord <> nvars then
+        invalid_arg "Compiled.compile: order length must equal vars";
+      let seen = Array.make (max 1 nvars) false in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= nvars || seen.(v) then
+            invalid_arg "Compiled.compile: order is not a permutation";
+          seen.(v) <- true)
+        ord;
+      Array.copy ord
   in
   let n_nodes = Add.internal_count root_node in
   let n_leaves = Add.size root_node - n_nodes in
@@ -206,10 +239,11 @@ let compile ?vars root_node =
   let leaf_index node = lnot (Hashtbl.find memo (Add.node_id node)) in
   let plan = plan_of nvars in
   let steps =
-    if root < 0 then [||] else levelize ~plan ~leaf_index root_node
+    if root < 0 then [||]
+    else levelize ~plan ~plan_vars ~leaf_index root_node
   in
   Obs.Metrics.incr m_programs;
-  { nvars; code; leaves; root; steps; plan }
+  { nvars; code; leaves; root; steps; plan; plan_vars }
 
 let vars t = t.nvars
 let leaf_count t = Array.length t.leaves
@@ -244,11 +278,11 @@ let pack t envs =
     envs;
   b
 
-(* All unsafe accesses below are covered by [check_batch]: a pass with
-   first variable v0 and arity a reads input bytes v0 .. v0 + a - 1 with
-   v0 + a <= nvars (by construction of [plan_of]), and the buffer holds
-   n * nvars bytes, so every read stays in range; [steps] offsets and
-   leaf indices are in range by construction of [levelize]. *)
+(* All unsafe accesses below are covered by [check_batch]: a pass reads
+   the input bytes of its [plan_vars] slice, every entry of which is
+   < nvars (validated at compile), and the buffer holds n * nvars bytes,
+   so every read stays in range; [steps] offsets and leaf indices are in
+   range by construction of [levelize]. *)
 let check_batch t ~inputs ~n =
   if n < 0 then invalid_arg "Compiled: negative batch size";
   if Bytes.length inputs < n * t.nvars then
@@ -270,31 +304,43 @@ let tile = 256
 let walk_tile t inputs scratch ~abs0 ~width =
   (* every position starts at the root state, offset 0 *)
   Array.fill scratch 0 width 0;
-  let steps = t.steps and nvars = t.nvars and plan = t.plan in
+  let steps = t.steps
+  and nvars = t.nvars
+  and plan = t.plan
+  and plan_vars = t.plan_vars in
   for l = 0 to Array.length plan - 1 do
     let arity, v0 = Array.unsafe_get plan l in
-    let off = (abs0 * nvars) + v0 in
-    (* per-element addressing: a running offset in a [ref] would carry
-       the loop dependency through memory (store-to-load per
-       iteration); the multiply stays off the critical path *)
+    let off = abs0 * nvars in
+    (* the pass's variable indices are loop-invariant: hoist them out of
+       the hot loop (plan_vars entries are < nvars by construction, so
+       [base + pv] stays inside the checked buffer).  Per-element
+       addressing: a running offset in a [ref] would carry the loop
+       dependency through memory (store-to-load per iteration); the
+       multiply stays off the critical path *)
     match arity with
     | 4 ->
+      let pv0 = Array.unsafe_get plan_vars v0 in
+      let pv1 = Array.unsafe_get plan_vars (v0 + 1) in
+      let pv2 = Array.unsafe_get plan_vars (v0 + 2) in
+      let pv3 = Array.unsafe_get plan_vars (v0 + 3) in
       for q = 0 to width - 1 do
         let s = Array.unsafe_get scratch q in
         let base = (q * nvars) + off in
-        let b0 = Char.code (Bytes.unsafe_get inputs base) in
-        let b1 = Char.code (Bytes.unsafe_get inputs (base + 1)) in
-        let b2 = Char.code (Bytes.unsafe_get inputs (base + 2)) in
-        let b3 = Char.code (Bytes.unsafe_get inputs (base + 3)) in
+        let b0 = Char.code (Bytes.unsafe_get inputs (base + pv0)) in
+        let b1 = Char.code (Bytes.unsafe_get inputs (base + pv1)) in
+        let b2 = Char.code (Bytes.unsafe_get inputs (base + pv2)) in
+        let b3 = Char.code (Bytes.unsafe_get inputs (base + pv3)) in
         let idx = (b0 lsl 3) lor (b1 lsl 2) lor (b2 lsl 1) lor b3 in
         Array.unsafe_set scratch q (Array.unsafe_get steps (s + idx))
       done
     | 2 ->
+      let pv0 = Array.unsafe_get plan_vars v0 in
+      let pv1 = Array.unsafe_get plan_vars (v0 + 1) in
       for q = 0 to width - 1 do
         let s = Array.unsafe_get scratch q in
         let base = (q * nvars) + off in
-        let b0 = Char.code (Bytes.unsafe_get inputs base) in
-        let b1 = Char.code (Bytes.unsafe_get inputs (base + 1)) in
+        let b0 = Char.code (Bytes.unsafe_get inputs (base + pv0)) in
+        let b1 = Char.code (Bytes.unsafe_get inputs (base + pv1)) in
         Array.unsafe_set scratch q
           (Array.unsafe_get steps (s + (b0 lsl 1) + b1))
       done
@@ -305,7 +351,10 @@ let walk_tile t inputs scratch ~abs0 ~width =
         let idx = ref 0 in
         for k = 0 to arity - 1 do
           idx :=
-            (!idx lsl 1) lor Char.code (Bytes.unsafe_get inputs (base + k))
+            (!idx lsl 1)
+            lor Char.code
+                  (Bytes.unsafe_get inputs
+                     (base + Array.unsafe_get plan_vars (v0 + k)))
         done;
         Array.unsafe_set scratch q (Array.unsafe_get steps (s + !idx))
       done

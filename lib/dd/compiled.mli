@@ -31,12 +31,22 @@
 
 type t
 
-val compile : ?vars:int -> Add.t -> t
+val compile : ?order:int array -> ?vars:int -> Add.t -> t
 (** Flatten a diagram into a program.  [vars] fixes the environment width
     (the per-vector stride of batched input buffers); it defaults to
     [1 + max support variable] and must not be smaller.
     {!Powermodel.Model.compile} passes the full [Vars.count] width so the
     stride stays [2 * inputs] even when the model ignores some inputs.
+
+    [order] lists the variables in the diagram's level order (root to
+    leaves, length exactly the environment width; {!Add.var_order}
+    produces it) and defaults to the identity.  A diagram built — or
+    reordered in place — under a non-natural order {e must} be compiled
+    with its actual order: compilation raises [Invalid_argument] when the
+    supplied order is not a permutation or provably disagrees with the
+    diagram's structure.  Evaluation semantics are unchanged — inputs
+    stay indexed by variable, whatever the order.
+
     The source diagram is only read — the program shares nothing with its
     manager and is immutable, so it is safe to query from any number of
     domains concurrently. *)

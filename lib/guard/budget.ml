@@ -6,9 +6,10 @@ type t = {
   wall_seconds : float option;   (* the requested span, for messages *)
   node_ceiling : int option;
   collapse_ceiling : int option;
+  swap_ceiling : int option;
 }
 
-let create ?wall_seconds ?node_ceiling ?collapse_ceiling () =
+let create ?wall_seconds ?node_ceiling ?collapse_ceiling ?swap_ceiling () =
   (match wall_seconds with
   | Some s when (not (Float.is_finite s)) || s < 0.0 ->
     invalid_arg "Budget.create: wall_seconds must be finite and >= 0"
@@ -20,6 +21,9 @@ let create ?wall_seconds ?node_ceiling ?collapse_ceiling () =
   | Some n when n < 1 ->
     invalid_arg "Budget.create: collapse_ceiling must be >= 1"
   | Some _ | None -> ());
+  (match swap_ceiling with
+  | Some n when n < 1 -> invalid_arg "Budget.create: swap_ceiling must be >= 1"
+  | Some _ | None -> ());
   let started = now () in
   {
     started;
@@ -27,6 +31,7 @@ let create ?wall_seconds ?node_ceiling ?collapse_ceiling () =
     wall_seconds;
     node_ceiling;
     collapse_ceiling;
+    swap_ceiling;
   }
 
 type verdict =
@@ -38,6 +43,7 @@ let elapsed_seconds t = now () -. t.started
 let remaining_seconds t = Option.map (fun d -> d -. now ()) t.deadline
 let node_ceiling t = t.node_ceiling
 let collapse_ceiling t = t.collapse_ceiling
+let swap_ceiling t = t.swap_ceiling
 let deadline_seconds t = t.wall_seconds
 
 let secs s = Printf.sprintf "%.3f" s
@@ -59,6 +65,15 @@ let exhausted_collapses t ~collapses =
         ("collapse_calls", string_of_int collapses);
       ]
 
+let exhausted_swaps t ~swaps =
+  Error.resource "reorder swap ceiling exceeded"
+    ~context:
+      [
+        ("swap_ceiling",
+         string_of_int (Option.value t.swap_ceiling ~default:0));
+        ("swap_count", string_of_int swaps);
+      ]
+
 let exhausted_nodes t ~nodes =
   Error.resource "node ceiling exceeded"
     ~context:
@@ -68,7 +83,7 @@ let exhausted_nodes t ~nodes =
         ("elapsed_seconds", secs (elapsed_seconds t));
       ]
 
-let check ?nodes ?collapses t =
+let check ?nodes ?collapses ?swaps t =
   match t.deadline with
   | Some d when now () > d -> Exhausted (exhausted_deadline t)
   | _ -> (
@@ -76,10 +91,14 @@ let check ?nodes ?collapses t =
     | Some ceiling, Some calls when calls > ceiling ->
       Exhausted (exhausted_collapses t ~collapses:calls)
     | _ -> (
-      match (t.node_ceiling, nodes) with
+      match (t.swap_ceiling, swaps) with
       | Some ceiling, Some n when n > ceiling ->
-        Node_pressure { nodes = n; ceiling }
-      | _ -> Within))
+        Exhausted (exhausted_swaps t ~swaps:n)
+      | _ -> (
+        match (t.node_ceiling, nodes) with
+        | Some ceiling, Some n when n > ceiling ->
+          Node_pressure { nodes = n; ceiling }
+        | _ -> Within)))
 
 (* Per-domain ambient slot.  DLS rather than a global: worker domains of a
    pool each isolate their own task's budget. *)

@@ -1,10 +1,12 @@
 (** Resource budgets with cooperative checkpoints.
 
-    A budget caps three things a hostile netlist can blow up: wall-clock
+    A budget caps four things a hostile netlist can blow up: wall-clock
     time (monotonic, immune to NTP steps), decision-diagram nodes (BDD +
-    ADD combined, the real memory driver), and collapse invocations (each
+    ADD combined, the real memory driver), collapse invocations (each
     one is a full-diagram rebuild, the real CPU driver beyond the node
-    count).  All three are optional; an empty budget never trips.
+    count), and reorder swaps (each adjacent-level swap of a sifting pass
+    is cheap, but a sift is quadratic in levels without a cap).  All are
+    optional; an empty budget never trips.
 
     Enforcement is {e cooperative}: long-running loops call {!check} at
     natural step boundaries (one gate of Fig. 6's construction, one task
@@ -25,6 +27,7 @@ val create :
   ?wall_seconds:float ->
   ?node_ceiling:int ->
   ?collapse_ceiling:int ->
+  ?swap_ceiling:int ->
   unit ->
   t
 (** The wall clock starts now.  [wall_seconds] must be finite and
@@ -38,14 +41,19 @@ type verdict =
   | Exhausted of Error.t
       (** deadline or collapse ceiling hit — [Resource] error, final *)
 
-val check : ?nodes:int -> ?collapses:int -> t -> verdict
+val check : ?nodes:int -> ?collapses:int -> ?swaps:int -> t -> verdict
 (** The cooperative checkpoint.  Checks, in order: deadline, collapse
-    ceiling, node ceiling.  Counters the caller does not pass are not
-    checked. *)
+    ceiling, swap ceiling, node ceiling.  Counters the caller does not
+    pass are not checked.  The swap ceiling is also passed down as the
+    sifting pass's [max_swaps], which stops {e before} exceeding it —
+    the [check] clause only trips if a caller reports an overrun. *)
 
 val exhausted_nodes : t -> nodes:int -> Error.t
 (** The [Resource] error for a node ceiling the caller failed to degrade
     under — used to convert a final [Node_pressure] into a failure. *)
+
+val exhausted_swaps : t -> swaps:int -> Error.t
+(** The [Resource] error for a reorder swap-ceiling overrun. *)
 
 val elapsed_seconds : t -> float
 
@@ -54,6 +62,7 @@ val remaining_seconds : t -> float option
 
 val node_ceiling : t -> int option
 val collapse_ceiling : t -> int option
+val swap_ceiling : t -> int option
 val deadline_seconds : t -> float option
 
 val now : unit -> float

@@ -19,7 +19,7 @@ type kind =
           combinational cycles, width mismatches, out-of-range parameters *)
   | Resource
       (** a {!Budget} was exhausted: wall-clock deadline, DD node ceiling,
-          or collapse-call ceiling *)
+          collapse-call ceiling, or reorder swap ceiling *)
   | Internal  (** a broken invariant of our own — always a bug *)
 
 type t = {

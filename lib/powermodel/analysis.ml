@@ -59,6 +59,9 @@ let toggle_sensitivity model j =
   let mgr = model.Model.add_manager in
   let vi = Vars.initial j and vf = Vars.final j in
   (* restrict the ADD to a fixed (initial, final) pair of values *)
+  (* early exit compares levels, not variable indices — after a reorder a
+     deeper node may carry a smaller variable number *)
+  let cut = max (Dd.Add.level mgr vi) (Dd.Add.level mgr vf) in
   let restrict2 b_i b_f =
     let memo = Hashtbl.create 256 in
     let rec go node =
@@ -71,7 +74,7 @@ let toggle_sensitivity model j =
           let r =
             if nd.var = vi then go (if b_i then nd.high else nd.low)
             else if nd.var = vf then go (if b_f then nd.high else nd.low)
-            else if nd.var > vf then node
+            else if Dd.Add.level mgr nd.var > cut then node
             else Dd.Add.make_node mgr nd.var (go nd.low) (go nd.high)
           in
           Hashtbl.add memo nd.id r;

@@ -9,6 +9,8 @@ type build_stats = {
   cpu_seconds : float;
   wall_seconds : float;
   degrade_steps : int;
+  sift_swaps : int;
+  reorder_gain : int;
 }
 
 type t = {
@@ -17,6 +19,7 @@ type t = {
   strategy : Dd.Approx.strategy;
   weighting : Dd.Approx.weighting;
   max_size : int option;
+  reorder : Reorder.policy;
   add_manager : Dd.Add.manager;
   cap : Dd.Add.t;
   stats : build_stats;
@@ -76,12 +79,20 @@ let m_cache_hits = Obs.Metrics.metric "dd.cache_hits"
 let m_cache_misses = Obs.Metrics.metric "dd.cache_misses"
 let m_peak_nodes = Obs.Metrics.metric ~kind:Obs.Metrics.Max "dd.peak_add_nodes"
 
-let build ?budget ?(strategy = Dd.Approx.Average)
+(* reorder accounting: swaps performed and nodes saved per completed
+   build — attributable to the workload, so deterministic across jobs *)
+let m_sift_swaps = Obs.Metrics.metric "dd.sift_swaps"
+let m_reorder_gain = Obs.Metrics.metric "dd.reorder_gain"
+
+let build ?budget ?reorder ?(strategy = Dd.Approx.Average)
     ?(weighting = Dd.Approx.default_weighting) ?max_size ?output_load ?loads
     circuit =
   (match max_size with
   | Some m when m < 1 -> invalid_arg "Model.build: max_size must be >= 1"
   | Some _ | None -> ());
+  let reorder =
+    match reorder with Some p -> p | None -> Reorder.ambient ()
+  in
   (* chaos-testing seam: inert unless a fault spec is armed AND we are
      inside a supervised task (Guard.Fault's ambient scope) *)
   Guard.Fault.inject "model_build";
@@ -108,6 +119,30 @@ let build ?budget ?(strategy = Dd.Approx.Average)
   let n = Netlist.Circuit.input_count circuit in
   let bdd_mgr = Dd.Bdd.manager () in
   let add_mgr = Dd.Add.manager () in
+  (* Info policies need the static order; computed once, before any node
+     exists (one topological netlist pass, no diagrams). *)
+  let info_order =
+    match reorder with
+    | Reorder.Info_static | Reorder.Info_then_sift ->
+      Some (Reorder.order ~inputs:n (Reorder.info_pair_order circuit))
+    | Reorder.Declared | Reorder.Sift -> None
+  in
+  (* Two regimes keep estimates byte-identical across policies.  Exact
+     builds (no [max_size]) may install the info order statically: the
+     final diagram is the same function whatever the order, just shaped
+     differently.  Bounded builds may NOT — collapse decisions depend on
+     diagram shape, so a different construction order would collapse
+     different sub-functions and change the numbers.  They always build
+     in the declared order and reorder the finished model in place
+     (function-preserving swaps), below. *)
+  let pre_ordered =
+    match (info_order, max_size) with
+    | Some ord, None ->
+      Dd.Bdd.set_order bdd_mgr ord;
+      Dd.Add.set_order add_mgr ord;
+      true
+    | _ -> false
+  in
   let logic = bdd_logic bdd_mgr in
   let env_i = Array.init n (fun j -> Dd.Bdd.var bdd_mgr (Vars.initial j)) in
   let values_i =
@@ -140,6 +175,8 @@ let build ?budget ?(strategy = Dd.Approx.Average)
   let skipped = ref 0 in
   let gates_done = ref 0 in
   let degrade_steps = ref 0 in
+  let sift_swaps = ref 0 in
+  let reorder_gain = ref 0 in
   (* the budget ladder may tighten this below the requested max_size *)
   let effective_max = ref max_size in
   let mk_stats () =
@@ -154,6 +191,8 @@ let build ?budget ?(strategy = Dd.Approx.Average)
       cpu_seconds = Sys.time () -. t0;
       wall_seconds = Guard.Budget.now () -. w0;
       degrade_steps = !degrade_steps;
+      sift_swaps = !sift_swaps;
+      reorder_gain = !reorder_gain;
     }
   in
   let abort err =
@@ -288,6 +327,65 @@ let build ?budget ?(strategy = Dd.Approx.Average)
   checkpoint ();
   Obs.Trace.with_span "final_clamp" ~cat:"build" (fun () ->
       cap := clamp ~slack:false !cap);
+  (* Post-build reorder: in-place, function-preserving level swaps on the
+     finished model ([cap] keeps its node identity and its values at
+     every transition — estimates cannot change).  Bounded builds apply
+     the info order here (see [pre_ordered] above); sifting always runs
+     here, on the final diagram.  The sweep inside drops the dead
+     intermediates, so only [cap] must be protected. *)
+  (match reorder with
+  | Reorder.Declared -> ()
+  | _ ->
+    Obs.Trace.with_span "reorder" ~cat:"build"
+      ~args:(fun () ->
+        [
+          ("policy", Json.String (Reorder.to_string reorder));
+          ("before_nodes", Json.Int (Dd.Add.size_in add_mgr !cap));
+        ])
+      ~result_args:(fun () ->
+        [
+          ("after_nodes", Json.Int (Dd.Add.size_in add_mgr !cap));
+          ("swaps", Json.Int !sift_swaps);
+        ])
+    @@ fun () ->
+    let size_before = Dd.Add.size_in add_mgr !cap in
+    let order_before = Dd.Add.var_order add_mgr ~vars:(Vars.count ~inputs:n) in
+    Dd.Add.protect add_mgr !cap;
+    Fun.protect
+      ~finally:(fun () -> Dd.Add.unprotect add_mgr !cap)
+      (fun () ->
+        (match (info_order, pre_ordered) with
+        | Some ord, false ->
+          let st = Dd.Add.reorder_to add_mgr ord in
+          sift_swaps := !sift_swaps + st.Dd.Add.swaps
+        | _ -> ());
+        (match reorder with
+        | Reorder.Sift | Reorder.Info_then_sift ->
+          let max_swaps =
+            match Option.bind budget Guard.Budget.swap_ceiling with
+            | Some c -> Some (max 0 (c - !sift_swaps))
+            | None -> None
+          in
+          let st = Dd.Add.sift ~group_pairs:true ?max_swaps add_mgr in
+          sift_swaps := !sift_swaps + st.Dd.Add.swaps
+        | Reorder.Declared | Reorder.Info_static -> ());
+        (* Never-worse guard: a collapsed model was shaped by the order it
+           was built in, and forcing the info order onto it can inflate it
+           (sifting cannot — it settles at its best seen).  Canonicity
+           makes the revert exact: restoring the order restores the size. *)
+        if Dd.Add.size_in add_mgr !cap > size_before then begin
+          let st = Dd.Add.reorder_to add_mgr order_before in
+          sift_swaps := !sift_swaps + st.Dd.Add.swaps
+        end);
+    reorder_gain := size_before - Dd.Add.size_in add_mgr !cap;
+    (* the sift stops before its [max_swaps], so this only trips when a
+       swap ceiling was already consumed by the info reorder *)
+    match budget with
+    | None -> ()
+    | Some b -> (
+      match Guard.Budget.check b ~swaps:!sift_swaps with
+      | Guard.Budget.Exhausted err -> abort err
+      | Guard.Budget.Within | Guard.Budget.Node_pressure _ -> ()));
   let final_size = Dd.Add.size_in add_mgr !cap in
   if final_size > !peak then peak := final_size;
   let stats = mk_stats () in
@@ -304,12 +402,15 @@ let build ?budget ?(strategy = Dd.Approx.Average)
     (Dd.Perf.total_misses (Dd.Add.perf add_mgr)
     + Dd.Perf.total_misses (Dd.Bdd.perf bdd_mgr));
   Obs.Metrics.add m_peak_nodes stats.peak_size;
+  Obs.Metrics.add m_sift_swaps stats.sift_swaps;
+  Obs.Metrics.add m_reorder_gain stats.reorder_gain;
   {
     circuit_name = circuit.Netlist.Circuit.name;
     inputs = n;
     strategy;
     weighting;
     max_size;
+    reorder;
     add_manager = add_mgr;
     cap = !cap;
     stats;
@@ -322,10 +423,10 @@ type build_failure = { error : Guard.Error.t; partial : build_stats option }
    invariants — comes back as a classified Guard.Error, with the partial
    build statistics attached when the gate loop got far enough to have
    any. *)
-let build_checked ?budget ?strategy ?weighting ?max_size ?output_load ?loads
-    circuit =
-  match build ?budget ?strategy ?weighting ?max_size ?output_load ?loads
-          circuit
+let build_checked ?budget ?reorder ?strategy ?weighting ?max_size
+    ?output_load ?loads circuit =
+  match build ?budget ?reorder ?strategy ?weighting ?max_size ?output_load
+          ?loads circuit
   with
   | model -> Ok model
   | exception Build_aborted (error, stats) ->
@@ -378,9 +479,13 @@ let run t vectors =
 type compiled = { source : t; program : Dd.Compiled.t }
 
 let compile t =
+  let vars = Vars.count ~inputs:t.inputs in
   {
     source = t;
-    program = Dd.Compiled.compile ~vars:(Vars.count ~inputs:t.inputs) t.cap;
+    program =
+      Dd.Compiled.compile
+        ~order:(Dd.Add.var_order t.add_manager ~vars)
+        ~vars t.cap;
   }
 
 let compiled_model c = c.source

@@ -31,6 +31,16 @@ type build_stats = {
   degrade_steps : int;
       (** times the budget ladder halved the effective MAX under node
           pressure (0 when unbudgeted or within budget) *)
+  sift_swaps : int;
+      (** adjacent-level swaps spent by the reorder policy (0 under
+          [Declared]) *)
+  reorder_gain : int;
+      (** nodes removed from the finished model by post-build
+          reordering ([size before - size after]; 0 under [Declared],
+          and for exact builds whose info order was installed
+          statically).  Never negative: a post-build reorder that
+          inflated the model is reverted, so a policy can only shrink
+          the finished diagram or leave it unchanged. *)
 }
 
 type t = {
@@ -39,6 +49,7 @@ type t = {
   strategy : Dd.Approx.strategy;
   weighting : Dd.Approx.weighting;
   max_size : int option;
+  reorder : Reorder.policy;  (** the policy this model was built under *)
   add_manager : Dd.Add.manager;
   cap : Dd.Add.t;       (** the model: switching capacitance in fF over
                             the {!Vars} variable numbering *)
@@ -55,6 +66,7 @@ exception Build_aborted of Guard.Error.t * build_stats
 
 val build :
   ?budget:Guard.Budget.t ->
+  ?reorder:Reorder.policy ->
   ?strategy:Dd.Approx.strategy ->
   ?weighting:Dd.Approx.weighting ->
   ?max_size:int ->
@@ -75,7 +87,18 @@ val build :
     the effective [max_size] is halved (escalating collapse) step by step
     down to a small floor.  Only when the maximally collapsed model still
     cannot fit the ceiling — or on a deadline / collapse-ceiling hit,
-    which admit no degradation — does it raise {!Build_aborted}. *)
+    which admit no degradation — does it raise {!Build_aborted}.
+
+    [reorder] (default: the ambient {!Reorder.ambient} policy, i.e.
+    [CFPM_ORDER] unless overridden) selects the variable-order policy.
+    Info orders are installed statically for exact builds; bounded
+    builds always construct in the declared order and reorder the
+    finished model in place, so the model's {e values} — and therefore
+    every power estimate — are byte-identical across policies, only the
+    diagram's shape and size change.  A post-build reorder that grew the
+    model (a collapsed diagram is shaped by its build order) is reverted,
+    so no policy ever yields a larger finished model than [Declared]'s.
+    A {!Guard.Budget.swap_ceiling} caps the sifting pass's swaps. *)
 
 type build_failure = {
   error : Guard.Error.t;
@@ -86,6 +109,7 @@ type build_failure = {
 
 val build_checked :
   ?budget:Guard.Budget.t ->
+  ?reorder:Reorder.policy ->
   ?strategy:Dd.Approx.strategy ->
   ?weighting:Dd.Approx.weighting ->
   ?max_size:int ->

@@ -25,5 +25,6 @@ let () =
       ("compiled", Test_compiled.suite);
       ("experiments", Test_experiments.suite);
       ("misc", Test_misc.suite);
+      ("reorder", Test_reorder.suite);
       ("analysis", Test_analysis.suite);
     ]

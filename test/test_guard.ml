@@ -136,6 +136,31 @@ let collapse_ceiling_trips () =
     Alcotest.check kind_t "resource" Guard.Error.Resource e.Guard.Error.kind
   | _ -> Alcotest.fail "over collapse ceiling must be final"
 
+let swap_ceiling_trips () =
+  Alcotest.check_raises "zero swaps"
+    (Invalid_argument "Budget.create: swap_ceiling must be >= 1")
+    (fun () -> ignore (Guard.Budget.create ~swap_ceiling:0 ()));
+  let b = Guard.Budget.create ~swap_ceiling:64 () in
+  Alcotest.(check (option int)) "accessor" (Some 64)
+    (Guard.Budget.swap_ceiling b);
+  (match Guard.Budget.check ~swaps:64 b with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "at ceiling is still within");
+  (match Guard.Budget.check ~swaps:65 b with
+  | Guard.Budget.Exhausted e ->
+    Alcotest.check kind_t "resource" Guard.Error.Resource e.Guard.Error.kind;
+    Alcotest.(check (option string)) "ceiling context" (Some "64")
+      (Guard.Error.context_value e "swap_ceiling");
+    Alcotest.(check (option string)) "count context" (Some "65")
+      (Guard.Error.context_value e "swap_count")
+  | _ -> Alcotest.fail "over swap ceiling must be final");
+  (* an unbudgeted check never looks at the swap counter *)
+  (match Guard.Budget.check ~swaps:max_int (Guard.Budget.create ()) with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "no ceiling, no verdict");
+  let e = Guard.Budget.exhausted_swaps b ~swaps:65 in
+  Alcotest.check kind_t "hard failure" Guard.Error.Resource e.Guard.Error.kind
+
 let ambient_scoping () =
   Alcotest.(check bool) "empty outside" true (Guard.Budget.ambient () = None);
   let b = Guard.Budget.create ~node_ceiling:7 () in
@@ -285,6 +310,7 @@ let suite =
     Alcotest.test_case "deadline trips" `Quick deadline_trips;
     Alcotest.test_case "node pressure" `Quick node_ceiling_reports_pressure;
     Alcotest.test_case "collapse ceiling" `Quick collapse_ceiling_trips;
+    Alcotest.test_case "swap ceiling" `Quick swap_ceiling_trips;
     Alcotest.test_case "ambient budget" `Quick ambient_scoping;
     Alcotest.test_case "fault spec parses" `Quick fault_spec_parses;
     Alcotest.test_case "fault off by default" `Quick fault_off_by_default;
