@@ -577,6 +577,284 @@ let blif_cmd =
     (Cmd.info "blif" ~doc:"Dump the netlist as BLIF.")
     Term.(const run $ circuit_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The model store: durable artifacts + the power-query service.        *)
+
+let out_arg =
+  let doc = "Artifact path to write." in
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let defaults_term =
+  let sp_arg =
+    let doc = "Default signal probability stored in the artifact." in
+    Arg.(value & opt float 0.5 & info [ "sp" ] ~docv:"P" ~doc)
+  in
+  let st_arg =
+    let doc = "Default transition probability stored in the artifact." in
+    Arg.(value & opt float 0.5 & info [ "st" ] ~docv:"P" ~doc)
+  in
+  Term.(const (fun sp st -> (sp, st)) $ sp_arg $ st_arg)
+
+let store_save_cmd =
+  let run () () name out max_size strategy weighting defaults budget =
+    let c = find_circuit name in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    let model = build_or_exit ?budget ~strategy ~weighting ?max_size c in
+    match Store.save ~defaults ~path:out model with
+    | Error e -> fail_with e
+    | Ok meta ->
+      let bytes =
+        try (Unix.stat out).Unix.st_size with Unix.Unix_error _ -> 0
+      in
+      Printf.printf
+        "saved %s: %s, %d inputs, %d nodes + %d leaves, %d bytes (%s)\n" out
+        meta.Store.circuit meta.Store.inputs meta.Store.nodes meta.Store.leaves
+        bytes
+        (if meta.Store.exact then "exact" else "approximate")
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:
+         "Build a model and write it as a durable, CRC-framed binary \
+          artifact.")
+    Term.(
+      const run $ trace_term $ order_term $ circuit_arg $ out_arg
+      $ max_size_arg $ strategy_arg $ weighting_arg $ defaults_term
+      $ budget_term)
+
+let store_verify_cmd =
+  let paths_arg =
+    let doc = "Artifacts to verify." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run paths =
+    let failures =
+      List.filter_map
+        (fun path ->
+          match Store.verify path with
+          | Ok meta ->
+            Printf.printf "%s: ok — %s, %d nodes + %d leaves, %s\n" path
+              meta.Store.circuit meta.Store.nodes meta.Store.leaves
+              (if meta.Store.exact then "exact" else "approximate");
+            None
+          | Error e ->
+            Printf.printf "%s: FAILED (%s) — %s\n" path
+              (Option.value (Store.reason e) ~default:"io")
+              (Guard.Error.to_string e);
+            Some e)
+        paths
+    in
+    match failures with
+    | [] -> ()
+    | first :: _ -> exit (Guard.Error.exit_code first)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Cold-check artifacts: magic, version, every section CRC and the \
+          structural program invariants — without building a single diagram \
+          node.")
+    Term.(const run $ paths_arg)
+
+let request_arg =
+  let doc =
+    "The request, as protocol JSON, e.g. \
+     '{\"id\":1,\"op\":\"expectation\",\"model\":\"cm85.cfpm\",\"sp\":0.5,\
+     \"st\":0.2}'."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+
+let deadline_ms_arg =
+  let doc = "Default per-request wall-clock deadline in ms (0: none)." in
+  Arg.(value & opt float 0.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let handler_deadline ms = if ms > 0.0 then Some (ms /. 1000.0) else None
+
+let store_query_cmd =
+  let run () () request jobs deadline_ms =
+    let cache = Serve.Cache.create () in
+    let handler =
+      Serve.Handler.create ?jobs:(jobs_opt jobs)
+        ?deadline:(handler_deadline deadline_ms) cache
+    in
+    print_endline (Serve.Handler.handle_string handler request)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer one protocol request locally (no server): same handler, \
+          same response bytes as `cfpm serve' — the reference for the \
+          chaos CI's byte-identity check.  Model paths resolve as given.")
+    Term.(
+      const run $ trace_term $ compiled_term $ request_arg $ jobs_arg
+      $ deadline_ms_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Versioned, self-verifying binary model artifacts: save, verify, \
+          query.")
+    [ store_save_cmd; store_verify_cmd; store_query_cmd ]
+
+(* Where a client should dial: a Unix socket path, or host:port. *)
+let address_term =
+  let socket_arg =
+    let doc = "Unix-domain socket path." in
+    Arg.(
+      value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let host_arg =
+    let doc = "TCP host (with --port)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "TCP port; 0 with --socket unset is an error." in
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let make socket host port =
+    match (socket, port) with
+    | Some path, _ -> `Unix path
+    | None, p when p > 0 -> `Tcp (host, p)
+    | None, _ ->
+      Printf.eprintf "cfpm: give either --socket PATH or --port N\n";
+      exit 2
+  in
+  Term.(const make $ socket_arg $ host_arg $ port_arg)
+
+let serve_cmd =
+  let models_arg =
+    let doc =
+      "Store root: request model paths resolve under this directory and \
+       may not escape it."
+    in
+    Arg.(value & opt string "." & info [ "models" ] ~docv:"DIR" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker threads (concurrent in-flight requests)." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let pending_arg =
+    let doc =
+      "Accepted connections allowed to wait for a worker; beyond this new \
+       connections are shed with a typed overloaded error."
+    in
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let cache_mb_arg =
+    let doc =
+      "Model-cache ceiling in MiB (LRU eviction above it; 0: unbounded)."
+    in
+    Arg.(value & opt int 0 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Warm-start journal: every freshly loaded artifact is appended \
+       (CRC-framed, write-then-fsync), and a restarted server recovers the \
+       journal and pre-loads those models."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run () address models workers max_pending deadline_ms cache_mb jobs
+      journal =
+    let byte_ceiling =
+      if cache_mb > 0 then Some (cache_mb * 1024 * 1024) else None
+    in
+    let cache = Serve.Cache.create ?byte_ceiling ~root:models () in
+    (match journal with
+    | None -> ()
+    | Some jpath -> (
+      (match Journal.recover jpath with
+      | Error e ->
+        Printf.eprintf "cfpm serve: cannot recover journal %s: %s\n%!" jpath
+          (Guard.Error.to_string e)
+      | Ok r ->
+        if r.Journal.existed then
+          if r.Journal.torn || r.Journal.dropped > 0 then
+            Printf.eprintf
+              "cfpm serve: journal %s recovery healed a dirty tail (%d \
+               record(s) kept, %d dropped%s)\n%!"
+              jpath r.Journal.recovered r.Journal.dropped
+              (if r.Journal.torn then ", torn final record" else "")
+          else if r.Journal.recovered = 0 then
+            Printf.eprintf
+              "cfpm serve: journal %s exists but holds no records (nothing \
+               to warm)\n%!"
+              jpath;
+        List.iter
+          (fun (key, _) ->
+            match Serve.Cache.find_or_load cache key with
+            | Ok _ -> Printf.eprintf "cfpm serve: warmed %s\n%!" key
+            | Error e ->
+              Printf.eprintf "cfpm serve: cannot warm %s: %s\n%!" key
+                (Guard.Error.to_string e))
+          r.Journal.records);
+      match Journal.open_ jpath with
+      | j ->
+        at_exit (fun () -> Journal.close j);
+        Serve.Cache.on_load cache (fun name meta ->
+            (* best-effort: a journal fault (including an injected torn
+               append) must never fail the request that loaded the model *)
+            try Journal.append j ~key:name (Store.meta_json meta)
+            with _ -> ())
+      | exception Guard.Error.Guarded e ->
+        Printf.eprintf "cfpm serve: cannot open journal %s: %s\n%!" jpath
+          (Guard.Error.to_string e)))
+    ;
+    let handler =
+      Serve.Handler.create ?jobs:(jobs_opt jobs)
+        ?deadline:(handler_deadline deadline_ms) cache
+    in
+    let server =
+      match
+        Serve.Server.create
+          { Serve.Server.address; workers; max_pending; handler }
+      with
+      | s -> s
+      | exception Guard.Error.Guarded e -> fail_with e
+    in
+    let stop _ = Serve.Server.stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    let where =
+      match Serve.Server.address server with
+      | Unix.ADDR_UNIX path -> path
+      | Unix.ADDR_INET (host, port) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+    in
+    Printf.eprintf
+      "cfpm serve: listening on %s (%d workers, %d pending max)\n%!" where
+      workers max_pending;
+    Serve.Server.run server;
+    Printf.eprintf "cfpm serve: drained, all in-flight requests answered\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant power-query server over saved model \
+          artifacts (length-prefixed JSON protocol; graceful drain on \
+          SIGTERM).")
+    Term.(
+      const run $ trace_term $ address_term $ models_arg $ workers_arg
+      $ pending_arg $ deadline_ms_arg $ cache_mb_arg $ jobs_arg $ journal_arg)
+
+let query_cmd =
+  let run address request =
+    match
+      Serve.Client.with_connection address (fun c ->
+          Serve.Client.request_raw c request)
+    with
+    | Ok response -> print_endline response
+    | Error e -> fail_with e
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one protocol request to a running server and print the \
+          response JSON.")
+    Term.(const run $ address_term $ request_arg)
+
 let () =
   let doc = "characterization-free behavioral power modeling (DATE 1998)" in
   let info = Cmd.info "cfpm" ~version:"1.0.0" ~doc in
@@ -586,4 +864,5 @@ let () =
           [
             list_cmd; info_cmd; build_cmd; fig7a_cmd; fig7b_cmd; table1_cmd;
             throughput_cmd; worst_cmd; import_cmd; dot_cmd; blif_cmd;
+            store_cmd; serve_cmd; query_cmd;
           ]))

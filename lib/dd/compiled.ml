@@ -249,6 +249,21 @@ let vars t = t.nvars
 let leaf_count t = Array.length t.leaves
 let is_constant t = t.root < 0
 
+type repr = {
+  r_vars : int;
+  r_code : int array;
+  r_leaves : float array;
+  r_root : int;
+}
+
+let to_repr t =
+  {
+    r_vars = t.nvars;
+    r_code = Array.copy t.code;
+    r_leaves = Array.copy t.leaves;
+    r_root = t.root;
+  }
+
 let eval t env =
   if Array.length env < t.nvars then
     invalid_arg "Compiled.eval: environment too short";

@@ -104,3 +104,23 @@ val stats_batch : ?jobs:int -> t -> inputs:Bytes.t -> n:int -> stats
 val block : int
 (** Vectors per shard (fixed, so block splitting never depends on the
     worker count). *)
+
+(** {1 Serialization support}
+
+    The triple program {e is} the model's reachable DAG (parents numbered
+    before children, children referenced by triple offset or [lnot leaf]),
+    so persisting [(vars, code, leaves, root)] is enough to reconstruct
+    the diagram exactly: {!Powermodel.Store} rebuilds the ADD bottom-up
+    through the ordinary hash-consing constructor and recompiles, which
+    reproduces these arrays bit for bit. *)
+
+type repr = {
+  r_vars : int;  (** environment width ({!vars}) *)
+  r_code : int array;  (** [(var, lo, hi)] triples at stride 3, preorder *)
+  r_leaves : float array;  (** terminal values, first-encounter order *)
+  r_root : int;  (** root reference, encoded like a child *)
+}
+
+val to_repr : t -> repr
+(** Copies of the program's flat arrays (the program itself stays
+    immutable and shared). *)

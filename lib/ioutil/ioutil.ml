@@ -1,0 +1,40 @@
+(* Durable file primitives.  One audited implementation of the
+   write-fsync-rename-fsync(parent) sequence, so no caller carries its own
+   subtly weaker copy. *)
+
+let write_all fd s =
+  let len = String.length s in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring fd s !written (len - !written)
+  done
+
+(* Directory fsync is what makes a rename durable, but not every
+   filesystem supports it (and O_RDONLY on a directory is itself
+   platform-dependent); failing to fsync the directory degrades to the
+   historical guarantee rather than failing the write. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write_atomic ?(mode = 0o644) path contents =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] mode in
+  (match
+     Fun.protect
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         write_all fd contents;
+         Unix.fsync fd)
+   with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  (* rename within one directory is atomic: readers see the old complete
+     file or the new complete file, never a truncated one *)
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)

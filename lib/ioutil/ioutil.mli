@@ -1,0 +1,32 @@
+(** Audited durable file primitives, shared by every layer that persists
+    artifacts (journal records, BLIF emission, binary model stores).
+
+    The durability contract of {!write_atomic} is the full three-step
+    dance, not just write-then-rename:
+
+    + write the contents to [path ^ ".tmp"] and [fsync] the file, so the
+      {e data} is on disk before it becomes reachable;
+    + [rename] over [path] — atomic within a directory, so readers see
+      the old complete file or the new complete file, never a prefix;
+    + [fsync] the {e parent directory}, so the rename itself survives a
+      crash.  Without this step a power loss immediately after rename can
+      roll the directory entry back to the old file — or, for a freshly
+      created artifact, to nothing at all.
+
+    Callers that held the old two-step implementations (the journal's
+    report emission, [Netlist.Blif.write_file]) now share this one. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying short writes. *)
+
+val fsync_dir : string -> unit
+(** [fsync_dir dir] opens the directory read-only, fsyncs and closes it.
+    Filesystems that reject directory fsync ([EINVAL], [EBADF], ...) are
+    tolerated silently — the rename is then as durable as the platform
+    allows, which is the pre-existing behavior. *)
+
+val write_atomic : ?mode:int -> string -> string -> unit
+(** [write_atomic path contents] durably replaces [path] as described
+    above.  [mode] (default [0o644]) sets the permissions of a freshly
+    created file.  Raises [Unix.Unix_error] on I/O failure; the temporary
+    file is removed on the error path. *)

@@ -193,9 +193,11 @@ type recovery = {
   recovered : int;
   dropped : int;
   torn : bool;
+  existed : bool;
 }
 
-let empty_recovery = { records = []; recovered = 0; dropped = 0; torn = false }
+let empty_recovery =
+  { records = []; recovered = 0; dropped = 0; torn = false; existed = false }
 
 let recover path =
   Obs.Trace.with_span "journal_recover" ~cat:"journal"
@@ -221,6 +223,11 @@ let recover path =
       (Guard.Error.resource ~context:[ ("file", path) ]
          (Printf.sprintf "cannot read journal: %s" msg))
   | text ->
+    (* an existing-but-empty file (a journal created and then never
+       appended to, or truncated to zero by a crash) is distinguishable
+       from a missing one: [existed] is true and the accounting below is
+       explicit zeros, so a resuming caller can report "empty journal"
+       instead of silently treating it as a fresh run *)
     let lines = String.split_on_char '\n' text in
     (* a file ending in '\n' splits into lines @ [""]; anything else in the
        final slot is an unterminated (torn) record *)
@@ -253,6 +260,7 @@ let recover path =
         recovered = !recovered;
         dropped = !dropped;
         torn = !torn;
+        existed = true;
       }
 
 let find recovery key =
@@ -267,16 +275,4 @@ let mem recovery key = find recovery key <> None
 (* ------------------------------------------------------------------ *)
 (* Atomic whole-file emission (for reports, not for the journal).       *)
 
-let write_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  let fd =
-    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      write_all fd contents 0 (String.length contents);
-      Unix.fsync fd);
-  (* rename within one directory is atomic: readers see the old complete
-     file or the new complete file, never a truncated one *)
-  Unix.rename tmp path
+let write_atomic path contents = Ioutil.write_atomic path contents

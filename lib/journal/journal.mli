@@ -62,6 +62,11 @@ type recovery = {
   recovered : int;  (** [List.length records] *)
   dropped : int;  (** invalid interior records skipped *)
   torn : bool;  (** the final record was incomplete and was dropped *)
+  existed : bool;
+      (** the file was present on disk.  Distinguishes a zero-length (or
+          record-free) journal — [existed] with explicit zero
+          [recovered]/[dropped] accounting — from a missing file, which
+          recovers as {!empty_recovery} with [existed = false]. *)
 }
 
 val empty_recovery : recovery
@@ -77,9 +82,11 @@ val find : recovery -> string -> Json.t option
 val mem : recovery -> string -> bool
 
 val write_atomic : string -> string -> unit
-(** Whole-file emission for reports: write to [path ^ ".tmp"], fsync,
-    then atomically rename over [path] — a crash mid-emit leaves either
-    the previous complete file or the new one, never a truncation. *)
+(** Whole-file emission for reports: {!Ioutil.write_atomic} — write to
+    [path ^ ".tmp"], fsync, atomically rename over [path], then fsync the
+    parent directory so the rename itself survives a crash.  A crash
+    mid-emit leaves either the previous complete file or the new one,
+    never a truncation. *)
 
 val crc32 : string -> int
 (** CRC-32 (IEEE), exposed for tests. *)

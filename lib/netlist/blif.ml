@@ -334,13 +334,8 @@ let to_string (c : Circuit.t) =
   Buffer.contents buf
 
 let write_file path c =
-  (* write-then-rename: a crash mid-write leaves the previous complete
-     file (or nothing), never a truncated netlist *)
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try output_string oc (to_string c)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  (* the shared audited write: data fsynced before the atomic rename, and
+     the parent directory fsynced after it, so a crash at any point
+     leaves the previous complete file or the new one — and the new one,
+     once [write_file] returns, cannot be lost to a power cut *)
+  Ioutil.write_atomic path (to_string c)

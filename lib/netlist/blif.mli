@@ -36,3 +36,6 @@ val to_string : Circuit.t -> string
     not preserved: covers are re-mapped). *)
 
 val write_file : string -> Circuit.t -> unit
+(** {!to_string} through {!Ioutil.write_atomic}: fsync'd data, atomic
+    rename, parent-directory fsync — a crash never leaves a truncated or
+    lost netlist. *)

@@ -1,0 +1,61 @@
+(** LRU cache of loaded model artifacts, bounded by estimated bytes.
+
+    The serve layer keeps hot models resident so the store is touched
+    once per model, not once per request — the "query forever" half of
+    the paper's economy.  The ceiling is a memory-pressure valve: when
+    the estimated footprint ({!Store.approx_bytes}) of the resident set
+    exceeds it, least-recently-used entries are dropped (the entry most
+    recently returned to a caller is never the victim; requests holding
+    an evicted entry keep it alive until they finish).
+
+    Thread safety: lookups, insertions and evictions are serialized on
+    an internal mutex; the {e loading} of a missing artifact runs outside
+    it, so a slow disk never blocks cache hits.  Two racing loads of the
+    same artifact both succeed and one result is dropped — wasteful,
+    harmless, and rare.
+
+    Concurrency of the entries themselves: the compiled program is
+    immutable and safe to query from any number of threads, but the
+    {e analytic} queries (expectation, worst case, sensitivities) walk
+    the hash-consed ADD through the manager's computed tables, which are
+    mutable — every analytic query on an entry must hold that entry's
+    {!analysis_mutex}.  {!Handler} does; see DESIGN.md "Serving &
+    persistence". *)
+
+type entry = {
+  loaded : Store.loaded;
+  bytes : int;  (** {!Store.approx_bytes} of the artifact's meta *)
+  analysis_mutex : Mutex.t;
+      (** serializes interpreted-diagram queries (the compiled program
+          needs no lock) *)
+}
+
+type t
+
+val create : ?byte_ceiling:int -> ?root:string -> unit -> t
+(** [byte_ceiling] (default: unbounded) caps the resident set; at least
+    one entry always stays resident, so a single over-ceiling model
+    still serves.  [root], when given, is prepended to every model path
+    and paths may not escape it (no absolute paths, no [..] components)
+    — the server's protection against requests walking the filesystem. *)
+
+val resolve : t -> string -> (string, Guard.Error.t) result
+(** The on-disk path a model name maps to ([Validation] error when it
+    escapes [root]). *)
+
+val find_or_load : t -> string -> (entry, Guard.Error.t) result
+(** Cache hit, or {!Store.load} + insert (+ evict down to the ceiling).
+    Load failures are returned verbatim — and never cached, so a later
+    request retries a repaired artifact. *)
+
+val on_load : t -> (string -> Store.meta -> unit) -> unit
+(** Install a hook called after every {e fresh} load (cache misses
+    only), with the model name as requested and the artifact's metadata.
+    The serve journal uses it to record warm-start keys. *)
+
+val stats : t -> Json.t
+(** [{"entries", "bytes", "byte_ceiling", "hits", "misses",
+    "evictions"}] — deterministic member order. *)
+
+val clear : t -> unit
+(** Drop every entry (counters keep counting). *)

@@ -1,0 +1,26 @@
+(** Minimal blocking client for the power-query protocol — used by
+    [cfpm query], the serve tests and the chaos CI clients. *)
+
+type t
+
+val connect :
+  [ `Unix of string | `Tcp of string * int ] ->
+  (t, Guard.Error.t) result
+(** [Resource] error when the server is unreachable. *)
+
+val request : t -> Json.t -> (Json.t, Guard.Error.t) result
+(** One round trip: send the request frame, block for the response
+    frame.  [Parse] error on a malformed response stream, [Resource] on
+    a connection drop (e.g. a draining server at a frame boundary, or a
+    shed connection whose error frame was already consumed). *)
+
+val request_raw : t -> string -> (string, Guard.Error.t) result
+(** {!request} on raw bytes, responses unparsed — the byte-identity
+    test path. *)
+
+val close : t -> unit
+
+val with_connection :
+  [ `Unix of string | `Tcp of string * int ] ->
+  (t -> ('a, Guard.Error.t) result) ->
+  ('a, Guard.Error.t) result

@@ -1,0 +1,297 @@
+(* Transport-free request dispatch.
+
+   Everything the server does to a request happens here, behind a fault
+   boundary: parse, budget, model lookup, evaluation, response shaping.
+   Keeping the transport out means the exact same bytes come back from a
+   socket round trip and from local evaluation (cfpm store query), which
+   is what lets the chaos CI compare a fault-injected server's healthy
+   answers byte-for-byte against a fault-free reference. *)
+
+let m_requests = Obs.Metrics.metric "serve.requests"
+let m_errors = Obs.Metrics.metric "serve.errors"
+
+type t = {
+  cache : Cache.t;
+  jobs : int option;
+  deadline : float option;
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+let create ?jobs ?deadline cache =
+  (match deadline with
+  | Some d when (not (Float.is_finite d)) || d <= 0.0 ->
+    invalid_arg "Handler.create: deadline must be finite and > 0"
+  | _ -> ());
+  {
+    cache;
+    jobs;
+    deadline;
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
+  }
+
+let cache t = t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing helpers — every failure is a classified error.       *)
+
+let ( let* ) = Result.bind
+
+let req_string req k =
+  match Json.member k req with
+  | Some (Json.String s) -> Ok s
+  | _ ->
+    Error
+      (Guard.Error.validation
+         (Printf.sprintf "request lacks a string %S member" k))
+
+let bits_of_string ~inputs k s =
+  if
+    String.length s = inputs
+    && String.for_all (fun c -> c = '0' || c = '1') s
+  then Ok (Array.init inputs (fun i -> s.[i] = '1'))
+  else
+    Error
+      (Guard.Error.validation
+         ~context:[ (k, s) ]
+         (Printf.sprintf "%s must be a %d-bit string of 0s and 1s" k inputs))
+
+let req_bits req ~inputs k =
+  let* s = req_string req k in
+  bits_of_string ~inputs k s
+
+let string_of_bits v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let opt_prob req k ~default =
+  match Json.member k req with
+  | None | Some Json.Null -> Ok default
+  | Some j -> (
+    match Json.to_float j with
+    | Some v when Float.is_finite v && v >= 0.0 && v <= 1.0 -> Ok v
+    | _ ->
+      Error
+        (Guard.Error.validation
+           (Printf.sprintf "%s must be a probability in [0, 1]" k)))
+
+(* ------------------------------------------------------------------ *)
+(* Deadline budget: created per request, enforced at operation seams.   *)
+
+let budget_of t req =
+  match Json.member "deadline_ms" req with
+  | None | Some Json.Null ->
+    Ok
+      (Option.map
+         (fun d -> Guard.Budget.create ~wall_seconds:d ())
+         t.deadline)
+  | Some j -> (
+    match Json.to_float j with
+    | Some ms when Float.is_finite ms && ms >= 0.0 ->
+      Ok (Some (Guard.Budget.create ~wall_seconds:(ms /. 1000.0) ()))
+    | _ ->
+      Error
+        (Guard.Error.validation
+           "deadline_ms must be a finite non-negative number"))
+
+let check_budget = function
+  | None -> Ok ()
+  | Some b -> (
+    match Guard.Budget.check b with
+    | Guard.Budget.Within | Guard.Budget.Node_pressure _ -> Ok ()
+    | Guard.Budget.Exhausted e ->
+      Error (Guard.Error.with_context [ ("reason", "deadline") ] e))
+
+let with_mutex m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Operations.                                                          *)
+
+let model t req =
+  let* name = req_string req "model" in
+  Cache.find_or_load t.cache name
+
+let op_eval t req check =
+  let* entry = model t req in
+  let meta = entry.Cache.loaded.Store.meta in
+  let* x_i = req_bits req ~inputs:meta.Store.inputs "x_i" in
+  let* x_f = req_bits req ~inputs:meta.Store.inputs "x_f" in
+  let* () = check () in
+  Ok
+    (Json.Float
+       (Powermodel.Model.switched_capacitance_compiled
+          entry.Cache.loaded.Store.compiled ~x_i ~x_f))
+
+(* Batches evaluate in fixed blocks with a budget check between blocks,
+   so a deadline can interrupt a large batch at a block seam; within a
+   block the pool-sharded evaluator runs to completion.  Outputs are
+   accumulated in block order — byte-identical for every job count. *)
+let eval_block = 4096
+
+let op_eval_batch t req check =
+  let* entry = model t req in
+  let meta = entry.Cache.loaded.Store.meta in
+  let inputs = meta.Store.inputs in
+  let* pairs =
+    match Json.member "transitions" req with
+    | Some (Json.List l) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | Json.List [ Json.String a; Json.String b ] ->
+            let* x_i = bits_of_string ~inputs "x_i" a in
+            let* x_f = bits_of_string ~inputs "x_f" b in
+            Ok ((x_i, x_f) :: acc)
+          | _ ->
+            Error
+              (Guard.Error.validation
+                 "transitions must be a list of [x_i, x_f] bitstring pairs"))
+        (Ok []) l
+      |> Result.map List.rev
+    | _ ->
+      Error (Guard.Error.validation "request lacks a transitions list")
+  in
+  let program =
+    Powermodel.Model.compiled_program entry.Cache.loaded.Store.compiled
+  in
+  let envs =
+    Array.of_list
+      (List.map (fun (x_i, x_f) -> Powermodel.Vars.env ~x_i ~x_f) pairs)
+  in
+  let total = Array.length envs in
+  let rec go i acc =
+    if i >= total then Ok (List.concat (List.rev acc))
+    else
+      let* () = check () in
+      let n = min eval_block (total - i) in
+      let packed = Dd.Compiled.pack program (Array.sub envs i n) in
+      let out =
+        Dd.Compiled.eval_batch ?jobs:t.jobs program ~inputs:packed ~n
+      in
+      go (i + n) (Array.to_list (Array.map (fun v -> Json.Float v) out) :: acc)
+  in
+  let* values = go 0 [] in
+  Ok (Json.List values)
+
+let op_expectation t req check =
+  let* entry = model t req in
+  let meta = entry.Cache.loaded.Store.meta in
+  let* sp = opt_prob req "sp" ~default:meta.Store.default_sp in
+  let* st = opt_prob req "st" ~default:meta.Store.default_st in
+  let* () = check () in
+  with_mutex entry.Cache.analysis_mutex (fun () ->
+      Ok
+        (Json.Float
+           (Powermodel.Analysis.expected_capacitance
+              entry.Cache.loaded.Store.model ~sp ~st)))
+
+let op_worst t req check =
+  let* entry = model t req in
+  let* () = check () in
+  with_mutex entry.Cache.analysis_mutex (fun () ->
+      let x_i, x_f, value =
+        Powermodel.Analysis.worst_case_transition entry.Cache.loaded.Store.model
+      in
+      Ok
+        (Json.Obj
+           [
+             ("x_i", Json.String (string_of_bits x_i));
+             ("x_f", Json.String (string_of_bits x_f));
+             ("value", Json.Float value);
+           ]))
+
+let op_sensitivities t req check =
+  let* entry = model t req in
+  let* () = check () in
+  with_mutex entry.Cache.analysis_mutex (fun () ->
+      let sens =
+        Powermodel.Analysis.toggle_sensitivities entry.Cache.loaded.Store.model
+      in
+      Ok
+        (Json.List (Array.to_list (Array.map (fun v -> Json.Float v) sens))))
+
+let op_meta t req check =
+  let* entry = model t req in
+  let* () = check () in
+  Ok (Store.meta_json entry.Cache.loaded.Store.meta)
+
+let op_stats t =
+  Ok
+    (Json.Obj
+       [
+         ("requests", Json.Int (Atomic.get t.requests));
+         ("errors", Json.Int (Atomic.get t.errors));
+         ("cache", Cache.stats t.cache);
+       ])
+
+let dispatch t req =
+  let* () =
+    (* chaos seam: a mid-request fault, deterministic per request key *)
+    match Guard.Fault.inject "serve_request" with
+    | () -> Ok ()
+    | exception Guard.Error.Guarded e -> Error e
+  in
+  let* op = req_string req "op" in
+  let* budget = budget_of t req in
+  let check () = check_budget budget in
+  let body () =
+    match op with
+    | "ping" -> Ok (Json.String "pong")
+    | "stats" -> op_stats t
+    | "meta" -> op_meta t req check
+    | "eval" -> op_eval t req check
+    | "eval_batch" -> op_eval_batch t req check
+    | "expectation" -> op_expectation t req check
+    | "worst" -> op_worst t req check
+    | "sensitivities" -> op_sensitivities t req check
+    | other ->
+      Error
+        (Guard.Error.validation
+           ~context:[ ("op", other) ]
+           (Printf.sprintf "unknown operation %S" other))
+  in
+  match budget with
+  | None -> body ()
+  | Some b -> Guard.Budget.with_ambient b body
+
+(* ------------------------------------------------------------------ *)
+(* The fault boundary.                                                  *)
+
+(* Injection decisions are keyed on what the client sent, so a scripted
+   chaos run fails the same requests whatever worker, connection or
+   ordering served them. *)
+let request_key req =
+  let part k =
+    match Json.member k req with Some j -> Protocol.render j | None -> ""
+  in
+  Printf.sprintf "%s|%s|%s" (part "op") (part "model") (part "id")
+
+let handle t req =
+  Atomic.incr t.requests;
+  Obs.Metrics.incr m_requests;
+  let id = Option.value (Json.member "id" req) ~default:Json.Null in
+  let result =
+    try
+      Guard.Fault.with_task ~key:(request_key req) ~attempt:0 (fun () ->
+          dispatch t req)
+    with e -> Error (Guard.Error.of_exn e)
+  in
+  match result with
+  | Ok r -> Protocol.ok_response ~id r
+  | Error e ->
+    Atomic.incr t.errors;
+    Obs.Metrics.incr m_errors;
+    Protocol.error_response ~id e
+
+let handle_string t s =
+  match Json.of_string s with
+  | Ok req -> Protocol.render (handle t req)
+  | Error msg ->
+    Protocol.render
+      (Protocol.error_response ~id:Json.Null
+         (Guard.Error.parse
+            ~context:[ ("reason", "bad-request") ]
+            (Printf.sprintf "request is not valid JSON: %s" msg)))

@@ -1,0 +1,61 @@
+(** The power-query request handler: one JSON request in, one JSON
+    response out — total, never raising.
+
+    The handler is deliberately transport-free: the socket server feeds
+    it frames, and [cfpm store query] calls it directly on the same
+    bytes, so a response is {e byte-identical} whether a query travels
+    over a socket or not (the chaos CI job leans on this to compare a
+    fault-injected server's healthy answers against fault-free local
+    evaluation).
+
+    {2 Operations}
+
+    Every request is [{"id": J, "op": "...", ...}]; [id] is echoed
+    verbatim.  Model-addressing ops name an artifact with
+    ["model": "path"] (resolved by the {!Cache}).  Transitions are
+    bitstrings over the circuit inputs, MSB = input 0, e.g. ["0110"].
+
+    - [ping] → ["pong"]
+    - [meta] [model] → the artifact header ({!Store.meta_json})
+    - [eval] [model x_i x_f] → switched capacitance (fF) of one
+      transition, through the compiled program
+    - [eval_batch] [model transitions=[[x_i, x_f], ...]] → list of
+      capacitances, evaluated in deadline-checked blocks sharded over
+      the domain pool — byte-identical for every job count
+    - [expectation] [model sp? st?] → exact expected capacitance under
+      the Markov statistics (defaults: the artifact's saved [(sp, st)])
+    - [worst] [model] → [{"x_i", "x_f", "value"}], a worst-case witness
+    - [sensitivities] [model] → per-input toggle sensitivities
+    - [stats] → handler counters + cache statistics
+
+    {2 Robustness}
+
+    Each request runs inside a fault-isolation boundary: any exception —
+    including injected ones — is classified by {!Guard.Error.of_exn} and
+    returned as an error response, never propagated.  A wall-clock
+    deadline ([deadline_ms] in the request, else the handler default)
+    is enforced through a {!Guard.Budget} checked at operation seams
+    (between eval blocks, before diagram walks); an overrun answers a
+    [Resource] error with [reason=deadline].  The [serve_request] fault
+    point fires at entry (keyed on the request's [id]/[op]/[model], so
+    injection is deterministic per request), and [store_read] fires
+    inside artifact loads. *)
+
+type t
+
+val create : ?jobs:int -> ?deadline:float -> Cache.t -> t
+(** [jobs] shards batched evaluation over the domain pool ([CFPM_JOBS]
+    default); [deadline] (seconds) bounds every request that does not
+    carry its own [deadline_ms]. *)
+
+val cache : t -> Cache.t
+
+val handle : t -> Json.t -> Json.t
+(** Process one request.  Total: malformed requests, unknown ops, load
+    failures, budget overruns and injected faults all come back as error
+    responses carrying the request's [id] (or [null]). *)
+
+val handle_string : t -> string -> string
+(** {!handle} on raw frame bytes: parses, dispatches, renders compactly
+    ({!Protocol.render}).  Unparseable requests answer a [Parse] error
+    with [id = null]. *)

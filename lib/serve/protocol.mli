@@ -1,0 +1,49 @@
+(** Wire protocol of the power-query service: length-prefixed JSON.
+
+    Every message — request or response — is one {e frame}: a 4-byte
+    big-endian payload length followed by that many bytes of compact
+    JSON.  The framing is symmetric, so a client library is a trivial
+    inversion of the server loop, and a frame length is bounded
+    ({!max_frame}) so a hostile or desynchronized peer cannot make the
+    server allocate unbounded buffers.
+
+    Requests are objects: [{"id": ..., "op": "...", "model": "...", ...}]
+    (see {!Handler} for the operation set).  Responses echo the request's
+    [id] and carry either a result or a classified error:
+
+    {v {"id": 7, "ok": true,  "result": ...}
+   {"id": 7, "ok": false, "error": {"kind": ..., "what": ...,
+                                    "context": {...}}} v}
+
+    The [error] member is {!Guard.Error.to_json} verbatim, so protocol
+    errors map onto the same taxonomy (and exit codes) as the CLI. *)
+
+val max_frame : int
+(** Hard ceiling on a frame payload (16 MiB), both directions. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Send one frame (length prefix + payload), retrying short writes.
+    Raises [Invalid_argument] if the payload exceeds {!max_frame};
+    [Unix.Unix_error] on a dead or stalled peer (the server arms
+    [SO_SNDTIMEO] so a stalled peer cannot pin a worker forever). *)
+
+type read = Frame of string | Closed | Stopped
+
+val read_frame : ?stop:(unit -> bool) -> Unix.file_descr -> read
+(** Read one frame.  [Closed] on clean EOF at a frame boundary; raises
+    [Guard.Error.Guarded] ([Parse]) on a truncated frame or an oversized
+    length prefix.  [stop] (polled a few times a second while waiting)
+    lets a draining server abandon the wait between requests —
+    [Stopped] is only returned {e between} frames, never mid-frame. *)
+
+val ok_response : id:Json.t -> Json.t -> Json.t
+val error_response : id:Json.t -> Guard.Error.t -> Json.t
+
+val response_error : Json.t -> (string * string * (string * string) list) option
+(** Decode the [error] member of a response, if the response is an
+    error: [(kind name, what, context)]. *)
+
+val render : Json.t -> string
+(** Canonical compact rendering used for every frame (the byte-identity
+    contract between server responses and local [cfpm store query]
+    evaluation compares exactly these strings). *)

@@ -1,0 +1,64 @@
+(** The long-running power-query server: a Unix-socket/TCP listener over
+    {!Handler}, hardened the way the rest of the pipeline is.
+
+    Architecture: one accept loop (the thread that calls {!run}) feeds a
+    {e bounded} queue of accepted connections drained by a fixed pool of
+    worker threads; each worker serves one connection at a time, request
+    after request, through the shared {!Handler} (whose batched
+    evaluation in turn shards over the {!Parallel.Pool} domains).
+
+    Robustness properties, each tested and chaos-exercised:
+
+    - {b backpressure, not collapse}: when the pending queue is full, a
+      new connection is {e shed} immediately with a typed [Resource]
+      error ([reason=overloaded]) and closed — the server never
+      accumulates unbounded connections and never silently stalls an
+      accept;
+    - {b per-request fault isolation}: a request that fails — malformed
+      frame, corrupt artifact, injected fault, deadline overrun — costs
+      exactly one error response (or one connection, if the stream
+      itself desynchronized); the process survives;
+    - {b graceful drain}: {!stop} (async-signal-safe: one atomic flag,
+      no locks, no syscalls — callable from a SIGTERM handler and from
+      any thread) stops accepting within a fraction of a second (the
+      accept loop polls between short selects), lets every queued and
+      in-flight request finish, then {!run} returns.  Idle kept-alive
+      connections are closed at the next frame boundary. *)
+
+type config = {
+  address : [ `Unix of string | `Tcp of string * int ];
+      (** [`Tcp (host, 0)] binds an ephemeral port — see {!address}. *)
+  workers : int;  (** worker threads (and max in-flight requests) *)
+  max_pending : int;
+      (** accepted connections waiting for a worker beyond which new
+          connections are shed with [reason=overloaded] *)
+  handler : Handler.t;
+}
+
+type t
+
+val create : config -> t
+(** Bind and listen (a stale Unix-socket path from a dead server is
+    removed first).  Raises [Guard.Error.Guarded] ([Resource]) when the
+    address cannot be bound, [Invalid_argument] on a non-positive
+    worker count or negative queue bound. *)
+
+val address : t -> Unix.sockaddr
+(** The bound address (with the real port for [`Tcp (_, 0)]). *)
+
+val run : t -> unit
+(** Spawn the workers and serve until {!stop}; returns after the drain
+    completes.  The Unix-socket path is unlinked on the way out. *)
+
+val stop : t -> unit
+(** Request shutdown.  Returns immediately; {!run} returns once drained.
+    Idempotent, thread-safe, safe from a signal handler. *)
+
+val stopping : t -> bool
+
+(** {2 Metrics}
+
+    [serve.connections], [serve.shed], [serve.requests], [serve.errors]
+    and the [serve.cache_*] family are counted on the shared
+    {!Obs.Metrics} registry; the [stats] operation exposes the
+    handler-local view. *)

@@ -27,4 +27,6 @@ let () =
       ("misc", Test_misc.suite);
       ("reorder", Test_reorder.suite);
       ("analysis", Test_analysis.suite);
+      ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
     ]

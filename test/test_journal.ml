@@ -55,7 +55,29 @@ let roundtrip () =
 
 let missing_file_is_fresh () =
   let r = recover_ok "/nonexistent/dir-that-is-a-file/journal" in
-  Alcotest.(check int) "no records" 0 r.Journal.recovered
+  Alcotest.(check int) "no records" 0 r.Journal.recovered;
+  Alcotest.(check bool) "did not exist" false r.Journal.existed
+
+(* An empty-but-present journal is not the same thing as a missing one:
+   [existed] lets a restarting server distinguish "never journaled" from
+   "journal created, nothing recorded yet" in its startup note. *)
+let empty_file_existed () =
+  let path = temp "empty" in
+  let oc = open_out_bin path in
+  close_out oc;
+  let r = recover_ok path in
+  Alcotest.(check bool) "existed" true r.Journal.existed;
+  Alcotest.(check int) "no records" 0 r.Journal.recovered;
+  Alcotest.(check int) "nothing dropped" 0 r.Journal.dropped;
+  Alcotest.(check bool) "not torn" false r.Journal.torn;
+  Sys.remove path
+
+let nonempty_existed () =
+  let path = temp "existed" in
+  fill path 3;
+  let r = recover_ok path in
+  Alcotest.(check bool) "existed" true r.Journal.existed;
+  Sys.remove path
 
 let last_write_wins () =
   let path = temp "lww" in
@@ -275,6 +297,8 @@ let suite =
     Alcotest.test_case "append/recover roundtrip" `Quick roundtrip;
     Alcotest.test_case "missing file is a fresh run" `Quick
       missing_file_is_fresh;
+    Alcotest.test_case "empty file existed" `Quick empty_file_existed;
+    Alcotest.test_case "non-empty file existed" `Quick nonempty_existed;
     Alcotest.test_case "last write wins" `Quick last_write_wins;
     Alcotest.test_case "task key identity" `Quick task_key_identity;
     Alcotest.test_case "truncation fuzz (every prefix)" `Quick truncation_fuzz;

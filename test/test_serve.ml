@@ -1,0 +1,426 @@
+(* The power-query service: protocol round trips, byte-identity with
+   local evaluation, backpressure shedding, deadlines, fault injection,
+   corrupt artifacts and graceful drain — the server must answer or shed,
+   never crash, never lie. *)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Guard.Error.to_string e)
+
+let temp_dir () =
+  let d = Filename.temp_file "cfpm_serve" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* One model artifact shared by the whole suite (built once). *)
+let fixture =
+  lazy
+    (let dir = temp_dir () in
+     at_exit (fun () -> try rm_rf dir with _ -> ());
+     let model = Powermodel.Model.build (Circuits.Adder.circuit ~bits:3) in
+     let path = Filename.concat dir "model.cfpm" in
+     let meta =
+       match Store.save ~defaults:(0.5, 0.25) ~path model with
+       | Ok m -> m
+       | Error e -> failwith (Guard.Error.to_string e)
+     in
+     (dir, model, meta))
+
+(* A running server on a fresh Unix socket, torn down by [k]'s return. *)
+let with_server ?(workers = 2) ?(max_pending = 16) ?deadline k =
+  let dir, model, meta = Lazy.force fixture in
+  let cache = Serve.Cache.create ~root:dir () in
+  let handler = Serve.Handler.create ?deadline ~jobs:1 cache in
+  let sock = Filename.concat dir (Printf.sprintf "s%d.sock" (Unix.getpid ())) in
+  if Sys.file_exists sock then Sys.remove sock;
+  let server =
+    Serve.Server.create
+      { Serve.Server.address = `Unix sock; workers; max_pending; handler }
+  in
+  let thread = Thread.create Serve.Server.run server in
+  Fun.protect ~finally:(fun () ->
+      Serve.Server.stop server;
+      Thread.join thread)
+  @@ fun () -> k ~dir ~model ~meta ~sock ~server ~handler
+
+let request sock body =
+  Serve.Client.with_connection (`Unix sock) (fun c ->
+      Serve.Client.request_raw c body)
+
+let member_exn what k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: response lacks %S" what k
+
+let parse_response what raw =
+  match Json.of_string raw with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "%s: bad response JSON %s: %s" what raw m
+
+let expect_error what raw =
+  let j = parse_response what raw in
+  match Json.member "ok" j with
+  | Some (Json.Bool false) -> member_exn what "error" j
+  | _ -> Alcotest.failf "%s: expected an error response, got %s" what raw
+
+let error_reason err =
+  match Json.member "context" err with
+  | Some ctx -> (
+    match Json.member "reason" ctx with
+    | Some (Json.String s) -> Some s
+    | _ -> None)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+
+let test_ops_answer () =
+  with_server @@ fun ~dir:_ ~model ~meta ~sock ~server:_ ~handler:_ ->
+  (* ping *)
+  let raw = ok_or_fail "ping" (request sock {|{"id":1,"op":"ping"}|}) in
+  Alcotest.(check string) "ping" {|{"id":1,"ok":true,"result":"pong"}|} raw;
+  (* eval matches the direct compiled evaluation *)
+  let inputs = meta.Store.inputs in
+  let x_i = String.make inputs '0' in
+  let x_f = String.make inputs '1' in
+  let raw =
+    ok_or_fail "eval"
+      (request sock
+         (Printf.sprintf
+            {|{"id":2,"op":"eval","model":"model.cfpm","x_i":"%s","x_f":"%s"}|}
+            x_i x_f))
+  in
+  let direct =
+    Powermodel.Model.switched_capacitance_compiled
+      (Powermodel.Model.compile model)
+      ~x_i:(Array.make inputs false)
+      ~x_f:(Array.make inputs true)
+  in
+  let j = parse_response "eval" raw in
+  (match Json.to_float (member_exn "eval" "result" j) with
+  | Some v -> Alcotest.(check (float 0.0)) "eval value" direct v
+  | None -> Alcotest.fail "eval: non-numeric result");
+  (* expectation under explicit stats matches Analysis directly *)
+  let raw =
+    ok_or_fail "expectation"
+      (request sock
+         {|{"id":3,"op":"expectation","model":"model.cfpm","sp":0.5,"st":0.5}|})
+  in
+  let expect =
+    Powermodel.Analysis.expected_capacitance model ~sp:0.5 ~st:0.5
+  in
+  let j = parse_response "expectation" raw in
+  (match Json.to_float (member_exn "expectation" "result" j) with
+  | Some v -> Alcotest.(check (float 0.0)) "expectation" expect v
+  | None -> Alcotest.fail "expectation: non-numeric result")
+
+let test_unknown_op () =
+  with_server @@ fun ~dir:_ ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  let raw =
+    ok_or_fail "unknown" (request sock {|{"id":9,"op":"frobnicate"}|})
+  in
+  let err = expect_error "unknown" raw in
+  (match Json.member "kind" err with
+  | Some (Json.String "validation") -> ()
+  | _ -> Alcotest.failf "unknown op: wrong kind in %s" raw)
+
+let test_malformed_then_healthy () =
+  with_server @@ fun ~dir:_ ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  ok_or_fail "conn"
+    (Serve.Client.with_connection (`Unix sock) (fun c ->
+         let raw = ok_or_fail "garbage" (Serve.Client.request_raw c "{nope") in
+         let err = expect_error "garbage" raw in
+         (match Json.member "kind" err with
+         | Some (Json.String "parse") -> ()
+         | _ -> Alcotest.failf "garbage: wrong kind in %s" raw);
+         Alcotest.(check (option string))
+           "bad-request" (Some "bad-request") (error_reason err);
+         (* the same connection still serves *)
+         let raw =
+           ok_or_fail "ping after garbage"
+             (Serve.Client.request_raw c {|{"id":2,"op":"ping"}|})
+         in
+         Alcotest.(check string)
+           "healthy after garbage" {|{"id":2,"ok":true,"result":"pong"}|} raw;
+         Ok ()))
+
+(* The socket path and the local handler produce byte-identical
+   responses — the chaos CI's reference property. *)
+let test_byte_identity () =
+  with_server @@ fun ~dir ~model:_ ~meta ~sock ~server:_ ~handler:_ ->
+  let local_cache = Serve.Cache.create ~root:dir () in
+  let local = Serve.Handler.create ~jobs:1 local_cache in
+  let inputs = meta.Store.inputs in
+  let x_i = String.make inputs '0' in
+  let x_f = String.concat "" (List.init inputs (fun i -> if i mod 2 = 0 then "1" else "0")) in
+  let requests =
+    [
+      {|{"id":1,"op":"ping"}|};
+      Printf.sprintf
+        {|{"id":2,"op":"eval","model":"model.cfpm","x_i":"%s","x_f":"%s"}|}
+        x_i x_f;
+      Printf.sprintf
+        {|{"id":3,"op":"eval_batch","model":"model.cfpm","transitions":[["%s","%s"],["%s","%s"]]}|}
+        x_i x_f x_f x_i;
+      {|{"id":4,"op":"expectation","model":"model.cfpm"}|};
+      {|{"id":5,"op":"worst","model":"model.cfpm"}|};
+      {|{"id":6,"op":"sensitivities","model":"model.cfpm"}|};
+      {|{"id":7,"op":"meta","model":"model.cfpm"}|};
+      {|{"id":8,"op":"nope"}|};
+    ]
+  in
+  List.iter
+    (fun body ->
+      let over_socket = ok_or_fail "socket" (request sock body) in
+      let locally = Serve.Handler.handle_string local body in
+      Alcotest.(check string) ("byte identity: " ^ body) locally over_socket)
+    requests
+
+let test_deadline_overrun () =
+  with_server @@ fun ~dir:_ ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  let raw =
+    ok_or_fail "deadline"
+      (request sock
+         {|{"id":1,"op":"expectation","model":"model.cfpm","deadline_ms":0}|})
+  in
+  let err = expect_error "deadline" raw in
+  (match Json.member "kind" err with
+  | Some (Json.String "resource") -> ()
+  | _ -> Alcotest.failf "deadline: wrong kind in %s" raw);
+  Alcotest.(check (option string))
+    "reason" (Some "deadline") (error_reason err);
+  (* and the server is still healthy *)
+  let raw = ok_or_fail "ping" (request sock {|{"id":2,"op":"ping"}|}) in
+  Alcotest.(check string) "alive" {|{"id":2,"ok":true,"result":"pong"}|} raw
+
+(* Backpressure: one worker, one pending slot.  Connection A parks the
+   worker mid-frame (header sent, payload withheld), connection B fills
+   the queue, connection C must be shed with a typed overloaded error. *)
+let test_overload_shed () =
+  with_server ~workers:1 ~max_pending:0
+  @@ fun ~dir:_ ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  (* let the single worker reach its parking spot first: with
+     max_pending=0 a connection racing server startup is itself shed, so
+     retry the warmup ping until a worker answers *)
+  let rec warmup tries =
+    if tries = 0 then Alcotest.fail "warmup ping never answered";
+    match request sock {|{"id":0,"op":"ping"}|} with
+    | Ok {|{"id":0,"ok":true,"result":"pong"}|} -> ()
+    | Ok _ | Error _ ->
+      Thread.delay 0.1;
+      warmup (tries - 1)
+  in
+  warmup 50;
+  Thread.delay 0.3;
+  let dial () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let a = dial () in
+  Fun.protect ~finally:(fun () -> try Unix.close a with _ -> ())
+  @@ fun () ->
+  (* a frame header promising 100 bytes that never arrive: the single
+     worker blocks reading the payload *)
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 100l;
+  ignore (Unix.write a header 0 4);
+  Thread.delay 0.3;
+  (* the worker is parked and the queue bound is zero, so the next
+     connection finds no idle worker and no queue slot: shed *)
+  let c = dial () in
+  Fun.protect ~finally:(fun () -> try Unix.close c with _ -> ())
+  @@ fun () ->
+  Thread.delay 0.2;
+  let buf = Bytes.create 4 in
+  let rec read_exact fd b off len =
+    if len > 0 then begin
+      let n = Unix.read fd b off len in
+      if n = 0 then Alcotest.fail "shed connection closed without a frame";
+      read_exact fd b (off + n) (len - n)
+    end
+  in
+  read_exact c buf 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be buf 0) in
+  let payload = Bytes.create len in
+  read_exact c payload 0 len;
+  let err = expect_error "shed" (Bytes.to_string payload) in
+  (match Json.member "kind" err with
+  | Some (Json.String "resource") -> ()
+  | _ -> Alcotest.failf "shed: wrong kind in %s" (Bytes.to_string payload));
+  Alcotest.(check (option string))
+    "reason" (Some "overloaded") (error_reason err)
+
+let test_fault_injection () =
+  with_server @@ fun ~dir:_ ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  Guard.Fault.install
+    [ { Guard.Fault.point = "serve_request"; mode = Guard.Fault.Fail;
+        rate = 1.0; seed = 1 } ];
+  Fun.protect ~finally:(fun () -> Guard.Fault.clear ())
+  @@ fun () ->
+  let raw =
+    ok_or_fail "injected" (request sock {|{"id":1,"op":"ping"}|})
+  in
+  let err = expect_error "injected" raw in
+  (match Json.member "kind" err with
+  | Some (Json.String "resource") -> ()
+  | _ -> Alcotest.failf "injected: wrong kind in %s" raw);
+  (* disarm: the same request answers *)
+  Guard.Fault.clear ();
+  let raw = ok_or_fail "healed" (request sock {|{"id":1,"op":"ping"}|}) in
+  Alcotest.(check string)
+    "healed" {|{"id":1,"ok":true,"result":"pong"}|} raw
+
+let test_store_read_fault () =
+  let dir, _, _ = Lazy.force fixture in
+  let cache = Serve.Cache.create ~root:dir () in
+  let handler = Serve.Handler.create ~jobs:1 cache in
+  Guard.Fault.install
+    [ { Guard.Fault.point = "store_read"; mode = Guard.Fault.Fail;
+        rate = 1.0; seed = 1 } ];
+  Fun.protect ~finally:(fun () -> Guard.Fault.clear ())
+  @@ fun () ->
+  let raw =
+    Serve.Handler.handle_string handler
+      {|{"id":1,"op":"meta","model":"model.cfpm"}|}
+  in
+  let err = expect_error "store_read" raw in
+  (match Json.member "kind" err with
+  | Some (Json.String "resource") -> ()
+  | _ -> Alcotest.failf "store_read: wrong kind in %s" raw);
+  (* load failures are not cached: disarm and the artifact loads *)
+  Guard.Fault.clear ();
+  let raw =
+    Serve.Handler.handle_string handler
+      {|{"id":2,"op":"meta","model":"model.cfpm"}|}
+  in
+  match Json.of_string raw with
+  | Ok j -> (
+    match Json.member "ok" j with
+    | Some (Json.Bool true) -> ()
+    | _ -> Alcotest.failf "store_read heal: %s" raw)
+  | Error m -> Alcotest.failf "store_read heal: %s" m
+
+let test_corrupt_artifact () =
+  with_server @@ fun ~dir ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  (* corrupt a copy of the artifact *)
+  let src = Filename.concat dir "model.cfpm" in
+  let dst = Filename.concat dir "rotten.cfpm" in
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let b = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  Bytes.set b (n / 2) (Char.chr (Char.code (Bytes.get b (n / 2)) lxor 0x40));
+  let oc = open_out_bin dst in
+  output_bytes oc b;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove dst)
+  @@ fun () ->
+  let raw =
+    ok_or_fail "rotten"
+      (request sock {|{"id":1,"op":"meta","model":"rotten.cfpm"}|})
+  in
+  let err = expect_error "rotten" raw in
+  Alcotest.(check (option string))
+    "reason" (Some "corrupt") (error_reason err);
+  (* the healthy artifact still serves on the same server *)
+  let raw =
+    ok_or_fail "healthy"
+      (request sock {|{"id":2,"op":"meta","model":"model.cfpm"}|})
+  in
+  let j = parse_response "healthy" raw in
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.failf "healthy artifact failed after corrupt one: %s" raw
+
+let test_path_escape () =
+  with_server @@ fun ~dir:_ ~model:_ ~meta:_ ~sock ~server:_ ~handler:_ ->
+  List.iter
+    (fun path ->
+      let raw =
+        ok_or_fail "escape"
+          (request sock
+             (Printf.sprintf {|{"id":1,"op":"meta","model":"%s"}|} path))
+      in
+      let err = expect_error ("escape " ^ path) raw in
+      match Json.member "kind" err with
+      | Some (Json.String "validation") -> ()
+      | _ -> Alcotest.failf "escape %s: wrong kind in %s" path raw)
+    [ "../model.cfpm"; "/etc/passwd"; "a/../../b.cfpm"; "" ]
+
+let test_cache_eviction () =
+  let dir, _, meta = Lazy.force fixture in
+  (* a second artifact so the cache has something to evict *)
+  let model2 = Powermodel.Model.build (Circuits.Adder.circuit ~bits:3) in
+  let path2 = Filename.concat dir "model2.cfpm" in
+  (match Store.save ~path:path2 model2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "save2: %s" (Guard.Error.to_string e));
+  Fun.protect ~finally:(fun () -> Sys.remove path2)
+  @@ fun () ->
+  (* ceiling below two artifacts but above one *)
+  let ceiling = Store.approx_bytes meta + 1 in
+  let cache = Serve.Cache.create ~byte_ceiling:ceiling ~root:dir () in
+  ignore (ok_or_fail "load1" (Serve.Cache.find_or_load cache "model.cfpm"));
+  ignore (ok_or_fail "load2" (Serve.Cache.find_or_load cache "model2.cfpm"));
+  let stats = Serve.Cache.stats cache in
+  (match Json.member "evictions" stats with
+  | Some (Json.Int n) when n >= 1 -> ()
+  | _ ->
+    Alcotest.failf "expected an eviction in %s"
+      (Json.to_string ~pretty:false stats));
+  (* the evicted artifact reloads on demand *)
+  ignore (ok_or_fail "reload" (Serve.Cache.find_or_load cache "model.cfpm"))
+
+let test_graceful_stop () =
+  let dir, _, _ = Lazy.force fixture in
+  let cache = Serve.Cache.create ~root:dir () in
+  let handler = Serve.Handler.create ~jobs:1 cache in
+  let sock = Filename.concat dir "drain.sock" in
+  let server =
+    Serve.Server.create
+      { Serve.Server.address = `Unix sock; workers = 2; max_pending = 4;
+        handler }
+  in
+  let thread = Thread.create Serve.Server.run server in
+  let raw = ok_or_fail "ping" (request sock {|{"id":1,"op":"ping"}|}) in
+  Alcotest.(check string) "served" {|{"id":1,"ok":true,"result":"pong"}|} raw;
+  Serve.Server.stop server;
+  Thread.join thread;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
+  (* stop is idempotent *)
+  Serve.Server.stop server
+
+let suite =
+  [
+    Alcotest.test_case "operations answer correctly" `Quick test_ops_answer;
+    Alcotest.test_case "unknown op is a validation error" `Quick
+      test_unknown_op;
+    Alcotest.test_case "malformed request, connection survives" `Quick
+      test_malformed_then_healthy;
+    Alcotest.test_case "socket and local responses are byte-identical"
+      `Quick test_byte_identity;
+    Alcotest.test_case "deadline overrun is typed and non-fatal" `Quick
+      test_deadline_overrun;
+    Alcotest.test_case "overload sheds with a typed error" `Quick
+      test_overload_shed;
+    Alcotest.test_case "injected request faults answer typed errors" `Quick
+      test_fault_injection;
+    Alcotest.test_case "injected store faults are not cached" `Quick
+      test_store_read_fault;
+    Alcotest.test_case "corrupt artifact cannot take the server down"
+      `Quick test_corrupt_artifact;
+    Alcotest.test_case "model paths cannot escape the root" `Quick
+      test_path_escape;
+    Alcotest.test_case "cache evicts over the byte ceiling" `Quick
+      test_cache_eviction;
+    Alcotest.test_case "graceful stop drains and unlinks" `Quick
+      test_graceful_stop;
+  ]

@@ -1,0 +1,291 @@
+(* The binary model store: round-trip fidelity (save -> load -> query is
+   bit-identical to the freshly built model, across reorder policies and
+   job counts) and hostility to damage (every single-byte corruption and
+   every truncation is a classified error, never a crash, never a wrong
+   answer). *)
+
+let temp_path name suffix =
+  let path = Filename.temp_file ("cfpm_" ^ name) suffix in
+  Sys.remove path;
+  path
+
+let cleanup path = if Sys.file_exists path then Sys.remove path
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Guard.Error.to_string e)
+
+let small_circuit () = Circuits.Adder.circuit ~bits:3
+
+let save_small ?defaults ?reorder ?max_size name =
+  let path = temp_path name ".cfpm" in
+  let model = Powermodel.Model.build ?reorder ?max_size (small_circuit ()) in
+  let meta = ok_or_fail "save" (Store.save ?defaults ~path model) in
+  (path, model, meta)
+
+(* ------------------------------------------------------------------ *)
+(* Round trips.                                                         *)
+
+let random_pairs ~inputs ~n seed =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      ( Array.init inputs (fun _ -> Random.State.bool st),
+        Array.init inputs (fun _ -> Random.State.bool st) ))
+
+let check_bit_identical what model loaded =
+  let inputs = model.Powermodel.Model.inputs in
+  let compiled = Powermodel.Model.compile model in
+  let pairs = random_pairs ~inputs ~n:200 7 in
+  Array.iter
+    (fun (x_i, x_f) ->
+      let expect =
+        Powermodel.Model.switched_capacitance_compiled compiled ~x_i ~x_f
+      in
+      let got =
+        Powermodel.Model.switched_capacitance_compiled
+          loaded.Store.compiled ~x_i ~x_f
+      in
+      if not (Int64.equal (Int64.bits_of_float expect) (Int64.bits_of_float got))
+      then
+        Alcotest.failf "%s: %s->%s evaluates %.17g, saved model %.17g" what
+          (String.init inputs (fun i -> if x_i.(i) then '1' else '0'))
+          (String.init inputs (fun i -> if x_f.(i) then '1' else '0'))
+          expect got)
+    pairs
+
+let test_round_trip_policies () =
+  List.iter
+    (fun policy ->
+      let name = Powermodel.Reorder.to_string policy in
+      let path, model, meta =
+        save_small ~reorder:policy ("rt_" ^ name)
+      in
+      Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+      let loaded = ok_or_fail "load" (Store.load path) in
+      Alcotest.(check string)
+        (name ^ ": circuit") model.Powermodel.Model.circuit_name
+        loaded.Store.meta.Store.circuit;
+      Alcotest.(check int)
+        (name ^ ": inputs") model.Powermodel.Model.inputs
+        loaded.Store.meta.Store.inputs;
+      Alcotest.(check bool) (name ^ ": exact") true meta.Store.exact;
+      check_bit_identical name model loaded)
+    Powermodel.Reorder.all
+
+let test_round_trip_jobs () =
+  let path, model, _ = save_small "jobs" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let loaded = ok_or_fail "load" (Store.load path) in
+  let program =
+    Powermodel.Model.compiled_program loaded.Store.compiled
+  in
+  let inputs = model.Powermodel.Model.inputs in
+  let envs =
+    Array.map
+      (fun (x_i, x_f) -> Powermodel.Vars.env ~x_i ~x_f)
+      (random_pairs ~inputs ~n:500 11)
+  in
+  let n = Array.length envs in
+  let packed = Dd.Compiled.pack program envs in
+  let one = Dd.Compiled.eval_batch ~jobs:1 program ~inputs:packed ~n in
+  let four = Dd.Compiled.eval_batch ~jobs:4 program ~inputs:packed ~n in
+  Array.iteri
+    (fun i a ->
+      if
+        not
+          (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float four.(i)))
+      then Alcotest.failf "jobs=1 vs jobs=4 differ at %d: %g vs %g" i a four.(i))
+    one
+
+let test_round_trip_approximate () =
+  let path, model, meta = save_small ~max_size:6 "approx" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  Alcotest.(check bool) "approximate" false meta.Store.exact;
+  let loaded = ok_or_fail "load" (Store.load path) in
+  check_bit_identical "approx" model loaded
+
+let test_verify_ok () =
+  let path, _, meta = save_small "verify" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let v = ok_or_fail "verify" (Store.verify path) in
+  Alcotest.(check string) "circuit" meta.Store.circuit v.Store.circuit;
+  Alcotest.(check int) "nodes" meta.Store.nodes v.Store.nodes;
+  Alcotest.(check int) "leaves" meta.Store.leaves v.Store.leaves
+
+(* ------------------------------------------------------------------ *)
+(* Damage.                                                              *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Every single-byte mutation must be caught by verify AND by load —
+   as a classified error, never an exception, never an Ok.  The fuzz
+   artifact is a heavily collapsed model: a few hundred bytes, so the
+   sweep is exhaustive yet cheap (the format is identical at any size). *)
+let test_corruption_fuzz () =
+  let path, _, _ = save_small ~max_size:16 "fuzz" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let original = read_file path in
+  let hurt = temp_path "fuzz_hurt" ".cfpm" in
+  Fun.protect ~finally:(fun () -> cleanup hurt) @@ fun () ->
+  let n = String.length original in
+  for i = 0 to n - 1 do
+    let b = Bytes.of_string original in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xA5));
+    write_file hurt (Bytes.to_string b);
+    (match Store.verify hurt with
+    | Ok _ -> Alcotest.failf "byte %d of %d: corruption not detected" i n
+    | Error e -> (
+      match Store.reason e with
+      | Some ("corrupt" | "truncated" | "version-skew") -> ()
+      | Some r -> Alcotest.failf "byte %d: unexpected reason %s" i r
+      | None -> Alcotest.failf "byte %d: unclassified error" i)
+    | exception e ->
+      Alcotest.failf "byte %d: verify raised %s" i (Printexc.to_string e));
+    (* load must agree (sampled: it is the expensive path) *)
+    if i mod 7 = 0 then
+      match Store.load hurt with
+      | Ok _ -> Alcotest.failf "byte %d: load accepted a corrupt artifact" i
+      | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "byte %d: load raised %s" i (Printexc.to_string e)
+  done
+
+(* Every strict prefix must be rejected — the END terminator means a
+   complete file is distinguishable from any truncation. *)
+let test_truncation_fuzz () =
+  let path, _, _ = save_small ~max_size:16 "trunc" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let original = read_file path in
+  let cut = temp_path "trunc_cut" ".cfpm" in
+  Fun.protect ~finally:(fun () -> cleanup cut) @@ fun () ->
+  let n = String.length original in
+  for len = 0 to n - 1 do
+    write_file cut (String.sub original 0 len);
+    match Store.verify cut with
+    | Ok _ -> Alcotest.failf "prefix %d of %d verified" len n
+    | Error e -> (
+      match Store.reason e with
+      | Some _ -> ()
+      | None -> Alcotest.failf "prefix %d: unclassified error" len)
+    | exception e ->
+      Alcotest.failf "prefix %d: raised %s" len (Printexc.to_string e)
+  done
+
+let test_reason_classes () =
+  let path, _, _ = save_small ~max_size:16 "classes" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let original = read_file path in
+  let mutate i v =
+    let b = Bytes.of_string original in
+    Bytes.set b i (Char.chr v);
+    let p = temp_path "classes_mut" ".cfpm" in
+    write_file p (Bytes.to_string b);
+    p
+  in
+  let reason_at i v =
+    let p = mutate i v in
+    Fun.protect ~finally:(fun () -> cleanup p) @@ fun () ->
+    match Store.verify p with
+    | Ok _ -> Alcotest.failf "mutation at %d verified" i
+    | Error e -> Store.reason e
+  in
+  (* magic byte -> version-skew *)
+  Alcotest.(check (option string))
+    "magic" (Some "version-skew") (reason_at 0 (Char.code 'X'));
+  (* version word (offset 8, big-endian) -> version-skew *)
+  Alcotest.(check (option string))
+    "version" (Some "version-skew") (reason_at 11 99);
+  (* a payload byte past the section headers -> corrupt *)
+  Alcotest.(check (option string))
+    "payload" (Some "corrupt")
+    (reason_at (String.length original / 2) 0x55);
+  (* truncation -> truncated *)
+  let cut = temp_path "classes_cut" ".cfpm" in
+  Fun.protect ~finally:(fun () -> cleanup cut) @@ fun () ->
+  write_file cut (String.sub original 0 (String.length original - 5));
+  (match Store.verify cut with
+  | Ok _ -> Alcotest.fail "truncated artifact verified"
+  | Error e ->
+    Alcotest.(check (option string))
+      "truncated" (Some "truncated") (Store.reason e))
+
+let test_save_validation () =
+  let model = Powermodel.Model.build (small_circuit ()) in
+  let path = temp_path "badsp" ".cfpm" in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  (match Store.save ~defaults:(1.5, 0.5) ~path model with
+  | Ok _ -> Alcotest.fail "sp=1.5 accepted"
+  | Error e ->
+    Alcotest.(check string)
+      "kind" "validation"
+      (Guard.Error.kind_name e.Guard.Error.kind));
+  Alcotest.(check bool) "nothing written" false (Sys.file_exists path)
+
+let test_load_missing () =
+  match Store.load "/nonexistent/cfpm/artifact.cfpm" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent artifact"
+  | Error e ->
+    Alcotest.(check string)
+      "kind" "resource"
+      (Guard.Error.kind_name e.Guard.Error.kind);
+    Alcotest.(check (option string)) "no reason" None (Store.reason e)
+
+(* QCheck: random circuits of the suite-independent generators survive
+   the round trip with bit-identical batch evaluation. *)
+let qcheck_round_trip =
+  QCheck.Test.make ~count:10 ~name:"store round trip (random adders)"
+    QCheck.(pair (int_range 2 4) (int_range 0 1000))
+    (fun (bits, seed) ->
+      let c = Circuits.Adder.circuit ~bits in
+      let model = Powermodel.Model.build c in
+      let path = temp_path "qcheck" ".cfpm" in
+      Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+      match Store.save ~path model with
+      | Error e -> QCheck.Test.fail_report (Guard.Error.to_string e)
+      | Ok _ -> (
+        match Store.load path with
+        | Error e -> QCheck.Test.fail_report (Guard.Error.to_string e)
+        | Ok loaded ->
+          let inputs = model.Powermodel.Model.inputs in
+          let compiled = Powermodel.Model.compile model in
+          let pairs = random_pairs ~inputs ~n:50 seed in
+          Array.for_all
+            (fun (x_i, x_f) ->
+              Int64.equal
+                (Int64.bits_of_float
+                   (Powermodel.Model.switched_capacitance_compiled compiled
+                      ~x_i ~x_f))
+                (Int64.bits_of_float
+                   (Powermodel.Model.switched_capacitance_compiled
+                      loaded.Store.compiled ~x_i ~x_f)))
+            pairs))
+
+let suite =
+  [
+    Alcotest.test_case "round trip across reorder policies" `Quick
+      test_round_trip_policies;
+    Alcotest.test_case "round trip jobs=1 vs jobs=4" `Quick
+      test_round_trip_jobs;
+    Alcotest.test_case "round trip of an approximate model" `Quick
+      test_round_trip_approximate;
+    Alcotest.test_case "verify reports the saved metadata" `Quick
+      test_verify_ok;
+    Alcotest.test_case "every single-byte corruption is caught" `Slow
+      test_corruption_fuzz;
+    Alcotest.test_case "every truncation is caught" `Slow
+      test_truncation_fuzz;
+    Alcotest.test_case "failure reasons classify" `Quick test_reason_classes;
+    Alcotest.test_case "save validates defaults" `Quick test_save_validation;
+    Alcotest.test_case "loading a missing artifact" `Quick test_load_missing;
+    QCheck_alcotest.to_alcotest qcheck_round_trip;
+  ]
