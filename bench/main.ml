@@ -459,6 +459,53 @@ let eval_batch_probe () =
       ("minimum", Json.Float stats.Dd.Compiled.minimum);
     ]
 
+(* Fixed drifting workload through the full telemetry pipeline: online
+   statistics sharded over the pool, drift detection at the phase
+   switch, exact re-evaluation + Lin refit.  Deterministic by
+   construction, so the stats digest doubles as a cross-jobs identity
+   check; runs before the metrics snapshot (its counters are Sum
+   non-local and count-deterministic). *)
+let stream_probe () =
+  heading "Streaming telemetry probe";
+  let circuit = Circuits.Suite.case_study.Circuits.Suite.build () in
+  let model = Powermodel.Model.build ~max_size:500 circuit in
+  let bits = Netlist.Circuit.input_count circuit in
+  let phases =
+    [
+      { Stream.Source.sp = 0.5; st = 0.05; count = 6144 };
+      { Stream.Source.sp = 0.85; st = 0.4; count = 6144 };
+    ]
+  in
+  match Stream.Source.generator ~seed:2024 ~bits phases with
+  | Error e -> Json.Obj [ ("error", Guard.Error.to_json e) ]
+  | Ok source -> (
+    let t0 = Unix.gettimeofday () in
+    match Stream.Pipeline.run Stream.Pipeline.default_config ~model ~source with
+    | Error e -> Json.Obj [ ("error", Guard.Error.to_json e) ]
+    | Ok o ->
+      let dt = Unix.gettimeofday () -. t0 in
+      let n = Stream.Stats.vectors o.Stream.Pipeline.stats in
+      let vps = float_of_int n /. dt in
+      let digest =
+        Digest.to_hex (Digest.string (Json.to_string (Stream.Pipeline.stats_json o)))
+      in
+      let jobs = Parallel.Pool.default_jobs () in
+      Printf.printf
+        "  %d vectors on %d worker(s): %.0f vectors/sec, %d drift event(s), \
+         stats digest %s\n"
+        n jobs vps
+        (List.length o.Stream.Pipeline.events)
+        digest;
+      Json.Obj
+        [
+          ("n", Json.Int n);
+          ("jobs", Json.Int jobs);
+          ("drift_events", Json.Int (List.length o.Stream.Pipeline.events));
+          ("quarantined", Json.Int o.Stream.Pipeline.quarantined);
+          ("stats_digest", Json.String digest);
+          ("vectors_per_sec", Json.Float vps);
+        ])
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
@@ -593,7 +640,7 @@ let throughput_json kernels =
   | _ -> (Json.Null, Json.Null)
 
 let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
-    ~eval_batch ~reorder =
+    ~eval_batch ~reorder ~stream =
   let outcome_json render (outcome, dt) =
     match outcome with
     | Ok o -> render ~wall_seconds:dt o
@@ -632,7 +679,7 @@ let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
   let json =
     Json.Obj
       [
-        ("schema", Json.String "cfpm-bench/6");
+        ("schema", Json.String "cfpm-bench/7");
         ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
         ("vectors", Json.Int vectors);
         ("char_vectors", Json.Int char_vectors);
@@ -679,6 +726,9 @@ let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
            swaps, reorder gain and build wall time; the CI reorder-smoke
            job asserts the cm85-exact sift row beats declared order *)
         ("reorder", reorder);
+        (* streaming telemetry probe: a fixed drifting workload through
+           the full pipeline; the stats digest is jobs-independent *)
+        ("stream", stream);
         (* surviving circuits only: quarantined/failed entries are
            reported under [experiments], never here, so the determinism
            diff compares like with like *)
@@ -715,6 +765,7 @@ let () =
   ablation_implementation_sensitivity ();
   let reorder = ablation_reorder () in
   let eval_batch = eval_batch_probe () in
+  let stream = stream_probe () in
   (* snapshot before Bechamel: its adaptive iteration counts would bleed
      nondeterministic build/cache counts into the metrics (the fixed-size
      eval_batch probe above, by contrast, is deterministic) *)
@@ -723,7 +774,7 @@ let () =
   write_json
     ~total_seconds:(Unix.gettimeofday () -. t0)
     ~metrics ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels
-    ~eval_batch ~reorder;
+    ~eval_batch ~reorder ~stream;
   (match trace_path with
   | Some p ->
     Obs.Trace.write p;

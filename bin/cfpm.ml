@@ -839,6 +839,253 @@ let serve_cmd =
       const run $ trace_term $ address_term $ models_arg $ workers_arg
       $ pending_arg $ deadline_ms_arg $ cache_mb_arg $ jobs_arg $ journal_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming telemetry.                                                 *)
+
+let stream_cmd =
+  let phases_arg =
+    let doc =
+      "Generated workload phases, $(b,sp:st:count) triples separated by \
+       commas.  The Markov chain continues across phase switches, so a \
+       switch is exactly the workload drift the detector watches for."
+    in
+    Arg.(
+      value
+      & opt string "0.5:0.05:6144,0.85:0.4:6144"
+      & info [ "phases" ] ~docv:"SPEC" ~doc)
+  in
+  let vectors_file_arg =
+    let doc =
+      "Stream vectors from $(docv) (one 0/1 bitstring per line; malformed \
+       lines are quarantined) instead of the phase generator."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vectors-file" ] ~docv:"FILE" ~doc)
+  in
+  let weight_arg =
+    let doc =
+      "Weight schedule for the weighted power mean: $(b,equal), \
+       $(b,exp:LAMBDA), $(b,bounded(W,FLOOR)) or $(b,scaled(W,C))."
+    in
+    Arg.(value & opt string "equal" & info [ "weight" ] ~docv:"SPEC" ~doc)
+  in
+  let drift_term =
+    let window_arg =
+      let doc = "Vectors per drift-detection window." in
+      Arg.(
+        value
+        & opt int Stream.Drift.default_config.Stream.Drift.window
+        & info [ "window" ] ~docv:"N" ~doc)
+    in
+    let min_samples_arg =
+      let doc = "Smallest window ever judged (guards the final partial one)." in
+      Arg.(
+        value
+        & opt int Stream.Drift.default_config.Stream.Drift.min_samples
+        & info [ "min-samples" ] ~docv:"N" ~doc)
+    in
+    let high_arg =
+      let doc = "Trigger distance while armed." in
+      Arg.(
+        value
+        & opt float Stream.Drift.default_config.Stream.Drift.high
+        & info [ "drift-high" ] ~docv:"D" ~doc)
+    in
+    let low_arg =
+      let doc = "Re-arm distance while cooling (hysteresis)." in
+      Arg.(
+        value
+        & opt float Stream.Drift.default_config.Stream.Drift.low
+        & info [ "drift-low" ] ~docv:"D" ~doc)
+    in
+    Term.(
+      const (fun window min_samples high low ->
+          { Stream.Drift.window; min_samples; high; low })
+      $ window_arg $ min_samples_arg $ high_arg $ low_arg)
+  in
+  let checkpoint_arg =
+    let doc = "Checkpoint journal path (enables crash recovery)." in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Vectors between checkpoints." in
+    Arg.(value & opt int 8192 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Recover the checkpoint journal and resume after the last good \
+       checkpoint instead of starting fresh."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let shed_arg =
+    let doc =
+      "Shed vectors when the ingest queue is full (typed \
+       $(b,reason=overloaded) backpressure) instead of blocking the \
+       producer."
+    in
+    Arg.(value & flag & info [ "shed" ] ~doc)
+  in
+  let queue_arg =
+    let doc = "Ingest queue capacity." in
+    Arg.(value & opt int 4096 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let sim_every_arg =
+    let doc =
+      "Simulate every k-th transition as a refit sample for the Lin \
+       baseline; 0 disables refitting."
+    in
+    Arg.(value & opt int 16 & info [ "sim-every" ] ~docv:"K" ~doc)
+  in
+  let throttle_arg =
+    let doc = "Seconds slept per flush (chaos-test seam)." in
+    Arg.(value & opt float 0.0 & info [ "throttle" ] ~docv:"S" ~doc)
+  in
+  let report_out_arg =
+    let doc = "Write the full JSON report (timings included) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let stats_out_arg =
+    let doc =
+      "Write the deterministic statistics subset to $(docv) — \
+       byte-identical across job counts and across SIGKILL + resume."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+  in
+  let parse_phases spec =
+    let phase_of s =
+      match String.split_on_char ':' (String.trim s) with
+      | [ sp; st; count ] -> (
+        match
+          (float_of_string_opt sp, float_of_string_opt st, int_of_string_opt count)
+        with
+        | Some sp, Some st, Some count -> Some { Stream.Source.sp; st; count }
+        | _ -> None)
+      | _ -> None
+    in
+    let parts = String.split_on_char ',' spec in
+    let phases = List.filter_map phase_of parts in
+    if List.length phases <> List.length parts then begin
+      Printf.eprintf
+        "cfpm: malformed --phases %S (expected sp:st:count[,sp:st:count...])\n"
+        spec;
+      exit 2
+    end;
+    phases
+  in
+  let run () () name max_size phases_spec vectors_file weight_spec drift
+      checkpoint checkpoint_every resume shed queue sim_every throttle seed
+      jobs report_out stats_out budget =
+    let c = find_circuit name in
+    let bits = Netlist.Circuit.input_count c in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    let model = build_or_exit ?budget ?max_size c in
+    let weight =
+      match Stream.Weight.of_string weight_spec with
+      | Ok w -> w
+      | Error e -> fail_with e
+    in
+    let source =
+      match vectors_file with
+      | Some path -> (
+        match Stream.Source.of_file ~path ~bits with
+        | Ok s -> s
+        | Error e -> fail_with e)
+      | None -> (
+        match Stream.Source.generator ~seed ~bits (parse_phases phases_spec) with
+        | Ok s -> s
+        | Error e -> fail_with e)
+    in
+    let cfg =
+      {
+        Stream.Pipeline.default_config with
+        weight;
+        drift;
+        policy = (if shed then Stream.Ingest.Shed else Stream.Ingest.Block);
+        queue_capacity = queue;
+        checkpoint;
+        checkpoint_every;
+        resume;
+        jobs = jobs_opt jobs;
+        sim_every;
+        throttle;
+      }
+    in
+    let simulator = Gatesim.Simulator.create c in
+    match
+      Stream.Pipeline.run ?budget ~simulator cfg ~model ~source
+    with
+    | Error e -> fail_with e
+    | Ok o ->
+      let stats = o.Stream.Pipeline.stats in
+      Printf.printf
+        "%s: %d vectors (%d transitions), mean sp %.4f st %.4f, mean power \
+         %.3f fF (weighted %.3f)\n"
+        name
+        (Stream.Stats.vectors stats)
+        (Stream.Stats.transitions stats)
+        (Stream.Stats.mean_sp stats) (Stream.Stats.mean_st stats)
+        (Stream.Stats.power_mean stats)
+        (Stream.Stats.weighted_power_mean stats);
+      if o.Stream.Pipeline.resumed_from > 0 then
+        Printf.printf "  resumed from checkpoint at %d vectors\n"
+          o.Stream.Pipeline.resumed_from;
+      List.iter
+        (fun (ev : Stream.Pipeline.event) ->
+          Printf.printf
+            "  drift @%d: distance %.4f, (sp,st) (%.3f,%.3f) -> (%.3f,%.3f)\n\
+            \    exact ADD expectation re-evaluated: %.3f fF in %.1f us (no \
+             rebuild)\n\
+            \    Lin refit from %d samples in %.1f us: rms %.4f -> %.4f\n"
+            ev.Stream.Pipeline.drift.Stream.Drift.at
+            ev.Stream.Pipeline.drift.Stream.Drift.distance
+            ev.Stream.Pipeline.drift.Stream.Drift.ref_sp
+            ev.Stream.Pipeline.drift.Stream.Drift.ref_st
+            ev.Stream.Pipeline.drift.Stream.Drift.cur_sp
+            ev.Stream.Pipeline.drift.Stream.Drift.cur_st
+            ev.Stream.Pipeline.expectation
+            (ev.Stream.Pipeline.expectation_seconds *. 1e6)
+            ev.Stream.Pipeline.refit_samples
+            (ev.Stream.Pipeline.refit_seconds *. 1e6)
+            ev.Stream.Pipeline.lin_rms_before ev.Stream.Pipeline.lin_rms_after)
+        o.Stream.Pipeline.events;
+      Printf.printf
+        "  %d drift events, %d quarantined, %d shed, %d checkpoints (%d \
+         failed), %d flush retries, %.2fs\n"
+        (List.length o.Stream.Pipeline.events)
+        o.Stream.Pipeline.quarantined o.Stream.Pipeline.sheds
+        o.Stream.Pipeline.checkpoints o.Stream.Pipeline.checkpoint_failures
+        o.Stream.Pipeline.ingest_retries o.Stream.Pipeline.wall_seconds;
+      (match o.Stream.Pipeline.stopped with
+      | Some e ->
+        Printf.printf "  stopped early: %s\n" (Guard.Error.to_string e)
+      | None -> ());
+      let write path json =
+        Journal.write_atomic path (Json.to_string json ^ "\n")
+      in
+      Option.iter
+        (fun p -> write p (Stream.Pipeline.report_json o))
+        report_out;
+      Option.iter
+        (fun p -> write p (Stream.Pipeline.stats_json o))
+        stats_out
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Consume a vector stream with online statistics, drift detection \
+          and self-healing re-estimation from the already-built ADD.")
+    Term.(
+      const run $ trace_term $ order_term $ circuit_arg $ max_size_arg
+      $ phases_arg $ vectors_file_arg $ weight_arg $ drift_term
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ shed_arg
+      $ queue_arg $ sim_every_arg $ throttle_arg $ seed_arg $ jobs_arg
+      $ report_out_arg $ stats_out_arg $ budget_term)
+
 let query_cmd =
   let run address request =
     match
@@ -864,5 +1111,5 @@ let () =
           [
             list_cmd; info_cmd; build_cmd; fig7a_cmd; fig7b_cmd; table1_cmd;
             throughput_cmd; worst_cmd; import_cmd; dot_cmd; blif_cmd;
-            store_cmd; serve_cmd; query_cmd;
+            store_cmd; serve_cmd; query_cmd; stream_cmd;
           ]))

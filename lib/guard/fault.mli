@@ -31,9 +31,14 @@
     recovery).  Known points: [model_build], [simulate], [pool_task],
     [journal_append], [store_read] (inside [Store.load], so a chaos run
     exercises the serve layer's artifact-failure path without damaging
-    files on disk) and [serve_request] (at the head of every power-query
+    files on disk), [serve_request] (at the head of every power-query
     request, keyed on the request's [id]/[op]/[model] — the same request
-    fails on every worker, connection and job count). *)
+    fails on every worker, connection and job count), and the streaming
+    telemetry points: [stream_ingest] (around each flush quantum, before
+    any state is mutated, so retries are idempotent), [drift_check] (at
+    each window judgement — an injected fault skips the judgement, never
+    the stream) and [checkpoint_write] (around each checkpoint append,
+    on top of [journal_append]'s torn-write coverage). *)
 
 type mode = Fail | Exn | Deadline | Torn
 

@@ -41,6 +41,8 @@ let override = Atomic.make None
 
 let set_policy p = Atomic.set override (Some p)
 
+let warned_bad_order = Atomic.make false
+
 let ambient () =
   match Atomic.get override with
   | Some p -> p
@@ -51,15 +53,17 @@ let ambient () =
       match of_string s with
       | Some p -> p
       | None ->
-        raise
-          (Guard.Error.Guarded
-             (Guard.Error.validation
-                (Printf.sprintf "unknown CFPM_ORDER policy %S" s)
-                ~context:
-                  [
-                    ( "valid",
-                      String.concat "|" (List.map to_string all) );
-                  ]))))
+        (* same contract as CFPM_JOBS: a malformed ambient knob warns
+           once on stderr and falls back to the default, it never turns
+           an otherwise-valid build into a failure *)
+        if not (Atomic.exchange warned_bad_order true) then
+          Printf.eprintf
+            "cfpm: ignoring invalid CFPM_ORDER=%S (expected %s); using \
+             declared order\n\
+             %!"
+            s
+            (String.concat "|" (List.map to_string all));
+        Declared))
 
 (* Structural information measure, one topological pass.
 

@@ -35,8 +35,9 @@ val set_policy : policy -> unit
 
 val ambient : unit -> policy
 (** The ambient policy: the {!set_policy} override if any, else
-    [CFPM_ORDER], else [Declared].  Raises [Guard.Error.Guarded]
-    ([Validation]) on an unknown [CFPM_ORDER] value. *)
+    [CFPM_ORDER], else [Declared].  A malformed [CFPM_ORDER] value warns
+    once on stderr and falls back to [Declared] (the [CFPM_JOBS]
+    contract: an environment knob never fails a build). *)
 
 val info_pair_order : Netlist.Circuit.t -> int array
 (** [info_pair_order c] ranks the primary inputs by the structural

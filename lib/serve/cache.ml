@@ -134,6 +134,7 @@ let find_or_load t name =
                 t.clock <- t.clock + 1;
                 slot.stamp <- t.clock;
                 t.hits <- t.hits + 1;
+                Obs.Metrics.incr m_hits;
                 (slot.entry, false)
               | None ->
                 t.clock <- t.clock + 1;

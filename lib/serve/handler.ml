@@ -247,6 +247,10 @@ let dispatch t req =
     | "expectation" -> op_expectation t req check
     | "worst" -> op_worst t req check
     | "sensitivities" -> op_sensitivities t req check
+    | "stream" ->
+      (* live telemetry snapshots of every pipeline this process runs;
+         reads are lock-ordered so a publisher never deadlocks us *)
+      Ok (Stream.Registry.snapshot ())
     | other ->
       Error
         (Guard.Error.validation

@@ -26,6 +26,8 @@
       the Markov statistics (defaults: the artifact's saved [(sp, st)])
     - [worst] [model] → [{"x_i", "x_f", "value"}], a worst-case witness
     - [sensitivities] [model] → per-input toggle sensitivities
+    - [stream] → live {!Stream.Registry} snapshots of every telemetry
+      pipeline running in this process (no [model] argument)
     - [stats] → handler counters + cache statistics
 
     {2 Robustness}

@@ -1,0 +1,164 @@
+(* Exponentially-forgotten normal equations + a recent-sample ring.
+   Dimensions are tiny (bits + 1), so the O(d^2) fold and O(d^3) solve
+   are noise next to simulation. *)
+
+let ring_capacity = 256
+
+type t = {
+  d : int;
+  forget : float;
+  ridge : float;
+  a : float array array;  (** d x d, symmetric *)
+  b : float array;
+  mutable samples : int;
+  ring : (float array * float) option array;
+  mutable ring_next : int;
+}
+
+let create ?(forget = 0.02) ?(ridge = 1e-6) ~features () =
+  if features < 1 then invalid_arg "Refit.create: features must be >= 1";
+  if not (Float.is_finite forget && forget >= 0.0 && forget < 1.0) then
+    invalid_arg "Refit.create: forget must be in [0, 1)";
+  if not (Float.is_finite ridge && ridge > 0.0) then
+    invalid_arg "Refit.create: ridge must be > 0";
+  {
+    d = features;
+    forget;
+    ridge;
+    a = Array.make_matrix features features 0.0;
+    b = Array.make features 0.0;
+    samples = 0;
+    ring = Array.make ring_capacity None;
+    ring_next = 0;
+  }
+
+let features t = t.d
+let count t = t.samples
+
+let observe t ~row ~value =
+  if Array.length row <> t.d then invalid_arg "Refit.observe: width mismatch";
+  let keep = 1.0 -. t.forget in
+  for i = 0 to t.d - 1 do
+    let ri = row.(i) in
+    let ai = t.a.(i) in
+    for k = 0 to t.d - 1 do
+      ai.(k) <- (keep *. ai.(k)) +. (ri *. row.(k))
+    done;
+    t.b.(i) <- (keep *. t.b.(i)) +. (ri *. value)
+  done;
+  t.samples <- t.samples + 1;
+  t.ring.(t.ring_next) <- Some (Array.copy row, value);
+  t.ring_next <- (t.ring_next + 1) mod ring_capacity
+
+let fit t =
+  if t.samples = 0 then Array.make t.d 0.0
+  else
+    let a = Array.map Array.copy t.a in
+    Linalg.Lstsq.solve_regularized a (Array.copy t.b) ~ridge:t.ridge
+
+let rms_recent t coeffs =
+  let acc = ref 0.0 and n = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (row, y) ->
+        let e = Linalg.Lstsq.predict coeffs row -. y in
+        acc := !acc +. (e *. e);
+        incr n)
+    t.ring;
+  if !n = 0 then 0.0 else sqrt (!acc /. float_of_int !n)
+
+(* --- checkpointing ------------------------------------------------- *)
+
+let floats a = Json.List (Array.to_list (Array.map (fun v -> Json.Float v) a))
+
+let to_json t =
+  Json.Obj
+    [
+      ("features", Json.Int t.d);
+      ("forget", Json.Float t.forget);
+      ("ridge", Json.Float t.ridge);
+      ("a", Json.List (Array.to_list (Array.map floats t.a)));
+      ("b", floats t.b);
+      ("samples", Json.Int t.samples);
+      ("ring_next", Json.Int t.ring_next);
+      ( "ring",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (function
+                  | None -> Json.Null
+                  | Some (row, y) ->
+                    Json.List [ floats row; Json.Float y ])
+                t.ring)) );
+    ]
+
+let of_json j =
+  let fail what = Error (Guard.Error.parse ("refit checkpoint: " ^ what)) in
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some v -> Ok v
+    | None -> fail ("missing int " ^ k)
+  in
+  let flt k =
+    match Option.bind (Json.member k j) Json.to_float with
+    | Some v -> Ok v
+    | None -> fail ("missing float " ^ k)
+  in
+  let float_array = function
+    | Json.List l -> (
+      try Ok (Array.of_list (List.map (fun x -> Option.get (Json.to_float x)) l))
+      with _ -> fail "bad float list")
+    | _ -> fail "expected list"
+  in
+  let ( let* ) = Result.bind in
+  let* d = int "features" in
+  if d < 1 then fail "features must be >= 1"
+  else
+    let* forget = flt "forget" in
+    let* ridge = flt "ridge" in
+    let* samples = int "samples" in
+    let* ring_next = int "ring_next" in
+    let* b =
+      match Json.member "b" j with
+      | Some l -> float_array l
+      | None -> fail "missing b"
+    in
+    let* a =
+      match Json.member "a" j with
+      | Some (Json.List rows) ->
+        List.fold_left
+          (fun acc r ->
+            let* acc = acc in
+            let* row = float_array r in
+            Ok (row :: acc))
+          (Ok []) rows
+        |> Result.map (fun l -> Array.of_list (List.rev l))
+      | _ -> fail "missing a"
+    in
+    let* ring =
+      match Json.member "ring" j with
+      | Some (Json.List slots) when List.length slots = ring_capacity ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            match s with
+            | Json.Null -> Ok (None :: acc)
+            | Json.List [ row; y ] -> (
+              let* row = float_array row in
+              match Json.to_float y with
+              | Some y -> Ok (Some (row, y) :: acc)
+              | None -> fail "bad ring value")
+            | _ -> fail "bad ring slot")
+          (Ok []) slots
+        |> Result.map (fun l -> Array.of_list (List.rev l))
+      | _ -> fail "missing or misshapen ring"
+    in
+    if
+      Array.length a <> d
+      || Array.exists (fun r -> Array.length r <> d) a
+      || Array.length b <> d
+      || ring_next < 0
+      || ring_next >= ring_capacity
+    then fail "dimension mismatch"
+    else Ok { d; forget; ridge; a; b; samples; ring; ring_next }

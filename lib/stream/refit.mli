@@ -1,0 +1,38 @@
+(** Incrementally refit [Lin] baseline — the contrast the paper draws.
+
+    The ADD model answers a drifted workload by re-evaluating its exact
+    expectation; a characterized regression has to {e chase} the drift
+    with new samples.  This module maintains exponentially-forgotten
+    normal equations [(A, b)] over simulated transition samples
+    ([A <- (1-forget) A + phi phi^T], [b <- (1-forget) b + phi y]) so a
+    drift event can solve for fresh [Lin] coefficients, plus a small
+    ring of recent samples to score old-vs-new coefficients on the
+    current regime.
+
+    Everything here is a deterministic fold over the sample sequence and
+    checkpoints exactly ({!Json}'s float round-trip). *)
+
+type t
+
+val create : ?forget:float -> ?ridge:float -> features:int -> unit -> t
+(** [forget] (default 0.02) in [0, 1); [ridge] (default 1e-6) > 0;
+    [features] is the row width (bits + 1 with
+    {!Powermodel.Baselines.transition_features}). *)
+
+val features : t -> int
+val count : t -> int
+(** Samples observed (all time). *)
+
+val observe : t -> row:float array -> value:float -> unit
+(** Fold one sample.  Raises [Invalid_argument] on a width mismatch. *)
+
+val fit : t -> float array
+(** Solve the ridge-regularized normal equations.  All-zero coefficients
+    when no sample was observed. *)
+
+val rms_recent : t -> float array -> float
+(** Root-mean-square error of the given coefficients over the recent
+    ring (up to 256 samples); [0.] when the ring is empty. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, Guard.Error.t) result

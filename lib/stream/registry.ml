@@ -1,0 +1,23 @@
+let lock = Mutex.create ()
+let table : (string, unit -> Json.t) Hashtbl.t = Hashtbl.create 4
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let publish name thunk = locked (fun () -> Hashtbl.replace table name thunk)
+let unpublish name = locked (fun () -> Hashtbl.remove table name)
+
+let names () =
+  locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+  |> List.sort String.compare
+
+let snapshot () =
+  let entries =
+    locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (* thunks run outside the lock: a publisher updating its snapshot must
+     not deadlock against a reader *)
+  Json.Obj
+    [ ("streams", Json.Obj (List.map (fun (k, v) -> (k, v ())) entries)) ]

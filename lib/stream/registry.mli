@@ -1,0 +1,19 @@
+(** Process-global registry of live stream snapshots.
+
+    A running {!Pipeline} publishes a snapshot thunk under its stream
+    name; the serve layer's [stream] operation (and anything else in the
+    process) reads them all.  Thunks are called outside the registry
+    lock and must be cheap and thread-safe (the pipeline's is one atomic
+    load of a prebuilt {!Json.t}). *)
+
+val publish : string -> (unit -> Json.t) -> unit
+(** Register (or replace) a named snapshot thunk. *)
+
+val unpublish : string -> unit
+
+val names : unit -> string list
+(** Sorted. *)
+
+val snapshot : unit -> Json.t
+(** [{"streams": {name: snapshot, ...}}], names sorted — deterministic
+    for a deterministic set of publishers. *)

@@ -1,0 +1,349 @@
+(* Mergeable online estimators.
+
+   The state is a *block summary*: what a contiguous run of vectors
+   contributes to the stream statistics, positioned at a global offset.
+   [start] is the global index of the block's first vector and [pstart]
+   the number of power observations that precede the block, so a worker
+   building a middle block evaluates the same weight steps a sequential
+   fold would.  The weighted mean is carried as the affine map the block
+   applies to any prior mean (m -> w_decay * m + w_mean), which is how
+   blocks compose without knowing what ran before them. *)
+
+type t = {
+  wt : Weight.t;
+  width : int;
+  mutable start : int;
+  mutable pstart : int;
+  mutable n : int;
+  mutable trans : int;
+  ones : int array;
+  toggles : int array;
+  mutable first : bool array option;
+  mutable last : bool array option;
+  mutable pn : int;
+  mutable p_mean : float;
+  mutable p_m2 : float;
+  mutable p_min : float;
+  mutable p_max : float;
+  mutable w_decay : float;
+  mutable w_mean : float;
+}
+
+let create ?(weight = Weight.Equal) ~bits () =
+  if bits < 1 then invalid_arg "Stats.create: bits must be >= 1";
+  {
+    wt = weight;
+    width = bits;
+    start = 0;
+    pstart = 0;
+    n = 0;
+    trans = 0;
+    ones = Array.make bits 0;
+    toggles = Array.make bits 0;
+    first = None;
+    last = None;
+    pn = 0;
+    p_mean = 0.0;
+    p_m2 = 0.0;
+    p_min = infinity;
+    p_max = neg_infinity;
+    w_decay = 1.0;
+    w_mean = 0.0;
+  }
+
+let copy t =
+  {
+    t with
+    ones = Array.copy t.ones;
+    toggles = Array.copy t.toggles;
+    first = Option.map Array.copy t.first;
+    last = Option.map Array.copy t.last;
+  }
+
+let weight t = t.wt
+let bits t = t.width
+
+let observe t ?power v =
+  if Array.length v <> t.width then
+    invalid_arg "Stats.observe: vector width mismatch";
+  (match t.last with
+  | Some prev ->
+    for i = 0 to t.width - 1 do
+      if prev.(i) <> v.(i) then t.toggles.(i) <- t.toggles.(i) + 1
+    done;
+    t.trans <- t.trans + 1
+  | None -> ());
+  for i = 0 to t.width - 1 do
+    if v.(i) then t.ones.(i) <- t.ones.(i) + 1
+  done;
+  t.n <- t.n + 1;
+  if t.first = None then t.first <- Some (Array.copy v);
+  t.last <- Some (Array.copy v);
+  match power with
+  | None -> ()
+  | Some p ->
+    t.pn <- t.pn + 1;
+    let d = p -. t.p_mean in
+    t.p_mean <- t.p_mean +. (d /. float_of_int t.pn);
+    t.p_m2 <- t.p_m2 +. (d *. (p -. t.p_mean));
+    if p < t.p_min then t.p_min <- p;
+    if p > t.p_max then t.p_max <- p;
+    let g = Weight.at t.wt ~n:(t.pstart + t.pn) in
+    t.w_decay <- t.w_decay *. (1.0 -. g);
+    t.w_mean <- ((1.0 -. g) *. t.w_mean) +. (g *. p)
+
+let merge_into a b =
+  if a.width <> b.width then invalid_arg "Stats.merge: width mismatch";
+  if a.wt <> b.wt then invalid_arg "Stats.merge: weight schedule mismatch";
+  if a.n = 0 then begin
+    a.start <- b.start;
+    a.pstart <- b.pstart
+  end;
+  for i = 0 to a.width - 1 do
+    a.ones.(i) <- a.ones.(i) + b.ones.(i);
+    a.toggles.(i) <- a.toggles.(i) + b.toggles.(i)
+  done;
+  a.n <- a.n + b.n;
+  a.trans <- a.trans + b.trans;
+  if b.pn > 0 then begin
+    if a.pn = 0 then begin
+      a.p_mean <- b.p_mean;
+      a.p_m2 <- b.p_m2;
+      a.p_min <- b.p_min;
+      a.p_max <- b.p_max
+    end
+    else begin
+      (* symmetric pairwise Welford combination: every term commutes
+         bit for bit, so merge order cannot leak into the moments *)
+      let na = float_of_int a.pn and nb = float_of_int b.pn in
+      let n = na +. nb in
+      let d = b.p_mean -. a.p_mean in
+      let mean = ((na *. a.p_mean) +. (nb *. b.p_mean)) /. n in
+      a.p_m2 <- a.p_m2 +. b.p_m2 +. (d *. d *. (na *. nb /. n));
+      a.p_mean <- mean;
+      if b.p_min < a.p_min then a.p_min <- b.p_min;
+      if b.p_max > a.p_max then a.p_max <- b.p_max
+    end;
+    a.pn <- a.pn + b.pn
+  end;
+  a.w_mean <- (b.w_decay *. a.w_mean) +. b.w_mean;
+  a.w_decay <- a.w_decay *. b.w_decay;
+  if a.first = None then a.first <- Option.map Array.copy b.first;
+  (match b.last with
+  | Some v -> a.last <- Some (Array.copy v)
+  | None -> ())
+
+let merge a b =
+  let out = copy a in
+  merge_into out b;
+  out
+
+(* --- sharded consumption ------------------------------------------- *)
+
+let shard_block = 512
+
+let consume ?jobs ?power t vectors =
+  let total = Array.length vectors in
+  if total > 0 then begin
+    let nblocks = ((total - 1) / shard_block) + 1 in
+    let had_pred = t.last <> None in
+    let build b =
+      let off = b * shard_block in
+      let len = Int.min shard_block (total - off) in
+      let prev =
+        if b = 0 then Option.map Array.copy t.last else Some vectors.(off - 1)
+      in
+      let s = create ~weight:t.wt ~bits:t.width () in
+      s.start <- t.start + t.n + off;
+      (* power observations preceding this block: one per earlier vector
+         of the chunk when the stream already had a last vector, else one
+         per earlier vector after the very first *)
+      s.pstart <-
+        t.pstart + t.pn + (if had_pred then off else Int.max 0 (off - 1));
+      s.last <- prev;
+      for k = off to off + len - 1 do
+        let v = vectors.(k) in
+        let p =
+          match (power, s.last) with
+          | Some f, Some prev -> Some (f ~x_i:prev ~x_f:v)
+          | _ -> None
+        in
+        observe s ?power:p v
+      done;
+      (* the predecessor was transition context only, not part of this
+         block's vectors: [observe] never counted its ones, and [first]
+         is the block's own first vector *)
+      s
+    in
+    let summaries =
+      if nblocks = 1 then [ build 0 ]
+      else Parallel.Pool.map ?jobs build (List.init nblocks Fun.id)
+    in
+    List.iter (fun s -> merge_into t s) summaries
+  end
+
+(* --- readings ------------------------------------------------------ *)
+
+let vectors t = t.n
+let transitions t = t.trans
+let last_vector t = Option.map Array.copy t.last
+
+let ratio num den =
+  if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let sp t = Array.map (fun c -> ratio c t.n) t.ones
+let st t = Array.map (fun c -> ratio c t.trans) t.toggles
+
+let mean_sp t = ratio (Array.fold_left ( + ) 0 t.ones) (t.n * t.width)
+let mean_st t = ratio (Array.fold_left ( + ) 0 t.toggles) (t.trans * t.width)
+
+let power_count t = t.pn
+let power_mean t = t.p_mean
+let power_variance t = if t.pn < 2 then 0.0 else t.p_m2 /. float_of_int t.pn
+let power_min t = t.p_min
+let power_max t = t.p_max
+let weighted_power_mean t = t.w_mean
+
+(* --- serialization ------------------------------------------------- *)
+
+let bits_string v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let floats a = Json.List (Array.to_list (Array.map (fun v -> Json.Float v) a))
+let ints a = Json.List (Array.to_list (Array.map (fun v -> Json.Int v) a))
+
+(* non-finite extrema (the empty-stream sentinels) have no JSON
+   representation; [pn = 0] encodes them *)
+let finite_or_null v = if Float.is_finite v then Json.Float v else Json.Null
+
+let snapshot_json t =
+  Json.Obj
+    [
+      ("weight", Json.String (Weight.to_string t.wt));
+      ("bits", Json.Int t.width);
+      ("vectors", Json.Int t.n);
+      ("transitions", Json.Int t.trans);
+      ("sp", floats (sp t));
+      ("st", floats (st t));
+      ("mean_sp", Json.Float (mean_sp t));
+      ("mean_st", Json.Float (mean_st t));
+      ( "power",
+        Json.Obj
+          [
+            ("count", Json.Int t.pn);
+            ("mean", Json.Float t.p_mean);
+            ("variance", Json.Float (power_variance t));
+            ("min", finite_or_null t.p_min);
+            ("max", finite_or_null t.p_max);
+            ("weighted_mean", Json.Float t.w_mean);
+          ] );
+    ]
+
+let opt_bits = function
+  | None -> Json.Null
+  | Some v -> Json.String (bits_string v)
+
+let to_json t =
+  Json.Obj
+    [
+      ("weight", Json.String (Weight.to_string t.wt));
+      ("bits", Json.Int t.width);
+      ("start", Json.Int t.start);
+      ("pstart", Json.Int t.pstart);
+      ("n", Json.Int t.n);
+      ("trans", Json.Int t.trans);
+      ("ones", ints t.ones);
+      ("toggles", ints t.toggles);
+      ("first", opt_bits t.first);
+      ("last", opt_bits t.last);
+      ("pn", Json.Int t.pn);
+      ("p_mean", Json.Float t.p_mean);
+      ("p_m2", Json.Float t.p_m2);
+      ("p_min", finite_or_null t.p_min);
+      ("p_max", finite_or_null t.p_max);
+      ("w_decay", Json.Float t.w_decay);
+      ("w_mean", Json.Float t.w_mean);
+    ]
+
+let of_json j =
+  let fail what = Error (Guard.Error.parse ("stream stats checkpoint: " ^ what)) in
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some v -> Ok v
+    | None -> fail ("missing int " ^ k)
+  in
+  let flt k =
+    match Option.bind (Json.member k j) Json.to_float with
+    | Some v -> Ok v
+    | None -> fail ("missing float " ^ k)
+  in
+  let int_array k =
+    match Json.member k j with
+    | Some (Json.List l) -> (
+      try Ok (Array.of_list (List.map (fun x -> Option.get (Json.to_int x)) l))
+      with _ -> fail ("bad int list " ^ k))
+    | _ -> fail ("missing list " ^ k)
+  in
+  let vec k =
+    match Json.member k j with
+    | Some Json.Null | None -> Ok None
+    | Some (Json.String s) ->
+      Ok (Some (Array.init (String.length s) (fun i -> s.[i] = '1')))
+    | Some _ -> fail ("bad vector " ^ k)
+  in
+  let ( let* ) = Result.bind in
+  let* wt =
+    match Json.member "weight" j with
+    | Some (Json.String s) -> Weight.of_string s
+    | _ -> fail "missing weight"
+  in
+  let* bits = int "bits" in
+  if bits < 1 then fail "bits must be >= 1"
+  else
+    let* start = int "start" in
+    let* pstart = int "pstart" in
+    let* n = int "n" in
+    let* trans = int "trans" in
+    let* ones = int_array "ones" in
+    let* toggles = int_array "toggles" in
+    if Array.length ones <> bits || Array.length toggles <> bits then
+      fail "count array width mismatch"
+    else
+      let* first = vec "first" in
+      let* last = vec "last" in
+      let* pn = int "pn" in
+      let* p_mean = flt "p_mean" in
+      let* p_m2 = flt "p_m2" in
+      let* w_decay = flt "w_decay" in
+      let* w_mean = flt "w_mean" in
+      let extremum k fallback =
+        match Json.member k j with
+        | Some Json.Null -> Ok fallback
+        | Some f -> (
+          match Json.to_float f with
+          | Some v -> Ok v
+          | None -> fail ("bad float " ^ k))
+        | None -> fail ("missing " ^ k)
+      in
+      let* p_min = extremum "p_min" infinity in
+      let* p_max = extremum "p_max" neg_infinity in
+      Ok
+        {
+          wt;
+          width = bits;
+          start;
+          pstart;
+          n;
+          trans;
+          ones;
+          toggles;
+          first;
+          last;
+          pn;
+          p_mean;
+          p_m2;
+          p_min;
+          p_max;
+          w_decay;
+          w_mean;
+        }

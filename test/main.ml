@@ -1,4 +1,11 @@
 let () =
+  (* The SIGKILL chaos test re-execs this binary as its victim process
+     (fork is unavailable once domains have been spawned). *)
+  match Sys.getenv_opt Test_stream.child_env_var with
+  | Some path -> Test_stream.child_main path
+  | None -> ()
+
+let () =
   Alcotest.run "cfpm"
     [
       ("guard", Test_guard.suite);
@@ -29,4 +36,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
+      ("stream", Test_stream.suite);
     ]

@@ -367,7 +367,15 @@ let ambient_policy () =
         true
         (Powermodel.Reorder.of_string (Powermodel.Reorder.to_string p)
         = Some p))
-    Powermodel.Reorder.all
+    Powermodel.Reorder.all;
+  (* a malformed CFPM_ORDER warns once and falls back to the default —
+     the CFPM_JOBS contract: an environment knob never fails a build *)
+  Unix.putenv "CFPM_ORDER" "definitely-not-a-policy";
+  Fun.protect ~finally:(fun () -> Unix.putenv "CFPM_ORDER" "")
+  @@ fun () ->
+  Alcotest.(check bool)
+    "malformed env falls back to declared" true
+    (Powermodel.Reorder.ambient () = Powermodel.Reorder.Declared)
 
 (* ---- approx resift: same values as the unsifted compression ---- *)
 

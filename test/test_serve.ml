@@ -379,6 +379,39 @@ let test_cache_eviction () =
   (* the evicted artifact reloads on demand *)
   ignore (ok_or_fail "reload" (Serve.Cache.find_or_load cache "model.cfpm"))
 
+(* The exported cache counters must track the internal ones exactly —
+   including hits taken on the racing-load path, where a request that
+   loaded an artifact finds another request beat it into the table. *)
+let test_cache_metrics_parity () =
+  let dir, _, _ = Lazy.force fixture in
+  let m_hits = Obs.Metrics.metric "serve.cache_hits" in
+  let m_misses = Obs.Metrics.metric "serve.cache_misses" in
+  let h0 = Obs.Metrics.value m_hits in
+  let m0 = Obs.Metrics.value m_misses in
+  let cache = Serve.Cache.create ~root:dir () in
+  (* cold stampede: concurrent requests race one artifact, so some hits
+     land on the racing-load path *)
+  let threads =
+    List.init 8 (fun _ ->
+        Thread.create
+          (fun () -> ignore (Serve.Cache.find_or_load cache "model.cfpm"))
+          ())
+  in
+  List.iter Thread.join threads;
+  ignore (ok_or_fail "warm hit" (Serve.Cache.find_or_load cache "model.cfpm"));
+  let stats = Serve.Cache.stats cache in
+  let stat k =
+    match Json.member k stats with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "missing %s in %s" k (Json.to_string stats)
+  in
+  Alcotest.(check int) "hit parity" (stat "hits")
+    (Obs.Metrics.value m_hits - h0);
+  Alcotest.(check int) "miss parity" (stat "misses")
+    (Obs.Metrics.value m_misses - m0);
+  Alcotest.(check bool) "at least one hit" true (stat "hits" >= 1);
+  Alcotest.(check int) "exactly one load" 1 (stat "misses")
+
 let test_graceful_stop () =
   let dir, _, _ = Lazy.force fixture in
   let cache = Serve.Cache.create ~root:dir () in
@@ -421,6 +454,8 @@ let suite =
       test_path_escape;
     Alcotest.test_case "cache evicts over the byte ceiling" `Quick
       test_cache_eviction;
+    Alcotest.test_case "cache metrics track internal counters" `Quick
+      test_cache_metrics_parity;
     Alcotest.test_case "graceful stop drains and unlinks" `Quick
       test_graceful_stop;
   ]

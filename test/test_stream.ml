@@ -1,0 +1,648 @@
+(* Streaming telemetry: weight schedules, mergeable online statistics
+   (jobs-independence as byte-identity), drift hysteresis, checkpoint
+   round trips, ingest backpressure, fault-injected pipelines and the
+   SIGKILL + torn-tail + resume chaos test. *)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Guard.Error.to_string e)
+
+let expect_error what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error (e : Guard.Error.t) -> e
+
+(* ---- weight schedules ---- *)
+
+let weight_schedules () =
+  let open Stream.Weight in
+  Util.check_close "equal n=1" 1.0 (at Equal ~n:1);
+  Util.check_close "equal n=4" 0.25 (at Equal ~n:4);
+  Util.check_close "exp n=1" 1.0 (at (Exponential 0.1) ~n:1);
+  Util.check_close "exp n=9" 0.1 (at (Exponential 0.1) ~n:9);
+  Util.check_close "bounded early" 0.5 (at (Bounded (Equal, 0.05)) ~n:2);
+  Util.check_close "bounded floor" 0.05 (at (Bounded (Equal, 0.05)) ~n:1000);
+  Util.check_close "scaled" 0.125 (at (Scaled (Equal, 0.5)) ~n:4);
+  List.iter
+    (fun w ->
+      match of_string (to_string w) with
+      | Ok w' when w' = w -> ()
+      | Ok w' ->
+        Alcotest.failf "roundtrip %s reparsed as %s" (to_string w)
+          (to_string w')
+      | Error e ->
+        Alcotest.failf "roundtrip %s: %s" (to_string w)
+          (Guard.Error.to_string e))
+    [
+      Equal;
+      Exponential 0.25;
+      Bounded (Exponential 0.25, 0.01);
+      Scaled (Bounded (Equal, 0.1), 0.5);
+    ];
+  List.iter
+    (fun s ->
+      match of_string s with
+      | Error _ -> ()
+      | Ok w -> Alcotest.failf "%S parsed as %s" s (to_string w))
+    [ "exp:0"; "exp:1.5"; "bounded(equal)"; "nonsense"; "scaled(equal,-1)" ]
+
+(* ---- mergeable statistics ---- *)
+
+let obs_bits = 3
+
+let of_obs l =
+  let t = Stream.Stats.create ~bits:obs_bits () in
+  List.iter (fun (v, p) -> Stream.Stats.observe t ~power:p v) l;
+  t
+
+let obs_arbitrary =
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "<%d obs>" (List.length l))
+    QCheck.Gen.(
+      list_size (int_range 0 40)
+        (pair
+           (array_size (return obs_bits) bool)
+           (float_bound_inclusive 10.0)))
+
+let stats_merge_associative =
+  Util.qtest ~count:300 "merge is associative"
+    (QCheck.triple obs_arbitrary obs_arbitrary obs_arbitrary)
+    (fun (la, lb, lc) ->
+      let open Stream.Stats in
+      let left = merge (merge (of_obs la) (of_obs lb)) (of_obs lc) in
+      let right = merge (of_obs la) (merge (of_obs lb) (of_obs lc)) in
+      vectors left = vectors right
+      && transitions left = transitions right
+      && power_count left = power_count right
+      && sp left = sp right
+      && st left = st right
+      && power_min left = power_min right
+      && power_max left = power_max right
+      && Util.close (power_mean left) (power_mean right)
+      && Util.close (power_variance left) (power_variance right)
+      && Util.close (weighted_power_mean left) (weighted_power_mean right))
+
+let stats_merge_commutative =
+  Util.qtest ~count:300
+    "order-independent members merge commutatively, bit for bit"
+    (QCheck.pair obs_arbitrary obs_arbitrary)
+    (fun (la, lb) ->
+      let open Stream.Stats in
+      let ab = merge (of_obs la) (of_obs lb) in
+      let ba = merge (of_obs lb) (of_obs la) in
+      vectors ab = vectors ba
+      && transitions ab = transitions ba
+      && power_count ab = power_count ba
+      && power_mean ab = power_mean ba
+      && power_variance ab = power_variance ba
+      && power_min ab = power_min ba
+      && power_max ab = power_max ba)
+
+(* a cheap deterministic stand-in for the compiled model lookup *)
+let fake_power ~x_i ~x_f =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i b -> if b <> x_f.(i) then acc := !acc +. (1.5 *. float_of_int (i + 1)))
+    x_i;
+  !acc
+
+let consume_jobs_identity () =
+  let bits = 5 in
+  let prng = Stimulus.Prng.create 11 in
+  let vectors =
+    Stimulus.Generator.sequence prng ~bits ~length:2600 ~sp:0.6 ~st:0.3
+  in
+  let run jobs weight =
+    let t = Stream.Stats.create ~weight ~bits () in
+    Stream.Stats.consume ~jobs ~power:fake_power t vectors;
+    Json.to_string (Stream.Stats.snapshot_json t)
+  in
+  Alcotest.(check string)
+    "equal weight, jobs 1 = jobs 4" (run 1 Stream.Weight.Equal)
+    (run 4 Stream.Weight.Equal);
+  Alcotest.(check string)
+    "exponential weight, jobs 1 = jobs 3"
+    (run 1 (Stream.Weight.Exponential 0.05))
+    (run 3 (Stream.Weight.Exponential 0.05));
+  (* chunked consumption at a shard-aligned seam (the only seam the
+     pipeline ever flushes at) matches one-shot consumption *)
+  let chunked =
+    let t = Stream.Stats.create ~bits () in
+    let split = 3 * Stream.Stats.shard_block in
+    Stream.Stats.consume ~jobs:2 ~power:fake_power t
+      (Array.sub vectors 0 split);
+    Stream.Stats.consume ~jobs:2 ~power:fake_power t
+      (Array.sub vectors split (Array.length vectors - split));
+    Json.to_string (Stream.Stats.snapshot_json t)
+  in
+  Alcotest.(check string) "chunked = one-shot" (run 1 Stream.Weight.Equal)
+    chunked;
+  (* counts agree exactly with a sequential fold; moments to tolerance *)
+  let seq = Stream.Stats.create ~bits () in
+  Array.iteri
+    (fun i v ->
+      let power = if i = 0 then None else Some (fake_power ~x_i:vectors.(i - 1) ~x_f:v) in
+      Stream.Stats.observe seq ?power v)
+    vectors;
+  let par = Stream.Stats.create ~bits () in
+  Stream.Stats.consume ~jobs:4 ~power:fake_power par vectors;
+  Alcotest.(check int) "vectors" (Stream.Stats.vectors seq)
+    (Stream.Stats.vectors par);
+  Alcotest.(check int) "transitions" (Stream.Stats.transitions seq)
+    (Stream.Stats.transitions par);
+  Alcotest.(check bool) "sp exact" true
+    (Stream.Stats.sp seq = Stream.Stats.sp par);
+  Alcotest.(check bool) "st exact" true
+    (Stream.Stats.st seq = Stream.Stats.st par);
+  Util.check_close "power mean" (Stream.Stats.power_mean seq)
+    (Stream.Stats.power_mean par);
+  Util.check_close "weighted mean" (Stream.Stats.weighted_power_mean seq)
+    (Stream.Stats.weighted_power_mean par)
+
+let stats_checkpoint_roundtrip () =
+  let bits = 4 in
+  let prng = Stimulus.Prng.create 23 in
+  let vectors =
+    Stimulus.Generator.sequence prng ~bits ~length:700 ~sp:0.3 ~st:0.2
+  in
+  let t = Stream.Stats.create ~weight:(Stream.Weight.Exponential 0.07) ~bits () in
+  Stream.Stats.consume ~jobs:2 ~power:fake_power t vectors;
+  let bytes = Json.to_string (Stream.Stats.to_json t) in
+  let parsed =
+    match Json.of_string bytes with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "reparse: %s" e
+  in
+  let restored = ok_or_fail "stats of_json" (Stream.Stats.of_json parsed) in
+  Alcotest.(check string) "bit-exact state round trip" bytes
+    (Json.to_string (Stream.Stats.to_json restored));
+  (* the restored estimator continues identically *)
+  let more =
+    Stimulus.Generator.sequence (Stimulus.Prng.create 29) ~bits ~length:600
+      ~sp:0.7 ~st:0.4
+  in
+  Stream.Stats.consume ~jobs:1 ~power:fake_power t more;
+  Stream.Stats.consume ~jobs:3 ~power:fake_power restored more;
+  Alcotest.(check string) "continuation identical"
+    (Json.to_string (Stream.Stats.snapshot_json t))
+    (Json.to_string (Stream.Stats.snapshot_json restored));
+  (* empty estimator: non-finite extrema survive the round trip *)
+  let empty = Stream.Stats.create ~bits () in
+  let empty' =
+    ok_or_fail "empty of_json"
+      (Stream.Stats.of_json
+         (match Json.of_string (Json.to_string (Stream.Stats.to_json empty)) with
+         | Ok j -> j
+         | Error e -> Alcotest.failf "empty reparse: %s" e))
+  in
+  Alcotest.(check bool) "min sentinel" true
+    (Stream.Stats.power_min empty' = infinity);
+  Alcotest.(check bool) "max sentinel" true
+    (Stream.Stats.power_max empty' = neg_infinity)
+
+(* ---- drift detection ---- *)
+
+let drift_cfg =
+  { Stream.Drift.window = 4; min_samples = 2; high = 0.5; low = 0.25 }
+
+let const_vec bits b = Array.make bits b
+
+let drift_fires_once_per_regime () =
+  let bits = 4 in
+  let t = Stream.Drift.create ~config:drift_cfg ~bits () in
+  let feed b n =
+    let events = ref 0 in
+    for _ = 1 to n do
+      match Stream.Drift.observe t (const_vec bits b) with
+      | Some _ -> incr events
+      | None -> ()
+    done;
+    !events
+  in
+  (* first window becomes the reference, no event *)
+  Alcotest.(check int) "reference window" 0 (feed false 4);
+  (* regime change: exactly one event across many steady windows *)
+  let fired = feed true 40 in
+  Alcotest.(check int) "one event per regime change" 1 fired;
+  (* the detector re-armed on the steady windows (distance 0 <= low) *)
+  Alcotest.(check bool) "re-armed" true (Stream.Drift.armed t);
+  Alcotest.(check int) "event counter" 1 (Stream.Drift.events t)
+
+let drift_min_samples_guard () =
+  let bits = 4 in
+  let t = Stream.Drift.create ~config:drift_cfg ~bits () in
+  ignore
+    (List.init 4 (fun _ -> Stream.Drift.observe t (const_vec bits false)));
+  (* one vector of a wildly different regime: below min_samples, the
+     final partial window is never judged *)
+  (match Stream.Drift.observe t (const_vec bits true) with
+  | Some _ -> Alcotest.fail "event from an unjudged window"
+  | None -> ());
+  (match Stream.Drift.flush t with
+  | Some _ -> Alcotest.fail "flush judged a window below min_samples"
+  | None -> ());
+  Alcotest.(check int) "no events" 0 (Stream.Drift.events t)
+
+let drift_below_high_never_fires () =
+  let bits = 8 in
+  let t = Stream.Drift.create ~config:drift_cfg ~bits () in
+  (* alternating windows toggling one input out of eight: distance 1/8,
+     well under high = 0.5 *)
+  let vec b = Array.init bits (fun i -> i = 0 && b) in
+  for w = 0 to 19 do
+    for _ = 1 to 4 do
+      match Stream.Drift.observe t (vec (w mod 2 = 0)) with
+      | Some _ -> Alcotest.fail "fired below the trigger distance"
+      | None -> ()
+    done
+  done;
+  Alcotest.(check int) "no events" 0 (Stream.Drift.events t)
+
+let drift_checkpoint_roundtrip () =
+  let bits = 4 in
+  let t = Stream.Drift.create ~config:drift_cfg ~bits () in
+  let feed state b n =
+    for _ = 1 to n do
+      ignore (Stream.Drift.observe state (const_vec bits b))
+    done
+  in
+  feed t false 4;
+  feed t true 42;
+  (* mid-window state (2 vectors into the current window) *)
+  feed t true 2;
+  let bytes = Json.to_string (Stream.Drift.to_json t) in
+  let restored =
+    ok_or_fail "drift of_json"
+      (Stream.Drift.of_json
+         (match Json.of_string bytes with
+         | Ok j -> j
+         | Error e -> Alcotest.failf "reparse: %s" e))
+  in
+  Alcotest.(check string) "bit-exact round trip" bytes
+    (Json.to_string (Stream.Drift.to_json restored));
+  (* both copies agree on the future *)
+  feed t false 6;
+  feed restored false 6;
+  Alcotest.(check string) "identical continuation"
+    (Json.to_string (Stream.Drift.to_json t))
+    (Json.to_string (Stream.Drift.to_json restored))
+
+(* ---- ingest queue ---- *)
+
+let ingest_shed () =
+  let q = Stream.Ingest.create ~capacity:2 Stream.Ingest.Shed in
+  ok_or_fail "push 1" (Stream.Ingest.push q 1);
+  ok_or_fail "push 2" (Stream.Ingest.push q 2);
+  let e = expect_error "push over capacity" (Stream.Ingest.push q 3) in
+  Alcotest.(check bool) "typed overload" true
+    (Guard.Error.context_value e "reason" = Some "overloaded");
+  Alcotest.(check int) "shed counted" 1 (Stream.Ingest.sheds q);
+  Alcotest.(check bool) "pop 1" true (Stream.Ingest.pop q = Some 1);
+  Stream.Ingest.close q;
+  (* close-to-drain: the backlog still comes out, then None *)
+  Alcotest.(check bool) "drain 2" true (Stream.Ingest.pop q = Some 2);
+  Alcotest.(check bool) "drained" true (Stream.Ingest.pop q = None);
+  let e = expect_error "push after close" (Stream.Ingest.push q 4) in
+  Alcotest.(check bool) "closed push is validation" true
+    (e.Guard.Error.kind = Guard.Error.Validation)
+
+let ingest_block_backpressure () =
+  let q = Stream.Ingest.create ~capacity:1 Stream.Ingest.Block in
+  let pushed = Atomic.make 0 in
+  let producer =
+    Thread.create
+      (fun () ->
+        for i = 1 to 50 do
+          ok_or_fail "blocking push" (Stream.Ingest.push q i);
+          Atomic.incr pushed
+        done;
+        Stream.Ingest.close q)
+      ()
+  in
+  let popped = ref [] in
+  let rec drain () =
+    match Stream.Ingest.pop q with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Thread.join producer;
+  Alcotest.(check int) "all pushed" 50 (Atomic.get pushed);
+  Alcotest.(check (list int)) "lossless in order" (List.init 50 (fun i -> i + 1))
+    (List.rev !popped);
+  Alcotest.(check int) "no sheds under Block" 0 (Stream.Ingest.sheds q)
+
+(* ---- refit ---- *)
+
+let refit_recovers_coefficients () =
+  let refit = Stream.Refit.create ~forget:0.0 ~ridge:1e-9 ~features:3 () in
+  let prng = Stimulus.Prng.create 5 in
+  let truth = [| 2.0; -1.0; 0.5 |] in
+  for _ = 1 to 200 do
+    let row =
+      [|
+        (if Stimulus.Prng.bool prng ~p:0.5 then 1.0 else 0.0);
+        (if Stimulus.Prng.bool prng ~p:0.5 then 1.0 else 0.0);
+        1.0;
+      |]
+    in
+    let value =
+      (row.(0) *. truth.(0)) +. (row.(1) *. truth.(1)) +. (row.(2) *. truth.(2))
+    in
+    Stream.Refit.observe refit ~row ~value
+  done;
+  let coeffs = Stream.Refit.fit refit in
+  Array.iteri
+    (fun i c -> Util.check_close ~eps:1e-5 (Printf.sprintf "coeff %d" i) truth.(i) c)
+    coeffs;
+  Util.check_close ~eps:1e-4 "rms of the truth" 0.0
+    (Stream.Refit.rms_recent refit coeffs);
+  let bytes = Json.to_string (Stream.Refit.to_json refit) in
+  let restored =
+    ok_or_fail "refit of_json"
+      (Stream.Refit.of_json
+         (match Json.of_string bytes with
+         | Ok j -> j
+         | Error e -> Alcotest.failf "reparse: %s" e))
+  in
+  Alcotest.(check string) "bit-exact round trip" bytes
+    (Json.to_string (Stream.Refit.to_json restored))
+
+(* ---- registry ---- *)
+
+let registry_snapshot () =
+  Stream.Registry.publish "b-stream" (fun () -> Json.Int 2);
+  Stream.Registry.publish "a-stream" (fun () -> Json.Int 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Stream.Registry.unpublish "a-stream";
+      Stream.Registry.unpublish "b-stream")
+  @@ fun () ->
+  Alcotest.(check (list string)) "sorted names" [ "a-stream"; "b-stream" ]
+    (Stream.Registry.names ());
+  Alcotest.(check string) "snapshot"
+    {|{"streams":{"a-stream":1,"b-stream":2}}|}
+    (Json.to_string ~pretty:false (Stream.Registry.snapshot ()))
+
+(* ---- the pipeline ---- *)
+
+(* One small circuit and model shared by the pipeline tests. *)
+let fixture =
+  lazy
+    (let circuit = Util.small_random_circuit 3 in
+     let model = Powermodel.Model.build circuit in
+     (circuit, model, Netlist.Circuit.input_count circuit))
+
+let phases =
+  [
+    { Stream.Source.sp = 0.5; st = 0.1; count = 3072 };
+    { Stream.Source.sp = 0.9; st = 0.5; count = 3072 };
+  ]
+
+let test_drift_cfg =
+  { Stream.Drift.window = 512; min_samples = 128; high = 0.3; low = 0.15 }
+
+let pipeline_cfg ?checkpoint ?(resume = false) ?(throttle = 0.0) jobs =
+  {
+    Stream.Pipeline.default_config with
+    drift = test_drift_cfg;
+    jobs = Some jobs;
+    checkpoint;
+    checkpoint_every = 2048;
+    resume;
+    throttle;
+  }
+
+let fresh_source () =
+  let _, _, bits = Lazy.force fixture in
+  ok_or_fail "source" (Stream.Source.generator ~seed:7 ~bits phases)
+
+let run_pipeline cfg =
+  let _, model, _ = Lazy.force fixture in
+  ok_or_fail "pipeline"
+    (Stream.Pipeline.run cfg ~model ~source:(fresh_source ()))
+
+let reference_bytes =
+  lazy (Json.to_string (Stream.Pipeline.stats_json (run_pipeline (pipeline_cfg 1))))
+
+let pipeline_detects_drift () =
+  let o = run_pipeline (pipeline_cfg 1) in
+  (match o.Stream.Pipeline.events with
+  | [ ev ] ->
+    (* the phase switch at vector 3072 is caught by the next full window *)
+    Alcotest.(check bool) "fired after the switch" true
+      (ev.Stream.Pipeline.drift.Stream.Drift.at > 3072
+      && ev.Stream.Pipeline.drift.Stream.Drift.at <= 4096);
+    Alcotest.(check bool) "refit happened" true
+      (ev.Stream.Pipeline.refit_samples > 0);
+    Alcotest.(check bool) "refit reduced the Lin error" true
+      (ev.Stream.Pipeline.lin_rms_after < ev.Stream.Pipeline.lin_rms_before)
+  | evs -> Alcotest.failf "expected exactly one drift event, got %d" (List.length evs));
+  Alcotest.(check int) "nothing quarantined" 0 o.Stream.Pipeline.quarantined;
+  Alcotest.(check bool) "ran to completion" true
+    (o.Stream.Pipeline.stopped = None)
+
+let pipeline_jobs_identity () =
+  let o4 = run_pipeline (pipeline_cfg 4) in
+  Alcotest.(check string) "jobs 4 byte-identical" (Lazy.force reference_bytes)
+    (Json.to_string (Stream.Pipeline.stats_json o4))
+
+let pipeline_quarantines_malformed () =
+  let _, model, bits = Lazy.force fixture in
+  let path = Filename.temp_file "cfpm_stream_vecs" ".txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  let prng = Stimulus.Prng.create 3 in
+  Out_channel.with_open_text path (fun oc ->
+      for i = 0 to 299 do
+        if i mod 50 = 7 then output_string oc "not-a-vector\n"
+        else begin
+          for _ = 1 to bits do
+            output_char oc (if Stimulus.Prng.bool prng ~p:0.5 then '1' else '0')
+          done;
+          output_char oc '\n'
+        end
+      done);
+  let source = ok_or_fail "file source" (Stream.Source.of_file ~path ~bits) in
+  let o =
+    ok_or_fail "pipeline"
+      (Stream.Pipeline.run (pipeline_cfg 1) ~model ~source)
+  in
+  Alcotest.(check int) "malformed lines quarantined" 6
+    o.Stream.Pipeline.quarantined;
+  Alcotest.(check int) "vectors counted" 294
+    (Stream.Stats.vectors o.Stream.Pipeline.stats)
+
+let with_fault_spec spec k =
+  Guard.Fault.install (ok_or_fail "fault spec" (Guard.Fault.parse spec));
+  Fun.protect ~finally:Guard.Fault.clear k
+
+let pipeline_ingest_faults_are_retried () =
+  with_fault_spec "stream_ingest:fail:0.5:seed=3" @@ fun () ->
+  let o = run_pipeline (pipeline_cfg 2) in
+  Alcotest.(check bool) "at least one retry" true
+    (o.Stream.Pipeline.ingest_retries >= 1);
+  Alcotest.(check bool) "completed despite faults" true
+    (o.Stream.Pipeline.stopped = None);
+  Alcotest.(check string) "stats identical under retried faults"
+    (Lazy.force reference_bytes)
+    (Json.to_string (Stream.Pipeline.stats_json o))
+
+let pipeline_drift_faults_skip_never_crash () =
+  with_fault_spec "drift_check:fail:1.0" @@ fun () ->
+  let o = run_pipeline (pipeline_cfg 1) in
+  Alcotest.(check int) "every judgement skipped, no event" 0
+    (List.length o.Stream.Pipeline.events);
+  Alcotest.(check bool) "skips counted" true
+    (o.Stream.Pipeline.drift_skipped >= 12);
+  Alcotest.(check bool) "completed" true (o.Stream.Pipeline.stopped = None)
+
+let pipeline_checkpoint_faults_cost_one_interval () =
+  let path = Filename.temp_file "cfpm_stream_ckpt" ".jsonl" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  (with_fault_spec "checkpoint_write:fail:1.0" @@ fun () ->
+   let o = run_pipeline (pipeline_cfg ~checkpoint:path 1) in
+   Alcotest.(check int) "no checkpoint survived" 0 o.Stream.Pipeline.checkpoints;
+   Alcotest.(check bool) "failures counted" true
+     (o.Stream.Pipeline.checkpoint_failures >= 3);
+   Alcotest.(check bool) "the stream outlived them" true
+     (o.Stream.Pipeline.stopped = None));
+  (* resume against the empty journal: a fresh, identical run *)
+  let o = run_pipeline (pipeline_cfg ~checkpoint:path ~resume:true 2) in
+  Alcotest.(check int) "nothing to resume from" 0 o.Stream.Pipeline.resumed_from;
+  Alcotest.(check string) "identical" (Lazy.force reference_bytes)
+    (Json.to_string (Stream.Pipeline.stats_json o))
+
+(* The chaos test: SIGKILL a checkpointed child mid-stream, tear the
+   journal tail, resume — the final statistics must be byte-identical to
+   the uninterrupted reference.
+
+   [Unix.fork] is off-limits once any domain has ever been spawned (and
+   the jobs > 1 tests above spawn plenty), so the child is a re-exec of
+   this very test binary: [main.ml] diverts into {!child_main} when
+   [CFPM_STREAM_CHILD] is set, runs the throttled checkpointed stream
+   and exits without ever reaching alcotest. *)
+let child_env_var = "CFPM_STREAM_CHILD"
+
+let child_main path =
+  let _, model, _ = Lazy.force fixture in
+  (try
+     ignore
+       (Stream.Pipeline.run
+          (pipeline_cfg ~checkpoint:path ~throttle:0.05 1)
+          ~model ~source:(fresh_source ()))
+   with _ -> ());
+  exit 0
+
+let pipeline_sigkill_resume () =
+  let path = Filename.temp_file "cfpm_stream_kill" ".jsonl" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  let reference = Lazy.force reference_bytes in
+  let env =
+    Array.append (Unix.environment ()) [| child_env_var ^ "=" ^ path |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  let journal_lines () =
+    try
+      In_channel.with_open_bin path (fun ic ->
+          let s = In_channel.input_all ic in
+          String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s)
+    with Sys_error _ -> 0
+  in
+  (* wait until two checkpoints are durable, then murder the child *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while journal_lines () < 2 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check bool) "checkpoints appeared" true (journal_lines () >= 2);
+  Unix.kill pid Sys.sigkill;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | _, Unix.WEXITED 0 ->
+    (* the child beat us to the finish line; resume still must agree *)
+    ()
+  | _, status ->
+    Alcotest.failf "unexpected child status %s"
+      (match status with
+      | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+      | Unix.WSTOPPED s -> Printf.sprintf "stop %d" s));
+  (* tear the journal tail: recovery must drop the half-written record
+     and fall back to the last CRC-valid checkpoint *)
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (max 0 (size - 5));
+  let o = run_pipeline (pipeline_cfg ~checkpoint:path ~resume:true 4) in
+  Alcotest.(check bool) "resumed mid-stream" true
+    (o.Stream.Pipeline.resumed_from >= 2048);
+  Alcotest.(check string) "byte-identical to the uninterrupted run"
+    reference
+    (Json.to_string (Stream.Pipeline.stats_json o))
+
+(* ---- serve integration ---- *)
+
+let serve_stream_op () =
+  Stream.Registry.publish "live" (fun () -> Json.Obj [ ("vectors", Json.Int 7) ]);
+  Fun.protect ~finally:(fun () -> Stream.Registry.unpublish "live")
+  @@ fun () ->
+  let dir = Filename.temp_file "cfpm_stream_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try Unix.rmdir dir with _ -> ())
+  @@ fun () ->
+  let handler = Serve.Handler.create ~jobs:1 (Serve.Cache.create ~root:dir ()) in
+  let response =
+    Serve.Handler.handle_string handler {|{"id":9,"op":"stream"}|}
+  in
+  Alcotest.(check string) "live snapshot over the wire"
+    {|{"id":9,"ok":true,"result":{"streams":{"live":{"vectors":7}}}}|}
+    response
+
+let suite =
+  [
+    Alcotest.test_case "weight schedules and parsing" `Quick weight_schedules;
+    stats_merge_associative;
+    stats_merge_commutative;
+    Alcotest.test_case "consume is jobs-independent, byte for byte" `Quick
+      consume_jobs_identity;
+    Alcotest.test_case "stats checkpoint round trip is bit-exact" `Quick
+      stats_checkpoint_roundtrip;
+    Alcotest.test_case "drift fires once per regime change" `Quick
+      drift_fires_once_per_regime;
+    Alcotest.test_case "drift honours the min-samples guard" `Quick
+      drift_min_samples_guard;
+    Alcotest.test_case "drift never fires under the trigger" `Quick
+      drift_below_high_never_fires;
+    Alcotest.test_case "drift checkpoint round trip" `Quick
+      drift_checkpoint_roundtrip;
+    Alcotest.test_case "ingest sheds with a typed error" `Quick ingest_shed;
+    Alcotest.test_case "ingest blocks losslessly and drains on close" `Quick
+      ingest_block_backpressure;
+    Alcotest.test_case "refit recovers exact coefficients" `Quick
+      refit_recovers_coefficients;
+    Alcotest.test_case "registry snapshots are sorted and live" `Quick
+      registry_snapshot;
+    Alcotest.test_case "pipeline detects the phase switch" `Quick
+      pipeline_detects_drift;
+    Alcotest.test_case "pipeline stats are jobs-independent" `Quick
+      pipeline_jobs_identity;
+    Alcotest.test_case "pipeline quarantines malformed records" `Quick
+      pipeline_quarantines_malformed;
+    Alcotest.test_case "ingest faults retry without perturbing stats" `Quick
+      pipeline_ingest_faults_are_retried;
+    Alcotest.test_case "drift faults skip judgements, never crash" `Quick
+      pipeline_drift_faults_skip_never_crash;
+    Alcotest.test_case "checkpoint faults cost at most one interval" `Quick
+      pipeline_checkpoint_faults_cost_one_interval;
+    Alcotest.test_case "SIGKILL + torn tail + resume is bit-identical" `Quick
+      pipeline_sigkill_resume;
+    Alcotest.test_case "serve answers the stream op" `Quick serve_stream_op;
+  ]
