@@ -459,6 +459,108 @@ let eval_batch_probe () =
       ("minimum", Json.Float stats.Dd.Compiled.minimum);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial worst-case probe.
+
+   Cross-validates the ADD traversal against the independent PBO
+   branch-and-bound oracle on the tractable Table 1 circuits — exact
+   models, so the two routes must agree to float equality — then
+   demonstrates the budget-bounded path on a circuit whose search space
+   defeats a small conflict ceiling.  Budgets are conflict ceilings
+   only, never wall clocks, so every row (and the pbo.* metrics the
+   snapshot below picks up) is deterministic across hosts and CFPM_JOBS
+   settings. *)
+
+let adversarial_tractable = [ "decod"; "x2"; "alu2"; "cm85"; "cmb"; "cm150" ]
+
+let adversarial_probe () =
+  heading "Adversarial worst-case probe (ADD vs PBO cross-validation)";
+  let only = table1_names () in
+  let wanted name =
+    match only with None -> true | Some names -> List.mem name names
+  in
+  let solver_stats = function
+    | Some s ->
+      [
+        ("conflicts", Json.Int s.Pbo.Solver.conflicts);
+        ("decisions", Json.Int s.Pbo.Solver.decisions);
+        ("restarts", Json.Int s.Pbo.Solver.restarts);
+      ]
+    | None -> []
+  in
+  let agreement =
+    List.filter_map
+      (fun name ->
+        if not (wanted name) then None
+        else
+          Option.map
+            (fun entry ->
+              let circuit = entry.Circuits.Suite.build () in
+              let model = Powermodel.Model.build circuit in
+              let budget =
+                Guard.Budget.create ~conflict_ceiling:5_000_000 ()
+              in
+              match
+                Powermodel.Adversarial.cross_validate ~budget model circuit
+              with
+              | Error e ->
+                Printf.printf "  %-8s FAILED: %s\n" name
+                  (Guard.Error.to_string e);
+                Json.Obj
+                  [
+                    ("circuit", Json.String name);
+                    ("error", Guard.Error.to_json e);
+                  ]
+              | Ok a ->
+                let add = a.Powermodel.Adversarial.add in
+                let pbo = a.Powermodel.Adversarial.pbo in
+                Printf.printf
+                  "  %-8s add %8.1f fF  pbo %8.1f fF  %s\n" name
+                  add.Powermodel.Adversarial.value
+                  pbo.Powermodel.Adversarial.value
+                  (if a.Powermodel.Adversarial.agree then "agree"
+                   else "DISAGREE");
+                Json.Obj
+                  ([
+                     ("circuit", Json.String name);
+                     ("add", Json.Float add.Powermodel.Adversarial.value);
+                     ("pbo", Json.Float pbo.Powermodel.Adversarial.value);
+                     ( "comparable",
+                       Json.Bool a.Powermodel.Adversarial.comparable );
+                     ("agree", Json.Bool a.Powermodel.Adversarial.agree);
+                   ]
+                  @ solver_stats pbo.Powermodel.Adversarial.stats))
+            (Circuits.Suite.find name))
+      adversarial_tractable
+  in
+  (* the bounded path: 16-input parity defeats a 2000-conflict ceiling,
+     and the solver must answer a sound [value, upper] interval *)
+  let bounded =
+    match Circuits.Suite.find "parity" with
+    | None -> Json.Null
+    | Some entry -> (
+      let circuit = entry.Circuits.Suite.build () in
+      let budget = Guard.Budget.create ~conflict_ceiling:2000 () in
+      match Powermodel.Adversarial.worst_pbo ~budget circuit with
+      | Error e -> Json.Obj [ ("error", Guard.Error.to_json e) ]
+      | Ok r ->
+        Printf.printf
+          "  %-8s bounded: achieved %.1f fF <= max <= %.1f fF (%s)\n"
+          "parity" r.Powermodel.Adversarial.value
+          r.Powermodel.Adversarial.upper
+          (if r.Powermodel.Adversarial.optimal then "optimal"
+           else "ceiling hit");
+        Json.Obj
+          ([
+             ("circuit", Json.String "parity");
+             ("value", Json.Float r.Powermodel.Adversarial.value);
+             ("upper", Json.Float r.Powermodel.Adversarial.upper);
+             ("optimal", Json.Bool r.Powermodel.Adversarial.optimal);
+           ]
+          @ solver_stats r.Powermodel.Adversarial.stats))
+  in
+  Json.Obj [ ("agreement", Json.List agreement); ("bounded", bounded) ]
+
 (* Fixed drifting workload through the full telemetry pipeline: online
    statistics sharded over the pool, drift detection at the phase
    switch, exact re-evaluation + Lin refit.  Deterministic by
@@ -640,7 +742,7 @@ let throughput_json kernels =
   | _ -> (Json.Null, Json.Null)
 
 let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
-    ~eval_batch ~reorder ~stream =
+    ~eval_batch ~reorder ~stream ~adversarial =
   let outcome_json render (outcome, dt) =
     match outcome with
     | Ok o -> render ~wall_seconds:dt o
@@ -679,7 +781,7 @@ let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
   let json =
     Json.Obj
       [
-        ("schema", Json.String "cfpm-bench/7");
+        ("schema", Json.String "cfpm-bench/8");
         ("jobs", Json.Int (Parallel.Pool.default_jobs ()));
         ("vectors", Json.Int vectors);
         ("char_vectors", Json.Int char_vectors);
@@ -729,6 +831,11 @@ let write_json ~total_seconds ~metrics ~fig7a ~fig7b ~table1 ~kernels
         (* streaming telemetry probe: a fixed drifting workload through
            the full pipeline; the stats digest is jobs-independent *)
         ("stream", stream);
+        (* adversarial probe: ADD-vs-PBO agreement rows on the tractable
+           suite plus one budget-bounded interval — conflict-ceiling
+           budgets only, so the member is deterministic and the CI
+           adversarial-smoke job asserts every row agrees *)
+        ("adversarial", adversarial);
         (* surviving circuits only: quarantined/failed entries are
            reported under [experiments], never here, so the determinism
            diff compares like with like *)
@@ -766,6 +873,7 @@ let () =
   let reorder = ablation_reorder () in
   let eval_batch = eval_batch_probe () in
   let stream = stream_probe () in
+  let adversarial = adversarial_probe () in
   (* snapshot before Bechamel: its adaptive iteration counts would bleed
      nondeterministic build/cache counts into the metrics (the fixed-size
      eval_batch probe above, by contrast, is deterministic) *)
@@ -774,7 +882,7 @@ let () =
   write_json
     ~total_seconds:(Unix.gettimeofday () -. t0)
     ~metrics ~fig7a:(Some fig7a) ~fig7b:(Some fig7b) ~table1 ~kernels
-    ~eval_batch ~reorder ~stream;
+    ~eval_batch ~reorder ~stream ~adversarial;
   (match trace_path with
   | Some p ->
     Obs.Trace.write p;

@@ -8,16 +8,21 @@
      dot <circuit>           dump the model ADD as Graphviz
      blif <circuit>          dump the netlist as BLIF *)
 
-let find_circuit name =
+let resolve_circuit name =
   match Circuits.Suite.find name with
-  | Some entry -> entry.Circuits.Suite.build ()
+  | Some entry -> Some (entry.Circuits.Suite.build ())
+  | None -> (
+    match name with
+    | "parity_nand" -> Some (Circuits.Parity.parity_nand ())
+    | "adder8" -> Some (Circuits.Adder.circuit ~bits:8)
+    | _ -> None)
+
+let find_circuit name =
+  match resolve_circuit name with
+  | Some c -> c
   | None ->
-    (match name with
-    | "parity_nand" -> Circuits.Parity.parity_nand ()
-    | "adder8" -> Circuits.Adder.circuit ~bits:8
-    | _ ->
-      Printf.eprintf "unknown circuit %s; try `cfpm list'\n" name;
-      exit 2)
+    Printf.eprintf "unknown circuit %s; try `cfpm list'\n" name;
+    exit 2
 
 open Cmdliner
 
@@ -152,10 +157,18 @@ let budget_term =
     in
     Arg.(value & opt int 0 & info [ "max-swaps" ] ~docv:"N" ~doc)
   in
-  let make deadline max_nodes max_collapses max_swaps =
+  let max_conflicts_arg =
+    let doc =
+      "Ceiling on PBO branch-and-bound conflicts for adversarial \
+       worst-case search (0: none).  The solver stops at the ceiling \
+       with a sound [value, upper] interval."
+    in
+    Arg.(value & opt int 0 & info [ "max-conflicts" ] ~docv:"N" ~doc)
+  in
+  let make deadline max_nodes max_collapses max_swaps max_conflicts =
     if
       deadline <= 0.0 && max_nodes <= 0 && max_collapses <= 0
-      && max_swaps <= 0
+      && max_swaps <= 0 && max_conflicts <= 0
     then None
     else
       Some
@@ -165,11 +178,13 @@ let budget_term =
            ?collapse_ceiling:
              (if max_collapses > 0 then Some max_collapses else None)
            ?swap_ceiling:(if max_swaps > 0 then Some max_swaps else None)
+           ?conflict_ceiling:
+             (if max_conflicts > 0 then Some max_conflicts else None)
            ())
   in
   Cmdliner.Term.(
     const make $ deadline_arg $ max_nodes_arg $ max_collapses_arg
-    $ max_swaps_arg)
+    $ max_swaps_arg $ max_conflicts_arg)
 
 (* Errors exit through the Guard taxonomy: 3 parse, 4 validation,
    5 resource exhaustion, 6 internal. *)
@@ -542,20 +557,62 @@ let import_cmd =
       $ strategy_arg $ weighting_arg $ budget_term)
 
 let worst_cmd =
-  let run () name max_size =
-    let c = find_circuit name in
-    let max_size = if max_size <= 0 then None else Some max_size in
-    let bound = Powermodel.Bounds.build ?max_size c in
-    let x_i, x_f, value = Powermodel.Analysis.worst_case_transition bound in
-    let show v =
-      String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+  let method_arg =
+    let doc =
+      "Worst-case search route: add (exact/conservative ADD traversal, \
+       the default), pbo (independent branch-and-bound oracle over the \
+       netlist — no ADD, scales past the node budget) or both (run both \
+       and cross-validate; float-exact agreement is enforced when both \
+       routes are proven)."
     in
+    Arg.(
+      value
+      & opt (enum [ ("add", `Add); ("pbo", `Pbo); ("both", `Both) ]) `Add
+      & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let show v =
+    String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+  in
+  let run_add c ?budget max_size =
+    let bound =
+      match Powermodel.Bounds.build ?budget ?max_size c with
+      | m -> m
+      | exception Powermodel.Model.Build_aborted (e, _) -> fail_with e
+    in
+    let x_i, x_f, value = Powermodel.Analysis.worst_case_transition bound in
     Printf.printf
       "%s worst-case transition %s: %s -> %s, bound %.1f fF (exact: %b)\n"
-      name
-      (if Powermodel.Model.is_exact bound then "(exact witness)" else "(conservative)")
+      c.Netlist.Circuit.name
+      (if Powermodel.Model.is_exact bound then "(exact witness)"
+       else "(conservative)")
       (show x_i) (show x_f) value
       (Powermodel.Model.is_exact bound);
+    bound
+  in
+  let run_pbo c ?budget () =
+    match Powermodel.Adversarial.worst_pbo ?budget c with
+    | Error e -> fail_with e
+    | Ok r ->
+      Printf.printf "%s worst-case transition (pbo, %s): %s -> %s, %.1f fF\n"
+        c.Netlist.Circuit.name
+        (if r.Powermodel.Adversarial.optimal then "optimal" else "bounded")
+        (show r.Powermodel.Adversarial.x_i)
+        (show r.Powermodel.Adversarial.x_f)
+        r.Powermodel.Adversarial.value;
+      if not r.Powermodel.Adversarial.optimal then
+        Printf.printf "  true worst case within [%.1f, %.1f] fF\n"
+          r.Powermodel.Adversarial.value r.Powermodel.Adversarial.upper;
+      (match r.Powermodel.Adversarial.stats with
+      | Some s ->
+        Printf.printf
+          "  solver: %d decisions, %d propagations, %d conflicts, %d \
+           restarts\n"
+          s.Pbo.Solver.decisions s.Pbo.Solver.propagations
+          s.Pbo.Solver.conflicts s.Pbo.Solver.restarts
+      | None -> ());
+      r
+  in
+  let print_sensitivities c bound =
     let sens = Powermodel.Analysis.toggle_sensitivities bound in
     Printf.printf "per-input toggle sensitivities (fF):\n";
     Array.iteri
@@ -563,10 +620,66 @@ let worst_cmd =
         Printf.printf "  %-6s %8.2f\n" c.Netlist.Circuit.input_names.(j) s)
       sens
   in
+  (* A budget-bounded (non-optimal) PBO answer still prints its sound
+     interval, but exits through the typed Resource error so scripted
+     callers can tell a proof from a truncation. *)
+  let finish_pbo (r : Powermodel.Adversarial.result_) =
+    match r.reason with Some e -> fail_with e | None -> ()
+  in
+  let run () method_ name max_size budget =
+    let c = find_circuit name in
+    let max_size = if max_size <= 0 then None else Some max_size in
+    match method_ with
+    | `Add ->
+      let bound = run_add c ?budget max_size in
+      print_sensitivities c bound
+    | `Pbo ->
+      let r = run_pbo c ?budget () in
+      finish_pbo r
+    | `Both ->
+      let bound = run_add c ?budget max_size in
+      let r = run_pbo c ?budget () in
+      let add_value = Powermodel.Model.max_capacitance bound in
+      if Powermodel.Model.is_exact bound && r.Powermodel.Adversarial.optimal
+      then
+        if add_value = r.Powermodel.Adversarial.value then
+          Printf.printf "agreement: float-exact at %.1f fF\n" add_value
+        else
+          fail_with
+            (Guard.Error.internal
+               "ADD and PBO worst-case values disagree on an exact model"
+               ~context:
+                 [
+                   ("circuit", c.Netlist.Circuit.name);
+                   ("add_value", Printf.sprintf "%.17g" add_value);
+                   ("pbo_value",
+                    Printf.sprintf "%.17g" r.Powermodel.Adversarial.value);
+                 ])
+      else begin
+        Printf.printf
+          "note: ADD model is not exact; PBO carries the worst case\n";
+        if r.Powermodel.Adversarial.value > add_value +. 1e-9 then
+          fail_with
+            (Guard.Error.internal
+               "PBO found a real transition above the conservative ADD bound"
+               ~context:
+                 [
+                   ("circuit", c.Netlist.Circuit.name);
+                   ("add_bound", Printf.sprintf "%.17g" add_value);
+                   ("pbo_value",
+                    Printf.sprintf "%.17g" r.Powermodel.Adversarial.value);
+                 ])
+      end;
+      finish_pbo r
+  in
   Cmd.v
     (Cmd.info "worst"
-       ~doc:"Worst-case transition witness and per-input sensitivities.")
-    Term.(const run $ trace_term $ circuit_arg $ max_size_arg)
+       ~doc:
+         "Worst-case transition witness — ADD traversal, the independent \
+          PBO oracle, or both cross-validated.")
+    Term.(
+      const run $ trace_term $ method_arg $ circuit_arg $ max_size_arg
+      $ budget_term)
 
 let blif_cmd =
   let run name =
@@ -675,7 +788,7 @@ let store_query_cmd =
     let cache = Serve.Cache.create () in
     let handler =
       Serve.Handler.create ?jobs:(jobs_opt jobs)
-        ?deadline:(handler_deadline deadline_ms) cache
+        ?deadline:(handler_deadline deadline_ms) ~resolve_circuit cache
     in
     print_endline (Serve.Handler.handle_string handler request)
   in
@@ -804,7 +917,7 @@ let serve_cmd =
     ;
     let handler =
       Serve.Handler.create ?jobs:(jobs_opt jobs)
-        ?deadline:(handler_deadline deadline_ms) cache
+        ?deadline:(handler_deadline deadline_ms) ~resolve_circuit cache
     in
     let server =
       match

@@ -464,15 +464,28 @@ let support t =
       match t with Leaf _ -> acc | Node n -> n.var :: acc)
   |> List.sort_uniq compare
 
+(* One fold, no sort: the extremum under polymorphic [compare] — the
+   same total order [terminal_values] sorts by, so these agree with the
+   old head/last-of-sorted-list reads bit for bit (including -0.0 < 0.0
+   and nan-below-everything). *)
+let extremum ~name ~keep_new t =
+  match
+    fold_nodes t ~init:None ~f:(fun acc u ->
+        match u with
+        | Node _ -> acc
+        | Leaf l -> (
+          match acc with
+          | None -> Some l.value
+          | Some b -> if keep_new (compare l.value b) then Some l.value else acc))
+  with
+  | Some v -> v
+  | None -> invalid_arg name
+
 let min_value t =
-  match terminal_values t with
-  | [] -> invalid_arg "Add.min_value: empty diagram"
-  | v :: _ -> v
+  extremum ~name:"Add.min_value: empty diagram" ~keep_new:(fun c -> c < 0) t
 
 let max_value t =
-  match List.rev (terminal_values t) with
-  | [] -> invalid_arg "Add.max_value: empty diagram"
-  | v :: _ -> v
+  extremum ~name:"Add.max_value: empty diagram" ~keep_new:(fun c -> c > 0) t
 
 let make_node = mk
 

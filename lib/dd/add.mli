@@ -112,12 +112,16 @@ val terminal_values : t -> float list
 val support : t -> int list
 
 val min_value : t -> float
-(** Smallest terminal value reachable from the root. *)
+(** Smallest terminal value reachable from the root, in one fold (no
+    sorted-list detour); ordered by polymorphic [compare], matching
+    [terminal_values]. *)
 
 val max_value : t -> float
 (** Largest terminal value reachable from the root — for a max-strategy
     model this is the circuit's (conservative) worst-case switching
-    capacitance, used as the paper's constant upper-bound estimator. *)
+    capacitance, used as the paper's constant upper-bound estimator.
+    One fold over the reachable nodes; ordered by polymorphic
+    [compare], matching [terminal_values]. *)
 
 val fold_nodes : t -> init:'a -> f:('a -> t -> 'a) -> 'a
 (** Fold over every distinct reachable node (each visited once, children

@@ -7,9 +7,11 @@ type t = {
   node_ceiling : int option;
   collapse_ceiling : int option;
   swap_ceiling : int option;
+  conflict_ceiling : int option;
 }
 
-let create ?wall_seconds ?node_ceiling ?collapse_ceiling ?swap_ceiling () =
+let create ?wall_seconds ?node_ceiling ?collapse_ceiling ?swap_ceiling
+    ?conflict_ceiling () =
   (match wall_seconds with
   | Some s when (not (Float.is_finite s)) || s < 0.0 ->
     invalid_arg "Budget.create: wall_seconds must be finite and >= 0"
@@ -24,6 +26,10 @@ let create ?wall_seconds ?node_ceiling ?collapse_ceiling ?swap_ceiling () =
   (match swap_ceiling with
   | Some n when n < 1 -> invalid_arg "Budget.create: swap_ceiling must be >= 1"
   | Some _ | None -> ());
+  (match conflict_ceiling with
+  | Some n when n < 1 ->
+    invalid_arg "Budget.create: conflict_ceiling must be >= 1"
+  | Some _ | None -> ());
   let started = now () in
   {
     started;
@@ -32,6 +38,7 @@ let create ?wall_seconds ?node_ceiling ?collapse_ceiling ?swap_ceiling () =
     node_ceiling;
     collapse_ceiling;
     swap_ceiling;
+    conflict_ceiling;
   }
 
 type verdict =
@@ -44,6 +51,7 @@ let remaining_seconds t = Option.map (fun d -> d -. now ()) t.deadline
 let node_ceiling t = t.node_ceiling
 let collapse_ceiling t = t.collapse_ceiling
 let swap_ceiling t = t.swap_ceiling
+let conflict_ceiling t = t.conflict_ceiling
 let deadline_seconds t = t.wall_seconds
 
 let secs s = Printf.sprintf "%.3f" s
@@ -74,6 +82,15 @@ let exhausted_swaps t ~swaps =
         ("swap_count", string_of_int swaps);
       ]
 
+let exhausted_conflicts t ~conflicts =
+  Error.resource "solver conflict ceiling exceeded"
+    ~context:
+      [
+        ("conflict_ceiling",
+         string_of_int (Option.value t.conflict_ceiling ~default:0));
+        ("conflicts", string_of_int conflicts);
+      ]
+
 let exhausted_nodes t ~nodes =
   Error.resource "node ceiling exceeded"
     ~context:
@@ -83,10 +100,14 @@ let exhausted_nodes t ~nodes =
         ("elapsed_seconds", secs (elapsed_seconds t));
       ]
 
-let check ?nodes ?collapses ?swaps t =
+let check ?nodes ?collapses ?swaps ?conflicts t =
   match t.deadline with
   | Some d when now () > d -> Exhausted (exhausted_deadline t)
   | _ -> (
+    match (t.conflict_ceiling, conflicts) with
+    | Some ceiling, Some n when n > ceiling ->
+      Exhausted (exhausted_conflicts t ~conflicts:n)
+    | _ -> (
     match (t.collapse_ceiling, collapses) with
     | Some ceiling, Some calls when calls > ceiling ->
       Exhausted (exhausted_collapses t ~collapses:calls)
@@ -98,7 +119,7 @@ let check ?nodes ?collapses ?swaps t =
         match (t.node_ceiling, nodes) with
         | Some ceiling, Some n when n > ceiling ->
           Node_pressure { nodes = n; ceiling }
-        | _ -> Within)))
+        | _ -> Within))))
 
 (* Per-domain ambient slot.  DLS rather than a global: worker domains of a
    pool each isolate their own task's budget. *)

@@ -1,12 +1,14 @@
 (** Resource budgets with cooperative checkpoints.
 
-    A budget caps four things a hostile netlist can blow up: wall-clock
+    A budget caps five things a hostile netlist can blow up: wall-clock
     time (monotonic, immune to NTP steps), decision-diagram nodes (BDD +
     ADD combined, the real memory driver), collapse invocations (each
     one is a full-diagram rebuild, the real CPU driver beyond the node
-    count), and reorder swaps (each adjacent-level swap of a sifting pass
-    is cheap, but a sift is quadratic in levels without a cap).  All are
-    optional; an empty budget never trips.
+    count), reorder swaps (each adjacent-level swap of a sifting pass
+    is cheap, but a sift is quadratic in levels without a cap), and PBO
+    solver conflicts (each bound-prune of the branch-and-bound search;
+    the knob that makes adversarial search anytime).  All are optional;
+    an empty budget never trips.
 
     Enforcement is {e cooperative}: long-running loops call {!check} at
     natural step boundaries (one gate of Fig. 6's construction, one task
@@ -28,6 +30,7 @@ val create :
   ?node_ceiling:int ->
   ?collapse_ceiling:int ->
   ?swap_ceiling:int ->
+  ?conflict_ceiling:int ->
   unit ->
   t
 (** The wall clock starts now.  [wall_seconds] must be finite and
@@ -41,12 +44,14 @@ type verdict =
   | Exhausted of Error.t
       (** deadline or collapse ceiling hit — [Resource] error, final *)
 
-val check : ?nodes:int -> ?collapses:int -> ?swaps:int -> t -> verdict
-(** The cooperative checkpoint.  Checks, in order: deadline, collapse
-    ceiling, swap ceiling, node ceiling.  Counters the caller does not
-    pass are not checked.  The swap ceiling is also passed down as the
-    sifting pass's [max_swaps], which stops {e before} exceeding it —
-    the [check] clause only trips if a caller reports an overrun. *)
+val check :
+  ?nodes:int -> ?collapses:int -> ?swaps:int -> ?conflicts:int -> t -> verdict
+(** The cooperative checkpoint.  Checks, in order: deadline, conflict
+    ceiling, collapse ceiling, swap ceiling, node ceiling.  Counters the
+    caller does not pass are not checked.  The swap ceiling is also
+    passed down as the sifting pass's [max_swaps], which stops {e before}
+    exceeding it — the [check] clause only trips if a caller reports an
+    overrun. *)
 
 val exhausted_nodes : t -> nodes:int -> Error.t
 (** The [Resource] error for a node ceiling the caller failed to degrade
@@ -54,6 +59,12 @@ val exhausted_nodes : t -> nodes:int -> Error.t
 
 val exhausted_swaps : t -> swaps:int -> Error.t
 (** The [Resource] error for a reorder swap-ceiling overrun. *)
+
+val exhausted_conflicts : t -> conflicts:int -> Error.t
+(** The [Resource] error for a PBO-solver conflict-ceiling overrun.  The
+    solver stops {e at} the ceiling and reports a bounded (non-optimal)
+    result; this error is the typed form callers surface when a bounded
+    answer is not acceptable. *)
 
 val elapsed_seconds : t -> float
 
@@ -63,6 +74,7 @@ val remaining_seconds : t -> float option
 val node_ceiling : t -> int option
 val collapse_ceiling : t -> int option
 val swap_ceiling : t -> int option
+val conflict_ceiling : t -> int option
 val deadline_seconds : t -> float option
 
 val now : unit -> float

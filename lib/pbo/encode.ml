@@ -1,0 +1,181 @@
+type t = {
+  problem : Solver.problem;
+  circuit : Netlist.Circuit.t;
+  loads : float array;
+}
+
+let pos = Solver.pos
+let neg = Solver.neg
+
+(* CNF for [out <-> kind(ins)] over the given phase's net variables.
+   Standard Tseitin tables; the Mux gets two redundant clauses so that
+   equal data inputs propagate the output without a select decision. *)
+let gate_clauses ~v g acc =
+  let o = v g.Netlist.Circuit.out in
+  let ins = Array.map v g.Netlist.Circuit.ins in
+  match g.Netlist.Circuit.kind with
+  | Netlist.Cell.Const b -> [| (if b then pos o else neg o) |] :: acc
+  | Netlist.Cell.Buf ->
+    let a = ins.(0) in
+    [| neg o; pos a |] :: [| pos o; neg a |] :: acc
+  | Netlist.Cell.Inv ->
+    let a = ins.(0) in
+    [| neg o; neg a |] :: [| pos o; pos a |] :: acc
+  | Netlist.Cell.And _ ->
+    let acc =
+      Array.fold_left (fun acc a -> [| pos a; neg o |] :: acc) acc ins
+    in
+    Array.append (Array.map neg ins) [| pos o |] :: acc
+  | Netlist.Cell.Nand _ ->
+    let acc =
+      Array.fold_left (fun acc a -> [| pos a; pos o |] :: acc) acc ins
+    in
+    Array.append (Array.map neg ins) [| neg o |] :: acc
+  | Netlist.Cell.Or _ ->
+    let acc =
+      Array.fold_left (fun acc a -> [| neg a; pos o |] :: acc) acc ins
+    in
+    Array.append (Array.map pos ins) [| neg o |] :: acc
+  | Netlist.Cell.Nor _ ->
+    let acc =
+      Array.fold_left (fun acc a -> [| neg a; neg o |] :: acc) acc ins
+    in
+    Array.append (Array.map pos ins) [| pos o |] :: acc
+  | Netlist.Cell.Xor ->
+    let a = ins.(0) and b = ins.(1) in
+    [| neg o; pos a; pos b |] :: [| neg o; neg a; neg b |]
+    :: [| pos o; neg a; pos b |] :: [| pos o; pos a; neg b |] :: acc
+  | Netlist.Cell.Xnor ->
+    let a = ins.(0) and b = ins.(1) in
+    [| pos o; pos a; pos b |] :: [| pos o; neg a; neg b |]
+    :: [| neg o; neg a; pos b |] :: [| neg o; pos a; neg b |] :: acc
+  | Netlist.Cell.Mux ->
+    let a = ins.(0) and b = ins.(1) and s = ins.(2) in
+    [| neg s; neg b; pos o |] :: [| neg s; pos b; neg o |]
+    :: [| pos s; neg a; pos o |] :: [| pos s; pos a; neg o |]
+    :: [| neg a; neg b; pos o |] :: [| pos a; pos b; neg o |] :: acc
+
+(* Total load in each input's fan-out cone: the weight of the worst case
+   that input can influence, used to branch on the heavy inputs first. *)
+let influences circuit loads =
+  let n = Netlist.Circuit.input_count circuit in
+  let nets = circuit.Netlist.Circuit.net_count in
+  let dep = Array.make_matrix nets n false in
+  for j = 0 to n - 1 do
+    dep.(j).(j) <- true
+  done;
+  Array.iter
+    (fun g ->
+      let d = dep.(g.Netlist.Circuit.out) in
+      Array.iter
+        (fun i ->
+          let di = dep.(i) in
+          for j = 0 to n - 1 do
+            if di.(j) then d.(j) <- true
+          done)
+        g.Netlist.Circuit.ins)
+    circuit.Netlist.Circuit.gates;
+  let infl = Array.make n 0.0 in
+  Array.iter
+    (fun g ->
+      let w = loads.(g.Netlist.Circuit.out) in
+      if w > 0.0 then begin
+        let d = dep.(g.Netlist.Circuit.out) in
+        for j = 0 to n - 1 do
+          if d.(j) then infl.(j) <- infl.(j) +. w
+        done
+      end)
+    circuit.Netlist.Circuit.gates;
+  infl
+
+let encode ?output_load ?loads circuit =
+  let loads =
+    match loads with
+    | Some l ->
+      if Array.length l <> circuit.Netlist.Circuit.net_count then
+        invalid_arg "Pbo.Encode: loads must cover every net";
+      l
+    | None -> Netlist.Circuit.loads ?output_load circuit
+  in
+  let nets = circuit.Netlist.Circuit.net_count in
+  let gates = circuit.Netlist.Circuit.gates in
+  let gate_count = Array.length gates in
+  let nvars = (2 * nets) + gate_count in
+  let toggle k = (2 * nets) + k in
+  let clauses = ref [] in
+  (* both evaluation phases share the structure, only the net vars differ *)
+  Array.iter
+    (fun g -> clauses := gate_clauses ~v:(fun net -> 2 * net) g !clauses)
+    gates;
+  Array.iter
+    (fun g -> clauses := gate_clauses ~v:(fun net -> (2 * net) + 1) g !clauses)
+    gates;
+  (* toggle_k <-> (not out_i) && out_f  — rising edges only (Eq. 2-3) *)
+  Array.iteri
+    (fun k g ->
+      let oi = 2 * g.Netlist.Circuit.out in
+      let of_ = oi + 1 in
+      let tk = toggle k in
+      clauses :=
+        [| neg tk; neg oi |] :: [| neg tk; pos of_ |]
+        :: [| pos tk; pos oi; neg of_ |] :: !clauses)
+    gates;
+  let objective =
+    Array.of_list
+      (List.filteri
+         (fun _ (_, w) -> w > 0.0)
+         (Array.to_list
+            (Array.mapi
+               (fun k g -> (toggle k, loads.(g.Netlist.Circuit.out)))
+               gates)))
+  in
+  let n = Netlist.Circuit.input_count circuit in
+  let infl = influences circuit loads in
+  let order = List.init n Fun.id in
+  let order =
+    List.stable_sort
+      (fun a b ->
+        match compare infl.(b) infl.(a) with 0 -> compare a b | c -> c)
+      order
+  in
+  let decision_order =
+    Array.of_list
+      (List.concat_map (fun j -> [ 2 * j; (2 * j) + 1 ]) order)
+  in
+  (* bias every input toward a rising edge; toggle vars toward toggling *)
+  let phase_hint =
+    Array.init nvars (fun v -> if v < 2 * nets then v land 1 = 1 else true)
+  in
+  {
+    problem =
+      {
+        Solver.nvars;
+        clauses = !clauses;
+        objective;
+        decision_order;
+        phase_hint;
+      };
+    circuit;
+    loads;
+  }
+
+let witness_transition t assignment =
+  let n = Netlist.Circuit.input_count t.circuit in
+  ( Array.init n (fun j -> assignment.(2 * j)),
+    Array.init n (fun j -> assignment.((2 * j) + 1)) )
+
+let assignment_of_transition t x_i x_f =
+  let before = Netlist.Circuit.eval_all Netlist.Cell.bool_logic t.circuit x_i in
+  let after = Netlist.Circuit.eval_all Netlist.Cell.bool_logic t.circuit x_f in
+  let nets = t.circuit.Netlist.Circuit.net_count in
+  let gates = t.circuit.Netlist.Circuit.gates in
+  Array.init t.problem.Solver.nvars (fun v ->
+      if v < 2 * nets then
+        let net = v lsr 1 in
+        if v land 1 = 0 then before.(net) else after.(net)
+      else
+        let g = gates.(v - (2 * nets)) in
+        (not before.(g.Netlist.Circuit.out)) && after.(g.Netlist.Circuit.out))
+
+let total_weight t =
+  Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 t.problem.Solver.objective

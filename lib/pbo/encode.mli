@@ -1,0 +1,45 @@
+(** Tseitin encoding of the worst-case transition search.
+
+    [max C(x_i, x_f)] over a netlist is Eq. 4 of the paper read as an
+    optimization objective: the switched capacitance of a transition is
+    the weighted sum of the gate outputs that {e rise}, so encode the
+    circuit's initial and final evaluations as CNF (one variable per net
+    per phase), add one toggle variable per gate constrained to
+    [toggle <-> (not out_initial) && out_final], weight it with the
+    gate's load capacitance, and hand the whole thing to {!Solver}.
+
+    Variable layout (matching {!Powermodel.Vars} on the input nets):
+    net [n] initial = [2n], final = [2n + 1]; the toggle variable of the
+    gate at index [k] is [2 * net_count + k].  The objective lists gates
+    in gate-array order — for this repo's dyadic capacitances every
+    summation order yields the identical float, matching both the ADD
+    leaves and {!Gatesim.Simulator}'s net-order fold bit for bit.
+
+    Branching is restricted to the input-pair variables, ordered by
+    descending {e cone influence} (total load reachable from the input) —
+    every full input assignment propagates the rest of the encoding
+    without conflict, so the solver's conflicts are pure bound prunes.
+    Phase hints bias each input toward a rising [false -> true] edge. *)
+
+type t = {
+  problem : Solver.problem;
+  circuit : Netlist.Circuit.t;
+  loads : float array;
+}
+
+val encode :
+  ?output_load:float -> ?loads:float array -> Netlist.Circuit.t -> t
+(** Build the encoding.  Loads come from {!Netlist.Circuit.loads} with
+    [output_load] (default {!Netlist.Circuit.default_output_load}), or
+    verbatim from [loads] (indexed by net). *)
+
+val witness_transition : t -> bool array -> bool array * bool array
+(** Project a full solver assignment back to [(x_i, x_f)] input vectors. *)
+
+val assignment_of_transition : t -> bool array -> bool array -> bool array
+(** The full (consistent) solver assignment induced by a transition:
+    evaluates every net in both phases and derives the toggles.  Used as
+    a warm-start hint. *)
+
+val total_weight : t -> float
+(** Sum of all objective weights — the trivial upper bound. *)

@@ -12,20 +12,37 @@
      toggling contributes. *)
 
 (* Follow a max-value path through the ADD; unconstrained variables (levels
-   skipped by the reduced diagram) are filled with [false]. *)
+   skipped by the reduced diagram) are filled with [false].
+
+   One memoized bottom-up pass computes every subtree's max, keyed on node
+   id so hash-consed shared subtrees pay once; the descent then reads each
+   child's cached max in O(1).  Total cost O(|nodes|) where the previous
+   per-level [Add.max_value] sweeps cost O(depth × subtree).  The subtree
+   max is taken under polymorphic [compare] (the [Add.max_value] order) and
+   the descent keeps the [high >= low] float tie-break, so witness and
+   value are bit-identical to the unmemoized implementation. *)
 let worst_case_transition model =
   let n = model.Model.inputs in
   let env = Array.make (Vars.count ~inputs:n) false in
+  let memo = Hashtbl.create 1024 in
+  let rec subtree_max node =
+    match node with
+    | Dd.Add.Leaf l -> l.value
+    | Dd.Add.Node nd -> (
+      match Hashtbl.find_opt memo nd.id with
+      | Some m -> m
+      | None ->
+        let ml = subtree_max nd.low in
+        let mh = subtree_max nd.high in
+        let m = if compare mh ml >= 0 then mh else ml in
+        Hashtbl.add memo nd.id m;
+        m)
+  in
   let rec descend node =
     match node with
     | Dd.Add.Leaf l -> l.value
     | Dd.Add.Node nd ->
-      let max_of t =
-        match t with
-        | Dd.Add.Leaf l -> l.value
-        | Dd.Add.Node _ -> Dd.Add.max_value t
-      in
-      if max_of nd.high >= max_of nd.low then begin
+      if subtree_max nd.high >= subtree_max nd.low then begin
         env.(nd.var) <- true;
         descend nd.high
       end

@@ -10,7 +10,9 @@ val worst_case_transition : Model.t -> bool array * bool array * float
     an exact model this is a true worst-case witness (the "input conditions
     that maximize the internal switching activity" of the worst-case
     literature the paper discusses); on an upper-bound model it attains the
-    conservative bound.  Don't-care inputs are reported as [false]. *)
+    conservative bound.  Don't-care inputs are reported as [false].  One
+    memoized subtree-max pass keyed on node id — O(|nodes|), not the
+    O(depth × subtree) of re-sweeping both children at every level. *)
 
 val expected_capacitance : Model.t -> sp:float -> st:float -> float
 (** Exact expectation of the model under the Markov stimulus statistics

@@ -19,6 +19,15 @@ let constant_bound model =
   | Dd.Approx.Lower_bound ->
     invalid_arg "Bounds.constant_bound: lower-bound model"
 
+(* A worst case that needs no ADD at all: the PBO route's interval top.
+   An optimal solve gives the exact maximum; a budget-bounded one still
+   gives a sound conservative bound — either way usable wherever
+   [constant_bound] is, including circuits whose exact model never fit. *)
+let adversarial_bound ?budget ?output_load circuit =
+  match Adversarial.worst_pbo ?budget ?output_load circuit with
+  | Ok r -> Ok r.Adversarial.upper
+  | Error e -> Error e
+
 let is_upper_bound_model model =
   match model.Model.strategy with
   | Dd.Approx.Upper_bound -> true

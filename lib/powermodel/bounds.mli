@@ -17,6 +17,17 @@ val constant_bound : Model.t -> float
     estimator (the paper's "Con" reference in the bound columns).  Raises
     [Invalid_argument] on a lower-bound model. *)
 
+val adversarial_bound :
+  ?budget:Guard.Budget.t ->
+  ?output_load:float ->
+  Netlist.Circuit.t ->
+  (float, Guard.Error.t) result
+(** A constant worst-case bound from the {!Adversarial} PBO route — no
+    ADD required, so it works on circuits whose exact model blows the
+    node budget.  Optimal solves return the true maximum; budget-bounded
+    solves return the sound interval top.  [Error] propagates a budget
+    that expired before any incumbent existed. *)
+
 val is_upper_bound_model : Model.t -> bool
 
 val validate :

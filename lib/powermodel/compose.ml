@@ -73,6 +73,19 @@ let constant_bound t =
     (fun acc inst -> acc +. Model.max_capacitance inst.model)
     0.0 t.instances
 
+(* Same sum with per-macro overrides: a macro whose exact ADD never fit
+   can still contribute a tight PBO-proven worst case instead of its
+   collapsed model's looser constant. *)
+let bound_with t f =
+  List.fold_left
+    (fun acc inst ->
+      acc
+      +.
+      match f inst.label with
+      | Some b -> b
+      | None -> Model.max_capacitance inst.model)
+    0.0 t.instances
+
 let run t vectors =
   let count = Array.length vectors in
   if count < 2 then invalid_arg "Compose.run: need at least two vectors";

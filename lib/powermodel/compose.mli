@@ -25,5 +25,11 @@ val constant_bound : t -> float
 (** Sum of the macros' constant worst cases — the loose bound the paper
     contrasts against. *)
 
+val bound_with : t -> (string -> float option) -> float
+(** {!constant_bound} with per-instance overrides: [f label] may supply
+    a tighter worst case for a macro (e.g. an {!Adversarial} PBO optimum
+    or interval top for one whose exact ADD never fit); [None] falls
+    back to the macro model's own constant bound. *)
+
 val run : t -> bool array array -> float * float
 (** [(average, maximum)] of the summed estimate over a sequence. *)

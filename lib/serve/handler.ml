@@ -14,11 +14,12 @@ type t = {
   cache : Cache.t;
   jobs : int option;
   deadline : float option;
+  resolve_circuit : (string -> Netlist.Circuit.t option) option;
   requests : int Atomic.t;
   errors : int Atomic.t;
 }
 
-let create ?jobs ?deadline cache =
+let create ?jobs ?deadline ?resolve_circuit cache =
   (match deadline with
   | Some d when (not (Float.is_finite d)) || d <= 0.0 ->
     invalid_arg "Handler.create: deadline must be finite and > 0"
@@ -27,6 +28,7 @@ let create ?jobs ?deadline cache =
     cache;
     jobs;
     deadline;
+    resolve_circuit;
     requests = Atomic.make 0;
     errors = Atomic.make 0;
   }
@@ -188,20 +190,83 @@ let op_expectation t req check =
            (Powermodel.Analysis.expected_capacitance
               entry.Cache.loaded.Store.model ~sp ~st)))
 
+let worst_json ~method_ (r : Powermodel.Adversarial.result_) =
+  Json.Obj
+    [
+      ("x_i", Json.String (string_of_bits r.Powermodel.Adversarial.x_i));
+      ("x_f", Json.String (string_of_bits r.Powermodel.Adversarial.x_f));
+      ("value", Json.Float r.Powermodel.Adversarial.value);
+      ("method", Json.String method_);
+      ("optimal", Json.Bool r.Powermodel.Adversarial.optimal);
+      ("upper", Json.Float r.Powermodel.Adversarial.upper);
+    ]
+
+let worst_method req =
+  match Json.member "method" req with
+  | None | Some Json.Null | Some (Json.String "add") -> Ok `Add
+  | Some (Json.String "pbo") -> Ok `Pbo
+  | Some (Json.String "both") -> Ok `Both
+  | Some _ ->
+    Error
+      (Guard.Error.validation "method must be \"add\", \"pbo\" or \"both\"")
+
+let worst_add entry =
+  with_mutex entry.Cache.analysis_mutex (fun () ->
+      Powermodel.Adversarial.worst_add entry.Cache.loaded.Store.model)
+
+(* The PBO route needs the netlist, which the artifact does not carry —
+   only its circuit name.  The resolver maps the name back to a
+   [Netlist.Circuit.t]; the solve runs under the request's ambient
+   deadline budget and takes no analysis mutex (it shares no state with
+   the ADD). *)
+let worst_pbo t entry =
+  let name = entry.Cache.loaded.Store.meta.Store.circuit in
+  match t.resolve_circuit with
+  | None ->
+    Error
+      (Guard.Error.validation
+         "this server has no circuit resolver; only method \"add\" is \
+          available")
+  | Some resolve -> (
+    match resolve name with
+    | None ->
+      Error
+        (Guard.Error.validation
+           ~context:[ ("circuit", name) ]
+           "the artifact's circuit is unknown to this server")
+    | Some circuit -> Powermodel.Adversarial.worst_pbo circuit)
+
 let op_worst t req check =
   let* entry = model t req in
+  let* method_ = worst_method req in
   let* () = check () in
-  with_mutex entry.Cache.analysis_mutex (fun () ->
-      let x_i, x_f, value =
-        Powermodel.Analysis.worst_case_transition entry.Cache.loaded.Store.model
-      in
-      Ok
-        (Json.Obj
-           [
-             ("x_i", Json.String (string_of_bits x_i));
-             ("x_f", Json.String (string_of_bits x_f));
-             ("value", Json.Float value);
-           ]))
+  match method_ with
+  | `Add -> Ok (worst_json ~method_:"add" (worst_add entry))
+  | `Pbo ->
+    let* r = worst_pbo t entry in
+    Ok (worst_json ~method_:"pbo" r)
+  | `Both ->
+    let a = worst_add entry in
+    let* p = worst_pbo t entry in
+    let comparable =
+      a.Powermodel.Adversarial.optimal && p.Powermodel.Adversarial.optimal
+    in
+    let agree =
+      if comparable then
+        Float.equal a.Powermodel.Adversarial.value
+          p.Powermodel.Adversarial.value
+      else
+        p.Powermodel.Adversarial.value <= a.Powermodel.Adversarial.upper
+    in
+    Ok
+      (Json.Obj
+         [
+           ("method", Json.String "both");
+           ("comparable", Json.Bool comparable);
+           ("agree", Json.Bool agree);
+           ("add", worst_json ~method_:"add" a);
+           ("pbo", worst_json ~method_:"pbo" p);
+         ])
 
 let op_sensitivities t req check =
   let* entry = model t req in

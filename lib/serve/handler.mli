@@ -24,7 +24,16 @@
       the domain pool — byte-identical for every job count
     - [expectation] [model sp? st?] → exact expected capacitance under
       the Markov statistics (defaults: the artifact's saved [(sp, st)])
-    - [worst] [model] → [{"x_i", "x_f", "value"}], a worst-case witness
+    - [worst] [model method?] → a worst-case witness
+      [{"x_i", "x_f", "value", "method", "optimal", "upper"}].
+      [method] is ["add"] (default: the diagram traversal, exact models
+      prove their maximum), ["pbo"] (the independent
+      {!Powermodel.Adversarial} branch-and-bound oracle — needs the
+      server's circuit resolver, runs under the request deadline, and
+      answers a budget-bounded [value <= max <= upper] interval with
+      [optimal = false] when cut short), or ["both"] (both routes plus
+      ["comparable"]/["agree"] members — float-equality on exact
+      optimal runs, a bound check otherwise)
     - [sensitivities] [model] → per-input toggle sensitivities
     - [stream] → live {!Stream.Registry} snapshots of every telemetry
       pipeline running in this process (no [model] argument)
@@ -45,10 +54,19 @@
 
 type t
 
-val create : ?jobs:int -> ?deadline:float -> Cache.t -> t
+val create :
+  ?jobs:int ->
+  ?deadline:float ->
+  ?resolve_circuit:(string -> Netlist.Circuit.t option) ->
+  Cache.t ->
+  t
 (** [jobs] shards batched evaluation over the domain pool ([CFPM_JOBS]
     default); [deadline] (seconds) bounds every request that does not
-    carry its own [deadline_ms]. *)
+    carry its own [deadline_ms].  [resolve_circuit] maps an artifact's
+    stored circuit name back to its netlist for the [worst] op's PBO
+    methods (artifacts carry no netlist; the solve assumes the default
+    load model the artifact was built with); without it those methods
+    answer a [Validation] error. *)
 
 val cache : t -> Cache.t
 

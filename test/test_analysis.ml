@@ -108,9 +108,75 @@ let bound_witness_attains_constant_bound () =
   Util.check_close "evaluates to max" value
     (Powermodel.Model.switched_capacitance bound ~x_i ~x_f)
 
+(* The pre-memoization traversal, kept verbatim as the reference: it
+   re-derived each child's subtree maximum with a fresh Add.max_value
+   sweep at every level (O(depth x subtree) on deep diagrams).  The
+   memoized replacement must pick the same branch at every tie and
+   non-tie — witness arrays and value bit-identical, not just close. *)
+let reference_worst_case model =
+  let n = model.Powermodel.Model.inputs in
+  let env = Array.make (Powermodel.Vars.count ~inputs:n) false in
+  let rec descend node =
+    match node with
+    | Dd.Add.Leaf l -> l.value
+    | Dd.Add.Node nd ->
+      let max_of t =
+        match t with
+        | Dd.Add.Leaf l -> l.value
+        | Dd.Add.Node _ -> Dd.Add.max_value t
+      in
+      if max_of nd.high >= max_of nd.low then begin
+        env.(nd.var) <- true;
+        descend nd.high
+      end
+      else begin
+        env.(nd.var) <- false;
+        descend nd.low
+      end
+  in
+  let value = descend model.Powermodel.Model.cap in
+  let x_i = Array.init n (fun j -> env.(Powermodel.Vars.initial j)) in
+  let x_f = Array.init n (fun j -> env.(Powermodel.Vars.final j)) in
+  (x_i, x_f, value)
+
+let memoized_traversal_matches_reference () =
+  let bits = Alcotest.testable
+      (Fmt.of_to_string (fun v ->
+           String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')))
+      ( = )
+  in
+  let check_model label model =
+    let rx_i, rx_f, rv = reference_worst_case model in
+    let x_i, x_f, v = Powermodel.Analysis.worst_case_transition model in
+    Alcotest.(check (float 0.0)) (label ^ ": value") rv v;
+    Alcotest.check bits (label ^ ": x_i") rx_i x_i;
+    Alcotest.check bits (label ^ ": x_f") rx_f x_f
+  in
+  (* Table 1 circuits, exact and collapsed, plus random netlists *)
+  List.iter
+    (fun name ->
+      let entry =
+        match Circuits.Suite.find name with
+        | Some e -> e
+        | None -> Alcotest.failf "unknown suite circuit %s" name
+      in
+      let circuit = entry.Circuits.Suite.build () in
+      check_model name (Powermodel.Model.build circuit);
+      check_model (name ^ "-collapsed")
+        (Powermodel.Model.build ~max_size:200 circuit))
+    [ "decod"; "x2"; "alu2"; "cm85" ];
+  List.iter
+    (fun seed ->
+      check_model
+        (Printf.sprintf "random-%d" seed)
+        (Powermodel.Model.build (Util.small_random_circuit seed)))
+    [ 51; 52; 53 ]
+
 let suite =
   [
     Alcotest.test_case "worst-case witness" `Quick worst_case_witness_is_true_worst;
+    Alcotest.test_case "memoized traversal matches the quadratic reference"
+      `Quick memoized_traversal_matches_reference;
     Alcotest.test_case "expected capacitance" `Slow
       expected_capacitance_matches_enumeration;
     Alcotest.test_case "toggle sensitivity" `Slow sensitivity_matches_enumeration;

@@ -161,6 +161,31 @@ let swap_ceiling_trips () =
   let e = Guard.Budget.exhausted_swaps b ~swaps:65 in
   Alcotest.check kind_t "hard failure" Guard.Error.Resource e.Guard.Error.kind
 
+let conflict_ceiling_trips () =
+  Alcotest.check_raises "zero conflicts"
+    (Invalid_argument "Budget.create: conflict_ceiling must be >= 1")
+    (fun () -> ignore (Guard.Budget.create ~conflict_ceiling:0 ()));
+  let b = Guard.Budget.create ~conflict_ceiling:1000 () in
+  Alcotest.(check (option int)) "accessor" (Some 1000)
+    (Guard.Budget.conflict_ceiling b);
+  (match Guard.Budget.check ~conflicts:1000 b with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "at ceiling is still within");
+  (match Guard.Budget.check ~conflicts:1001 b with
+  | Guard.Budget.Exhausted e ->
+    Alcotest.check kind_t "resource" Guard.Error.Resource e.Guard.Error.kind;
+    Alcotest.(check (option string)) "ceiling context" (Some "1000")
+      (Guard.Error.context_value e "conflict_ceiling");
+    Alcotest.(check (option string)) "count context" (Some "1001")
+      (Guard.Error.context_value e "conflicts")
+  | _ -> Alcotest.fail "over conflict ceiling must be final");
+  (* an unbudgeted check never looks at the conflict counter *)
+  (match Guard.Budget.check ~conflicts:max_int (Guard.Budget.create ()) with
+  | Guard.Budget.Within -> ()
+  | _ -> Alcotest.fail "no ceiling, no verdict");
+  let e = Guard.Budget.exhausted_conflicts b ~conflicts:1001 in
+  Alcotest.check kind_t "hard failure" Guard.Error.Resource e.Guard.Error.kind
+
 let ambient_scoping () =
   Alcotest.(check bool) "empty outside" true (Guard.Budget.ambient () = None);
   let b = Guard.Budget.create ~node_ceiling:7 () in
@@ -311,6 +336,7 @@ let suite =
     Alcotest.test_case "node pressure" `Quick node_ceiling_reports_pressure;
     Alcotest.test_case "collapse ceiling" `Quick collapse_ceiling_trips;
     Alcotest.test_case "swap ceiling" `Quick swap_ceiling_trips;
+    Alcotest.test_case "conflict ceiling" `Quick conflict_ceiling_trips;
     Alcotest.test_case "ambient budget" `Quick ambient_scoping;
     Alcotest.test_case "fault spec parses" `Quick fault_spec_parses;
     Alcotest.test_case "fault off by default" `Quick fault_off_by_default;

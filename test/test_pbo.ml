@@ -1,0 +1,272 @@
+(* The PBO worst-case oracle: solver core on hand-built instances, then
+   the netlist encoding validated against the exhaustive golden simulator
+   and the exact ADD route. *)
+
+let pos = Pbo.Solver.pos
+let neg = Pbo.Solver.neg
+
+let mk ?(objective = [||]) ?(decisions = [||]) ~nvars clauses =
+  {
+    Pbo.Solver.nvars;
+    clauses;
+    objective;
+    decision_order = decisions;
+    phase_hint = Array.make nvars false;
+  }
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Guard.Error.to_string e)
+
+let exact_float = Alcotest.float 0.0
+
+(* --- solver core ------------------------------------------------------ *)
+
+let tiny_maximization () =
+  (* a and b exclusive; the optimum drops the lighter one *)
+  let p =
+    mk ~nvars:3
+      [ [| neg 0; neg 1 |] ]
+      ~objective:[| (0, 2.0); (1, 3.0); (2, 1.0) |]
+  in
+  let o = ok_exn (Pbo.Solver.solve p) in
+  Alcotest.check exact_float "value" 4.0 o.Pbo.Solver.value;
+  Alcotest.(check (array bool))
+    "witness" [| false; true; true |] o.Pbo.Solver.witness;
+  (match o.Pbo.Solver.proof with
+  | Pbo.Solver.Optimal -> ()
+  | Pbo.Solver.Bounded _ -> Alcotest.fail "expected an optimality proof");
+  Alcotest.check exact_float "canonical fold" 4.0
+    (Pbo.Solver.value_of p o.Pbo.Solver.witness);
+  Alcotest.(check bool) "satisfies" true (Pbo.Solver.check p o.Pbo.Solver.witness)
+
+let implication_chain () =
+  (* x0 -> x1 -> x2, weight only on x2's negation side: maximize keeps
+     all false except forced units *)
+  let p =
+    mk ~nvars:3
+      [ [| neg 0; pos 1 |]; [| neg 1; pos 2 |]; [| pos 0 |] ]
+      ~objective:[| (2, 5.0) |]
+  in
+  let o = ok_exn (Pbo.Solver.solve p) in
+  Alcotest.check exact_float "forced chain" 5.0 o.Pbo.Solver.value;
+  Alcotest.(check (array bool))
+    "all true" [| true; true; true |] o.Pbo.Solver.witness
+
+let unsat_is_validation_error () =
+  List.iter
+    (fun clauses ->
+      match Pbo.Solver.solve (mk ~nvars:2 clauses) with
+      | Ok _ -> Alcotest.fail "expected unsatisfiable"
+      | Error e ->
+        Alcotest.(check string)
+          "kind" "validation"
+          (Guard.Error.kind_name e.Guard.Error.kind))
+    [ [ [| pos 0 |]; [| neg 0 |] ]; [ [||] ] ]
+
+let tautologies_are_dropped () =
+  let p =
+    mk ~nvars:2
+      [ [| pos 0; neg 0 |]; [| pos 1; pos 1; neg 0 |] ]
+      ~objective:[| (0, 1.0); (1, 1.0) |]
+  in
+  let o = ok_exn (Pbo.Solver.solve p) in
+  Alcotest.check exact_float "max" 2.0 o.Pbo.Solver.value
+
+let hint_becomes_incumbent () =
+  (* an inconsistent hint is ignored; a consistent one seeds the bound *)
+  let p =
+    mk ~nvars:2
+      [ [| neg 0; neg 1 |] ]
+      ~objective:[| (0, 1.0); (1, 2.0) |]
+  in
+  let bad = ok_exn (Pbo.Solver.solve ~hint:[| true; true |] p) in
+  Alcotest.check exact_float "ignored bad hint" 2.0 bad.Pbo.Solver.value;
+  let good = ok_exn (Pbo.Solver.solve ~hint:[| false; true |] p) in
+  Alcotest.check exact_float "good hint" 2.0 good.Pbo.Solver.value
+
+let deadline_before_any_incumbent () =
+  (* enough variables that the first full assignment lies beyond the
+     deadline-check interval; a zero deadline must surface as a typed
+     Resource error, not an incumbent *)
+  let nvars = 9000 in
+  let p =
+    {
+      Pbo.Solver.nvars;
+      clauses = [];
+      objective = [| (0, 1.0) |];
+      decision_order = Array.init nvars Fun.id;
+      phase_hint = Array.make nvars false;
+    }
+  in
+  let budget = Guard.Budget.create ~wall_seconds:0.0 () in
+  match Pbo.Solver.solve ~budget p with
+  | Ok _ -> Alcotest.fail "expected a deadline error"
+  | Error e ->
+    Alcotest.(check string)
+      "kind" "resource"
+      (Guard.Error.kind_name e.Guard.Error.kind)
+
+(* --- netlist encoding ------------------------------------------------- *)
+
+let pbo_matches_exhaustive_simulator () =
+  List.iter
+    (fun circuit ->
+      let sim = Gatesim.Simulator.create circuit in
+      let truth = Gatesim.Simulator.worst_case_capacitance_exhaustive sim in
+      let r = ok_exn (Powermodel.Adversarial.worst_pbo circuit) in
+      Alcotest.(check bool) "optimal" true r.Powermodel.Adversarial.optimal;
+      Alcotest.check exact_float
+        (circuit.Netlist.Circuit.name ^ " value")
+        truth r.Powermodel.Adversarial.value;
+      Alcotest.check exact_float
+        (circuit.Netlist.Circuit.name ^ " witness resimulates")
+        r.Powermodel.Adversarial.value
+        (Gatesim.Simulator.switched_capacitance sim
+           r.Powermodel.Adversarial.x_i r.Powermodel.Adversarial.x_f);
+      Alcotest.check exact_float "upper = value when optimal"
+        r.Powermodel.Adversarial.value r.Powermodel.Adversarial.upper)
+    [
+      Circuits.Decoder.decod ();
+      Circuits.Adder.circuit ~bits:3;
+      Util.small_random_circuit 41;
+      Util.small_random_circuit 42;
+      Util.small_random_circuit 43;
+    ]
+
+let cross_validation_agrees_on_exact_models () =
+  List.iter
+    (fun circuit ->
+      let model = Powermodel.Model.build circuit in
+      let a =
+        ok_exn (Powermodel.Adversarial.cross_validate model circuit)
+      in
+      Alcotest.(check bool) "comparable" true a.Powermodel.Adversarial.comparable;
+      Alcotest.(check bool) "agree" true a.Powermodel.Adversarial.agree;
+      Alcotest.check exact_float "float-equal"
+        a.Powermodel.Adversarial.add.Powermodel.Adversarial.value
+        a.Powermodel.Adversarial.pbo.Powermodel.Adversarial.value)
+    [
+      Circuits.Decoder.decod ();
+      Circuits.Comparator.cm85 ();
+      Util.small_random_circuit 44;
+    ]
+
+let conflict_ceiling_gives_sound_interval () =
+  let circuit = Circuits.Comparator.cm85 () in
+  let full = ok_exn (Powermodel.Adversarial.worst_pbo circuit) in
+  Alcotest.(check bool) "unbudgeted optimal" true
+    full.Powermodel.Adversarial.optimal;
+  let budget = Guard.Budget.create ~conflict_ceiling:1 () in
+  let r = ok_exn (Powermodel.Adversarial.worst_pbo ~budget circuit) in
+  Alcotest.(check bool) "bounded" false r.Powermodel.Adversarial.optimal;
+  let truth = full.Powermodel.Adversarial.value in
+  if r.Powermodel.Adversarial.value > truth then
+    Alcotest.failf "bounded incumbent %.6g above the optimum %.6g"
+      r.Powermodel.Adversarial.value truth;
+  if r.Powermodel.Adversarial.upper < truth then
+    Alcotest.failf "bounded upper %.6g below the optimum %.6g"
+      r.Powermodel.Adversarial.upper truth;
+  (match r.Powermodel.Adversarial.reason with
+  | Some e ->
+    Alcotest.(check string)
+      "typed reason" "resource"
+      (Guard.Error.kind_name e.Guard.Error.kind);
+    Alcotest.(check (option string))
+      "ceiling recorded" (Some "1")
+      (Guard.Error.context_value e "conflict_ceiling")
+  | None -> Alcotest.fail "bounded result must carry its budget reason");
+  match r.Powermodel.Adversarial.stats with
+  | Some s -> Alcotest.(check int) "stopped at the ceiling" 1 s.Pbo.Solver.conflicts
+  | None -> Alcotest.fail "PBO result must carry stats"
+
+let solver_is_deterministic () =
+  let circuit = Circuits.Comparator.cm85 () in
+  let solve () =
+    let budget = Guard.Budget.create ~conflict_ceiling:100 () in
+    ok_exn (Powermodel.Adversarial.worst_pbo ~budget circuit)
+  in
+  let a = solve () and b = solve () in
+  Alcotest.check exact_float "value" a.Powermodel.Adversarial.value
+    b.Powermodel.Adversarial.value;
+  Alcotest.(check (array bool)) "x_i" a.Powermodel.Adversarial.x_i
+    b.Powermodel.Adversarial.x_i;
+  Alcotest.(check (array bool)) "x_f" a.Powermodel.Adversarial.x_f
+    b.Powermodel.Adversarial.x_f;
+  match (a.Powermodel.Adversarial.stats, b.Powermodel.Adversarial.stats) with
+  | Some sa, Some sb ->
+    Alcotest.(check int) "decisions" sa.Pbo.Solver.decisions sb.Pbo.Solver.decisions;
+    Alcotest.(check int) "conflicts" sa.Pbo.Solver.conflicts sb.Pbo.Solver.conflicts;
+    Alcotest.(check int) "restarts" sa.Pbo.Solver.restarts sb.Pbo.Solver.restarts
+  | _ -> Alcotest.fail "missing stats"
+
+let warm_hint_preserves_optimum () =
+  let circuit = Circuits.Decoder.decod () in
+  let n = Netlist.Circuit.input_count circuit in
+  let base = ok_exn (Powermodel.Adversarial.worst_pbo circuit) in
+  let hint = (Array.make n true, Array.make n false) in
+  let hinted = ok_exn (Powermodel.Adversarial.worst_pbo ~hint circuit) in
+  Alcotest.check exact_float "same optimum" base.Powermodel.Adversarial.value
+    hinted.Powermodel.Adversarial.value;
+  Alcotest.(check bool) "still optimal" true hinted.Powermodel.Adversarial.optimal
+
+(* --- the satellite property: witnesses re-simulate, every method, every
+   reorder policy ------------------------------------------------------- *)
+
+let witnesses_resimulate_across_policies () =
+  List.iter
+    (fun circuit ->
+      let sim = Gatesim.Simulator.create circuit in
+      let pbo = ok_exn (Powermodel.Adversarial.worst_pbo circuit) in
+      Alcotest.check exact_float "pbo witness resimulates"
+        pbo.Powermodel.Adversarial.value
+        (Gatesim.Simulator.switched_capacitance sim
+           pbo.Powermodel.Adversarial.x_i pbo.Powermodel.Adversarial.x_f);
+      List.iter
+        (fun policy ->
+          (* exact model: the ADD witness value is real, and equals the
+             independently proven PBO optimum *)
+          let exact = Powermodel.Model.build ~reorder:policy circuit in
+          let x_i, x_f, v = Powermodel.Analysis.worst_case_transition exact in
+          Alcotest.check exact_float
+            (Printf.sprintf "add witness resimulates (%s)"
+               (Powermodel.Reorder.to_string policy))
+            v
+            (Gatesim.Simulator.switched_capacitance sim x_i x_f);
+          Alcotest.check exact_float
+            (Printf.sprintf "add = pbo (%s)" (Powermodel.Reorder.to_string policy))
+            v pbo.Powermodel.Adversarial.value;
+          (* collapsed upper-bound model: the witness attains the bound in
+             the model, and reality never exceeds it *)
+          let ub =
+            Powermodel.Model.build ~reorder:policy
+              ~strategy:Dd.Approx.Upper_bound ~max_size:120 circuit
+          in
+          let bx_i, bx_f, bv = Powermodel.Analysis.worst_case_transition ub in
+          let real = Gatesim.Simulator.switched_capacitance sim bx_i bx_f in
+          if real > bv +. 1e-9 then
+            Alcotest.failf "upper-bound witness: real %.6g above bound %.6g"
+              real bv)
+        Powermodel.Reorder.all)
+    [ Circuits.Decoder.decod (); Util.small_random_circuit 45 ]
+
+let suite =
+  [
+    Alcotest.test_case "tiny maximization" `Quick tiny_maximization;
+    Alcotest.test_case "implication chain" `Quick implication_chain;
+    Alcotest.test_case "unsat" `Quick unsat_is_validation_error;
+    Alcotest.test_case "tautologies" `Quick tautologies_are_dropped;
+    Alcotest.test_case "hint incumbent" `Quick hint_becomes_incumbent;
+    Alcotest.test_case "deadline, no incumbent" `Quick
+      deadline_before_any_incumbent;
+    Alcotest.test_case "matches exhaustive simulator" `Slow
+      pbo_matches_exhaustive_simulator;
+    Alcotest.test_case "cross-validation" `Slow
+      cross_validation_agrees_on_exact_models;
+    Alcotest.test_case "conflict ceiling" `Quick
+      conflict_ceiling_gives_sound_interval;
+    Alcotest.test_case "deterministic" `Quick solver_is_deterministic;
+    Alcotest.test_case "warm hint" `Quick warm_hint_preserves_optimum;
+    Alcotest.test_case "witnesses resimulate" `Slow
+      witnesses_resimulate_across_policies;
+  ]

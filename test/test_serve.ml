@@ -412,6 +412,141 @@ let test_cache_metrics_parity () =
   Alcotest.(check bool) "at least one hit" true (stat "hits" >= 1);
   Alcotest.(check int) "exactly one load" 1 (stat "misses")
 
+(* worst: method routing — the ADD traversal, the independent PBO
+   oracle, and the cross-validated pair, all over the same op. *)
+let test_worst_methods () =
+  let dir, model, meta = Lazy.force fixture in
+  let resolve name =
+    if String.equal name meta.Store.circuit then
+      Some (Circuits.Adder.circuit ~bits:3)
+    else None
+  in
+  let cache = Serve.Cache.create ~root:dir () in
+  let handler =
+    Serve.Handler.create ~jobs:1 ~resolve_circuit:resolve cache
+  in
+  let ask body = Serve.Handler.handle_string handler body in
+  let result what raw =
+    let j = parse_response what raw in
+    match Json.member "ok" j with
+    | Some (Json.Bool true) -> member_exn what "result" j
+    | _ -> Alcotest.failf "%s: error response %s" what raw
+  in
+  let number what j k =
+    match Json.to_float (member_exn what k j) with
+    | Some v -> v
+    | None -> Alcotest.failf "%s: %s is not a number" what k
+  in
+  let _, _, truth = Powermodel.Analysis.worst_case_transition model in
+  let r =
+    result "add"
+      (ask {|{"id":1,"op":"worst","model":"model.cfpm","method":"add"}|})
+  in
+  Alcotest.(check (float 0.0)) "add value" truth (number "add" r "value");
+  (match Json.member "optimal" r with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail "add: expected optimal=true on an exact model");
+  (* the PBO route needs no ADD and must agree float-exactly *)
+  let r =
+    result "pbo"
+      (ask {|{"id":2,"op":"worst","model":"model.cfpm","method":"pbo"}|})
+  in
+  Alcotest.(check (float 0.0)) "pbo value" truth (number "pbo" r "value");
+  Alcotest.(check (float 0.0)) "pbo upper" truth (number "pbo" r "upper");
+  (* both routes cross-validate in one request *)
+  let r =
+    result "both"
+      (ask {|{"id":3,"op":"worst","model":"model.cfpm","method":"both"}|})
+  in
+  (match (Json.member "comparable" r, Json.member "agree" r) with
+  | Some (Json.Bool true), Some (Json.Bool true) -> ()
+  | _ ->
+    Alcotest.failf "both: expected comparable and agree in %s"
+      (Json.to_string ~pretty:false r));
+  let err =
+    expect_error "bad method"
+      (ask {|{"id":4,"op":"worst","model":"model.cfpm","method":"sat"}|})
+  in
+  match Json.member "kind" err with
+  | Some (Json.String "validation") -> ()
+  | _ -> Alcotest.fail "bad method: wrong error kind"
+
+let test_worst_pbo_needs_resolver () =
+  let dir, _, _ = Lazy.force fixture in
+  let cache = Serve.Cache.create ~root:dir () in
+  let handler = Serve.Handler.create ~jobs:1 cache in
+  let raw =
+    Serve.Handler.handle_string handler
+      {|{"id":1,"op":"worst","model":"model.cfpm","method":"pbo"}|}
+  in
+  let err = expect_error "no resolver" raw in
+  (match Json.member "kind" err with
+  | Some (Json.String "validation") -> ()
+  | _ -> Alcotest.failf "no resolver: wrong kind in %s" raw);
+  (* the default add path is unaffected *)
+  let raw =
+    Serve.Handler.handle_string handler
+      {|{"id":2,"op":"worst","model":"model.cfpm"}|}
+  in
+  match Json.member "ok" (parse_response "add" raw) with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.failf "add without resolver failed: %s" raw
+
+(* With the memoized traversal, a worst request on the case-study model
+   (fig7b scale) answers inside the default one-second request deadline
+   while concurrent eval traffic hammers the same artifact.  The old
+   O(depth x subtree) sweep re-walked subtrees once per level under the
+   analysis mutex, which is exactly the shape that blew deadlines. *)
+let test_worst_meets_deadline_under_load () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ())
+  @@ fun () ->
+  let entry = Circuits.Suite.case_study in
+  let c = entry.Circuits.Suite.build () in
+  let model = Powermodel.Model.build c in
+  let path = Filename.concat dir "case.cfpm" in
+  let meta =
+    match Store.save ~path model with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "save: %s" (Guard.Error.to_string e)
+  in
+  let cache = Serve.Cache.create ~root:dir () in
+  let handler = Serve.Handler.create ~jobs:1 ~deadline:1.0 cache in
+  let inputs = meta.Store.inputs in
+  let x_i = String.make inputs '0' in
+  let x_f = String.make inputs '1' in
+  let eval_req =
+    Printf.sprintf
+      {|{"id":7,"op":"eval","model":"case.cfpm","x_i":"%s","x_f":"%s"}|} x_i
+      x_f
+  in
+  let stop = Atomic.make false in
+  let traffic =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Serve.Handler.handle_string handler eval_req)
+            done)
+          ())
+  in
+  Fun.protect ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Thread.join traffic)
+  @@ fun () ->
+  let raw =
+    Serve.Handler.handle_string handler
+      {|{"id":1,"op":"worst","model":"case.cfpm"}|}
+  in
+  let j = parse_response "worst under load" raw in
+  (match Json.member "ok" j with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.failf "worst under load missed the deadline: %s" raw);
+  let _, _, truth = Powermodel.Analysis.worst_case_transition model in
+  match Json.to_float (member_exn "worst" "value" (member_exn "worst" "result" j)) with
+  | Some v -> Alcotest.(check (float 0.0)) "worst value" truth v
+  | None -> Alcotest.failf "worst under load: non-numeric value in %s" raw
+
 let test_graceful_stop () =
   let dir, _, _ = Lazy.force fixture in
   let cache = Serve.Cache.create ~root:dir () in
@@ -456,6 +591,12 @@ let suite =
       test_cache_eviction;
     Alcotest.test_case "cache metrics track internal counters" `Quick
       test_cache_metrics_parity;
+    Alcotest.test_case "worst dispatches add, pbo and both methods" `Quick
+      test_worst_methods;
+    Alcotest.test_case "worst pbo without a resolver is a typed error"
+      `Quick test_worst_pbo_needs_resolver;
+    Alcotest.test_case "worst meets the deadline under eval traffic"
+      `Quick test_worst_meets_deadline_under_load;
     Alcotest.test_case "graceful stop drains and unlinks" `Quick
       test_graceful_stop;
   ]
